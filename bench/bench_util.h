@@ -1,0 +1,69 @@
+// Shared helpers for the experiment binaries (bench/e*.cpp). Each binary
+// reproduces one table/figure of the paper's evaluation (see DESIGN.md §4
+// and EXPERIMENTS.md) and prints a paper-style table on stdout. Progress
+// goes to stderr so stdout stays machine-readable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bots/simulation.h"
+#include "util/flags.h"
+
+namespace dyconits::bench {
+
+/// Baseline experiment configuration, overridable from the command line:
+///   --players=N --duration=SECONDS --warmup=SECONDS --seed=N
+///   --workload=walk|village|build|mixed --view=N
+inline bots::SimulationConfig base_config(const Flags& flags) {
+  bots::SimulationConfig cfg;
+  cfg.players = static_cast<std::size_t>(flags.get_int("players", 50));
+  cfg.duration = SimDuration::seconds(flags.get_int("duration", 45));
+  cfg.warmup = SimDuration::seconds(flags.get_int("warmup", 15));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  cfg.view_distance = static_cast<int>(flags.get_int("view", 8));
+  cfg.workload.kind = bots::parse_workload(flags.get_string("workload", "village"));
+  cfg.joins_per_tick = 4;
+  return cfg;
+}
+
+/// Runs one simulation, narrating to stderr.
+inline bots::SimulationResult run(bots::SimulationConfig cfg) {
+  std::fprintf(stderr, "  running policy=%-14s players=%-4zu workload=%s ...",
+               cfg.policy.c_str(), cfg.players, bots::workload_name(cfg.workload.kind));
+  std::fflush(stderr);
+  bots::Simulation sim(cfg);
+  auto result = sim.run();
+  std::fprintf(stderr, " done (%.0f KB/s, tick p95 %.2f ms)\n",
+               result.egress_bytes_per_sec / 1000.0, result.tick_ms.percentile(0.95));
+  return result;
+}
+
+/// Sum of egress bytes over the high-rate update message families — the
+/// traffic dyconits manage (chunk streaming/keep-alives are out of scope).
+inline std::uint64_t update_bytes(const bots::SimulationResult& r) {
+  std::uint64_t b = 0;
+  for (const auto type :
+       {protocol::MessageType::EntityMove, protocol::MessageType::EntityMoveBatch,
+        protocol::MessageType::BlockChange, protocol::MessageType::MultiBlockChange}) {
+    const auto it = r.egress_bytes_by_type.find(type);
+    if (it != r.egress_bytes_by_type.end()) b += it->second;
+  }
+  return b;
+}
+
+inline void print_title(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline double pct_change(double baseline, double value) {
+  return baseline > 0 ? 100.0 * (value - baseline) / baseline : 0.0;
+}
+
+}  // namespace dyconits::bench

@@ -1,0 +1,65 @@
+// E1 — Server egress bandwidth vs. concurrent players, per policy.
+// Reproduces the paper's bandwidth figure; the abstract claims dyconits
+// reduce network bandwidth by up to 85%. We report both total egress and
+// update-only egress (the traffic the middleware manages; chunk streaming
+// is identical across policies).
+//
+// The "director!B" pseudo-spec runs the director with a B Mbit/s bandwidth
+// budget — the configuration that exercises the paper's "up to 85%" point:
+// under budget pressure the Director trades bounded peripheral consistency
+// for however much bandwidth the operator asked to save.
+//
+//   e1_bandwidth [--players=25,50,100,150] [--policies=vanilla,zero,...]
+//                [--duration=45] [--workload=village]
+#include <cstdlib>
+#include <sstream>
+
+#include "bench_util.h"
+
+using namespace dyconits;
+using namespace dyconits::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto player_counts = flags.get_int_list("players", {25, 50, 100, 150});
+  std::vector<std::string> policies;
+  {
+    std::stringstream ss(flags.get_string(
+        "policies", "vanilla,zero,static:250:4,aoi,director,director!2,infinite"));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) policies.push_back(tok);
+  }
+
+  print_title("E1: server egress bandwidth vs players (workload: " +
+              std::string(bots::workload_name(
+                  bots::parse_workload(flags.get_string("workload", "village")))) +
+              ")");
+  std::printf("%-16s %8s %14s %14s %12s %12s\n", "policy", "players", "total KB/s",
+              "update KB/s", "vs vanilla", "frames/s");
+  print_rule();
+
+  for (const auto players : player_counts) {
+    double vanilla_update_rate = 0.0;
+    for (const auto& policy : policies) {
+      auto cfg = base_config(flags);
+      cfg.players = static_cast<std::size_t>(players);
+      cfg.policy = policy;
+      // "name!B": run `name` with a B Mbit/s bandwidth budget.
+      if (const auto bang = policy.find('!'); bang != std::string::npos) {
+        cfg.policy = policy.substr(0, bang);
+        cfg.bandwidth_budget_bps = std::atof(policy.c_str() + bang + 1) * 1e6;
+      }
+      const auto r = run(cfg);
+      const double update_rate =
+          static_cast<double>(update_bytes(r)) / r.measured_seconds;
+      if (policy == "vanilla") vanilla_update_rate = update_rate;
+      std::printf("%-16s %8zu %14.1f %14.1f %11.1f%% %12.0f\n", policy.c_str(),
+                  r.players, r.egress_bytes_per_sec / 1000.0, update_rate / 1000.0,
+                  pct_change(vanilla_update_rate, update_rate), r.egress_frames_per_sec);
+    }
+    print_rule();
+  }
+  std::printf("(update KB/s = entity-move + block-change families; 'vs vanilla' is the\n"
+              " update-traffic change relative to the unmodified direct-send server)\n");
+  return 0;
+}

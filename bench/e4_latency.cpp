@@ -1,0 +1,58 @@
+// E4 — Update delivery latency. Reproduces the paper's claim that dyconits
+// scale "without increasing game latency": latency of *nearby* updates
+// (what a player perceives) stays at vanilla levels, because near units
+// keep zero bounds. With a constrained server uplink, vanilla's extra
+// bytes turn into queueing delay — bandwidth savings become latency
+// savings.
+//
+//   e4_latency [--players=75] [--uplink_mbps=8] [--duration=45]
+#include <sstream>
+
+#include "bench_util.h"
+
+using namespace dyconits;
+using namespace dyconits::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double uplink_mbps = flags.get_double("uplink_mbps", 8.0);
+  std::vector<std::string> policies;
+  {
+    std::stringstream ss(flags.get_string("policies", "vanilla,aoi,director"));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) policies.push_back(tok);
+  }
+
+  const auto run_with_uplink = [&](const std::string& policy, bool constrained) {
+    auto cfg = base_config(flags);
+    cfg.players = static_cast<std::size_t>(flags.get_int("players", 75));
+    cfg.policy = policy;
+    if (constrained) {
+      cfg.server_egress_rate = static_cast<std::uint64_t>(uplink_mbps * 1e6 / 8.0);
+    }
+    return run(cfg);
+  };
+
+  for (const bool constrained : {false, true}) {
+    print_title(constrained
+                    ? "E4b: update latency with a " + std::to_string(uplink_mbps) +
+                          " Mbit/s server uplink (queueing visible)"
+                    : "E4a: update latency, unconstrained uplink (25 ms link)");
+    std::printf("%-12s | %28s | %28s\n", "", "nearby updates (ms)", "all updates (ms)");
+    std::printf("%-12s %8s %8s %10s %8s %8s %10s\n", "policy", "p50", "p95", "p99",
+                "p50", "p95", "p99");
+    print_rule();
+    for (const auto& policy : policies) {
+      const auto r = run_with_uplink(policy, constrained);
+      const auto& near = r.near_update_latency_ms;
+      const auto& all = r.update_latency_ms;
+      std::printf("%-12s %8.1f %8.1f %10.1f %8.1f %8.1f %10.1f\n", policy.c_str(),
+                  near.percentile(0.5), near.percentile(0.95), near.percentile(0.99),
+                  all.percentile(0.5), all.percentile(0.95), all.percentile(0.99));
+    }
+  }
+  std::printf("\n(nearby = updates within 32 blocks of the observing player; far updates\n"
+              " are deliberately delayed within bounds — that is the mechanism, not a\n"
+              " regression. The claim under test: nearby latency matches vanilla.)\n");
+  return 0;
+}

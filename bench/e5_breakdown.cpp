@@ -1,0 +1,61 @@
+// E5 — Egress bandwidth breakdown by message family, per policy. Shows
+// where the savings come from: high-rate EntityMove traffic collapses into
+// fewer, batched frames; chunk streaming and session chatter are untouched.
+//
+//   e5_breakdown [--players=100] [--duration=45]
+#include <map>
+#include <sstream>
+
+#include "bench_util.h"
+
+using namespace dyconits;
+using namespace dyconits::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::vector<std::string> policies;
+  {
+    std::stringstream ss(flags.get_string("policies", "vanilla,director"));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) policies.push_back(tok);
+  }
+
+  std::vector<bots::SimulationResult> results;
+  for (const auto& policy : policies) {
+    auto cfg = base_config(flags);
+    cfg.players = static_cast<std::size_t>(flags.get_int("players", 100));
+    cfg.policy = policy;
+    results.push_back(run(cfg));
+  }
+
+  print_title("E5: egress KB/s by message family");
+  std::printf("%-18s", "family");
+  for (const auto& p : policies) std::printf(" %14s", p.c_str());
+  std::printf("\n");
+  print_rule();
+
+  // Collect the union of families seen.
+  std::map<protocol::MessageType, int> families;
+  for (const auto& r : results) {
+    for (const auto& [type, bytes] : r.egress_bytes_by_type) families[type];
+  }
+  for (const auto& [type, _] : families) {
+    std::printf("%-18s", protocol::message_type_name(type));
+    for (const auto& r : results) {
+      const auto it = r.egress_bytes_by_type.find(type);
+      const double rate =
+          it == r.egress_bytes_by_type.end()
+              ? 0.0
+              : static_cast<double>(it->second) / r.measured_seconds / 1000.0;
+      std::printf(" %14.2f", rate);
+    }
+    std::printf("\n");
+  }
+  print_rule();
+  std::printf("%-18s", "TOTAL");
+  for (const auto& r : results) std::printf(" %14.2f", r.egress_bytes_per_sec / 1000.0);
+  std::printf("\n%-18s", "frames/s");
+  for (const auto& r : results) std::printf(" %14.0f", r.egress_frames_per_sec);
+  std::printf("\n");
+  return 0;
+}

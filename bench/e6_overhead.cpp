@@ -1,0 +1,180 @@
+// E6 — Middleware overhead microbenchmarks (google-benchmark). Supports the
+// paper's "thin middleware" claim with numbers: cost of enqueue, coalesce,
+// flush, subscription churn, and policy bound computation — compared
+// against the vanilla serialize-and-send unit of work it replaces.
+#include <benchmark/benchmark.h>
+
+#include "dyconit/policies/director.h"
+#include "dyconit/policies/factory.h"
+#include "dyconit/system.h"
+#include "protocol/codec.h"
+
+namespace {
+
+using namespace dyconits;
+using dyconit::Bounds;
+using dyconit::DyconitId;
+using dyconit::DyconitSystem;
+using dyconit::Update;
+
+struct NullSink : dyconit::FlushSink {
+  void deliver(dyconit::SubscriberId, const std::vector<FlushedUpdate>& updates) override {
+    benchmark::DoNotOptimize(updates.data());
+  }
+};
+
+Update make_update(std::uint32_t entity, SimTime now) {
+  Update u;
+  u.msg = protocol::EntityMove{entity, {1.0, 2.0, 3.0}, 90.0f, 0.0f};
+  u.weight = 0.2;
+  u.created = now;
+  u.coalesce_key = dyconit::coalesce_key_entity(entity);
+  return u;
+}
+
+/// Cost of one update() fan-out to N subscribers with fresh coalesce keys.
+void BM_EnqueueFanout(benchmark::State& state) {
+  const auto subs = static_cast<std::size_t>(state.range(0));
+  SimClock clock;
+  DyconitSystem sys(clock);
+  NullSink sink;
+  const auto unit = DyconitId::chunk_entities({0, 0});
+  for (std::size_t s = 1; s <= subs; ++s) {
+    sys.subscribe(unit, static_cast<dyconit::SubscriberId>(s), Bounds::infinite());
+  }
+  std::uint32_t entity = 1;
+  std::size_t since_flush = 0;
+  for (auto _ : state) {
+    sys.update(unit, make_update(entity++ % 512 + 1, clock.now()));
+    if (++since_flush >= 4096) {  // keep queues bounded without timing flush
+      state.PauseTiming();
+      sys.flush_all(sink);
+      since_flush = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(subs));
+}
+BENCHMARK(BM_EnqueueFanout)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+/// Cost of an enqueue that coalesces into an existing entry (steady state
+/// of a high-rate mover).
+void BM_EnqueueCoalesce(benchmark::State& state) {
+  SimClock clock;
+  DyconitSystem sys(clock);
+  const auto unit = DyconitId::chunk_entities({0, 0});
+  sys.subscribe(unit, 1, Bounds::infinite());
+  sys.update(unit, make_update(7, clock.now()));  // seed the entry
+  for (auto _ : state) {
+    sys.update(unit, make_update(7, clock.now()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnqueueCoalesce);
+
+/// Full middleware cycle: enqueue a batch, tick-flush it through the sink.
+void BM_FlushCycle(benchmark::State& state) {
+  const auto batch = static_cast<std::uint32_t>(state.range(0));
+  SimClock clock;
+  DyconitSystem sys(clock);
+  NullSink sink;
+  const auto unit = DyconitId::chunk_entities({0, 0});
+  sys.subscribe(unit, 1, Bounds::zero());
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < batch; ++i) {
+      sys.update(unit, make_update(i + 1, clock.now()));
+    }
+    sys.tick(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_FlushCycle)->Arg(1)->Arg(16)->Arg(128);
+
+/// The vanilla unit of work one enqueue replaces: serialize the message
+/// into a frame. (Compare items/s with BM_EnqueueFanout/1.)
+void BM_VanillaSerialize(benchmark::State& state) {
+  const protocol::AnyMessage msg = protocol::EntityMove{7, {1.0, 2.0, 3.0}, 90.0f, 0.0f};
+  for (auto _ : state) {
+    net::Frame f = protocol::encode(msg);
+    benchmark::DoNotOptimize(f.payload.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VanillaSerialize);
+
+/// Subscription churn: a player crossing a chunk border re-subscribes a
+/// ring of units.
+void BM_SubscribeUnsubscribe(benchmark::State& state) {
+  SimClock clock;
+  DyconitSystem sys(clock);
+  const auto unit = DyconitId::chunk_entities({0, 0});
+  for (auto _ : state) {
+    sys.subscribe(unit, 1, Bounds::zero());
+    sys.unsubscribe(unit, 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubscribeUnsubscribe);
+
+/// Policy bound computation (called per subscription on chunk-cross).
+void BM_BoundsFor(benchmark::State& state) {
+  const auto policy = dyconit::make_policy("director");
+  const auto unit = DyconitId::chunk_entities({6, 3});
+  const world::Vec3 pos{8, 20, 8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->bounds_for(unit, pos));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoundsFor);
+
+/// The Director's full retune pass over S subscriptions (its worst-case
+/// adaptation step; runs at most once per adjust interval).
+void BM_RetuneAllBounds(benchmark::State& state) {
+  const auto subs = static_cast<std::size_t>(state.range(0));
+  SimClock clock;
+  DyconitSystem sys(clock);
+  dyconit::DirectorPolicy policy;
+  std::vector<dyconit::PlayerView> players;
+  for (std::size_t s = 1; s <= 16; ++s) {
+    players.push_back({static_cast<dyconit::SubscriberId>(s), 1,
+                       {static_cast<double>(s) * 10, 0, 0}});
+  }
+  std::size_t n = 0;
+  while (n < subs) {
+    for (const auto& p : players) {
+      const auto unit = DyconitId::chunk_entities(
+          {static_cast<std::int32_t>(n % 32), static_cast<std::int32_t>(n / 32)});
+      sys.subscribe(unit, p.sub, Bounds::zero());
+      if (++n >= subs) break;
+    }
+  }
+  dyconit::LoadSample load;
+  load.now = clock.now();
+  for (auto _ : state) {
+    dyconit::PolicyContext ctx(sys, players, load);
+    dyconit::retune_all_bounds(policy, ctx);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(subs));
+}
+BENCHMARK(BM_RetuneAllBounds)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// Approximate memory cost of an idle dyconit plus one subscription.
+void BM_MemoryFootprint(benchmark::State& state) {
+  for (auto _ : state) {
+    SimClock clock;
+    DyconitSystem sys(clock);
+    for (int i = 0; i < 1000; ++i) {
+      sys.subscribe(DyconitId::chunk_entities({i, 0}), 1, Bounds::zero());
+    }
+    benchmark::DoNotOptimize(sys.dyconit_count());
+  }
+  state.counters["sizeof_dyconit_B"] =
+      static_cast<double>(sizeof(dyconit::Dyconit));
+  state.counters["sizeof_update_B"] = static_cast<double>(sizeof(Update));
+}
+BENCHMARK(BM_MemoryFootprint);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Writing your own policy — the integration surface the paper gives game
+// developers. This example defines BuilderFirstPolicy: block edits are
+// treated as sacred (zero bounds everywhere: every player sees every
+// placed block immediately, however far away), while entity movement uses
+// distance-scaled bounds with a load-adaptive multiplier. A building-focused
+// game might prefer exactly this trade.
+//
+//   ./custom_policy [--players=40] [--duration=30]
+#include <algorithm>
+#include <cstdio>
+
+#include "bots/simulation.h"
+#include "dyconit/policies/aoi.h"
+#include "util/flags.h"
+
+using namespace dyconits;
+
+namespace {
+
+/// Blocks always consistent; entity movement bounded by distance and scaled
+/// up under load. Note how little code a policy is: one bounds function and
+/// an optional adaptation hook.
+class BuilderFirstPolicy final : public dyconit::AoiPolicy {
+ public:
+  std::string name() const override { return "builder-first"; }
+
+  dyconit::Bounds bounds_for(const dyconit::DyconitId& unit,
+                             const world::Vec3& subscriber_pos) const override {
+    if (!unit.is_entity_domain()) return dyconit::Bounds::zero();  // blocks: exact
+    return scaled_bounds(unit, subscriber_pos, scale_);
+  }
+
+  void on_tick(dyconit::PolicyContext& ctx) override {
+    // Simple additive adaptation on tick pressure, twice a second.
+    const auto& load = ctx.load();
+    if ((load.now - last_).count_millis() < 500) return;
+    last_ = load.now;
+    const double pressure = static_cast<double>(load.tick_duration.count_micros()) /
+                            static_cast<double>(load.tick_budget.count_micros());
+    const double before = scale_;
+    if (pressure > 0.6) scale_ = std::min(scale_ + 1.0, 12.0);
+    if (pressure < 0.3) scale_ = std::max(scale_ - 0.5, 1.0);
+    if (scale_ != before) dyconit::retune_all_bounds(*this, ctx);
+  }
+
+  double scale() const { return scale_; }
+
+ private:
+  double scale_ = 1.0;
+  SimTime last_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.has("help")) {
+    std::puts("usage: custom_policy [--players=N] [--duration=S]");
+    return 0;
+  }
+
+  bots::SimulationConfig cfg;
+  cfg.players = static_cast<std::size_t>(flags.get_int("players", 40));
+  cfg.duration = SimDuration::seconds(flags.get_int("duration", 30));
+  cfg.workload.kind = bots::WorkloadKind::Village;
+
+  // The Simulation harness builds policies from spec strings; a custom
+  // policy is wired by assembling the stack directly — the same few lines
+  // a real integration needs.
+  SimClock clock;
+  net::SimNetwork net(clock, 99);
+  world::World world(std::make_unique<world::TerrainGenerator>(1234));
+
+  const auto plans =
+      bots::plan_bots(cfg.workload, cfg.players, /*seed=*/cfg.seed);
+
+  server::ServerConfig scfg;
+  scfg.view_distance = 8;
+  scfg.spawn_provider = [&plans, &world](const std::string& name) {
+    for (const auto& p : plans) {
+      if (p.name == name) {
+        return world.spawn_position(static_cast<std::int32_t>(p.home.x),
+                                    static_cast<std::int32_t>(p.home.z));
+      }
+    }
+    return world.spawn_position(0, 0);
+  };
+  auto policy = std::make_unique<BuilderFirstPolicy>();
+  BuilderFirstPolicy* policy_view = policy.get();
+  server::GameServer server(clock, net, world, std::move(policy), scfg);
+  std::vector<std::unique_ptr<bots::BotClient>> bot_list;
+  Rng seeds(cfg.seed);
+  for (const auto& p : plans) {
+    auto bot = std::make_unique<bots::BotClient>(clock, net, world, server.endpoint(),
+                                                 p.name, seeds.next_u64(), p.config);
+    net.connect(bot->endpoint(), server.endpoint(), {SimDuration::millis(25), 0.1});
+    bot->connect();
+    bot_list.push_back(std::move(bot));
+  }
+
+  const auto ticks = cfg.duration.count_micros() / 50000;
+  for (std::int64_t t = 0; t < ticks; ++t) {
+    clock.advance(SimDuration::millis(50));
+    for (auto& b : bot_list) b->tick();
+    server.tick();
+  }
+
+  const auto& stats = server.dyconit_stats();
+  std::printf("builder-first policy: %zu players, %llds\n", cfg.players,
+              static_cast<long long>(cfg.duration.count_micros() / 1000000));
+  std::printf("  final adaptation scale: %.1f\n", policy_view->scale());
+  std::printf("  updates enqueued %llu, coalesced %llu, delivered %llu\n",
+              static_cast<unsigned long long>(stats.enqueued),
+              static_cast<unsigned long long>(stats.coalesced),
+              static_cast<unsigned long long>(stats.delivered));
+
+  // The policy's promise: block updates were never delayed. Every staleness
+  // flush beyond one tick must come from the entity domain.
+  std::uint64_t block_queued = 0;
+  server.dyconits().for_each([&](dyconit::Dyconit& d) {
+    if (!d.id().is_entity_domain()) block_queued += d.total_queued();
+  });
+  std::printf("  block updates still queued at shutdown: %llu (expect 0)\n",
+              static_cast<unsigned long long>(block_queued));
+  std::printf("  server egress: %.1f KB/s\n",
+              static_cast<double>(net.egress_bytes(server.endpoint())) /
+                  (static_cast<double>(ticks) * 0.05) / 1000.0);
+  return block_queued == 0 ? 0 : 1;
+}

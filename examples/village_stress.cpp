@@ -1,0 +1,87 @@
+// Village stress: the paper's motivating scenario. A crowd of players packs
+// into one village center — the high-density, frequently-modified area where
+// plain interest management stops helping (everyone legitimately sees
+// everyone). Runs the same crowd under the unmodified server and under the
+// Director policy and prints the head-to-head.
+//
+// The dyconits run gets a bandwidth budget (--budget_mbps, default 4) so
+// the Director actually has something to adapt to — without pressure it
+// deliberately spends no consistency at all.
+//
+//   ./village_stress [--players=80] [--radius=15] [--duration=40]
+//                    [--budget_mbps=4]
+#include <cstdio>
+
+#include "bots/simulation.h"
+#include "util/flags.h"
+
+using namespace dyconits;
+
+namespace {
+
+bots::SimulationResult run_once(const Flags& flags, const std::string& policy) {
+  bots::SimulationConfig cfg;
+  cfg.players = static_cast<std::size_t>(flags.get_int("players", 80));
+  cfg.duration = SimDuration::seconds(flags.get_int("duration", 40));
+  cfg.warmup = SimDuration::seconds(12);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  cfg.policy = policy;
+  if (policy != "vanilla") {
+    cfg.bandwidth_budget_bps = flags.get_double("budget_mbps", 4.0) * 1e6;
+  }
+  cfg.workload.kind = bots::WorkloadKind::Village;
+  cfg.workload.hotspots = 1;
+  cfg.workload.village_radius = flags.get_double("radius", 15.0);
+  cfg.joins_per_tick = 4;
+  std::fprintf(stderr, "running %s...\n", policy.c_str());
+  bots::Simulation sim(cfg);
+  return sim.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.has("help")) {
+    std::puts("usage: village_stress [--players=N] [--radius=BLOCKS] [--duration=S]");
+    return 0;
+  }
+
+  const auto vanilla = run_once(flags, "vanilla");
+  const auto director = run_once(flags, "director");
+
+  std::printf("\nvillage stress: %zu players packed into a %.0f-block radius\n",
+              vanilla.players, flags.get_double("radius", 15.0));
+  std::printf("%-28s %14s %14s\n", "", "vanilla", "dyconits");
+  std::printf("%-28s %14.1f %14.1f\n", "server egress (KB/s)",
+              vanilla.egress_bytes_per_sec / 1000.0,
+              director.egress_bytes_per_sec / 1000.0);
+  std::printf("%-28s %14.0f %14.0f\n", "frames sent (/s)",
+              vanilla.egress_frames_per_sec, director.egress_frames_per_sec);
+  std::printf("%-28s %14.2f %14.2f\n", "tick CPU p95 (ms, 50 budget)",
+              vanilla.tick_ms.percentile(0.95), director.tick_ms.percentile(0.95));
+  std::printf("%-28s %14.1f %14.1f\n", "near update latency p99 (ms)",
+              vanilla.near_update_latency_ms.percentile(0.99),
+              director.near_update_latency_ms.percentile(0.99));
+  std::printf("%-28s %14.3f %14.3f\n", "replica pos error mean (blk)",
+              vanilla.pos_error_mean.mean(), director.pos_error_mean.mean());
+
+  const double saved = 100.0 * (1.0 - director.egress_bytes_per_sec /
+                                          vanilla.egress_bytes_per_sec);
+  const double cpu_saved =
+      100.0 * (1.0 - director.tick_ms.mean() / vanilla.tick_ms.mean());
+  const double near_p99 = director.near_update_latency_ms.percentile(0.99);
+  const double vanilla_near_p99 = vanilla.near_update_latency_ms.percentile(0.99);
+  std::printf("\ndyconits spent bounded inconsistency to save %.0f%% of the bandwidth\n"
+              "and %.0f%% of the tick CPU. ",
+              saved, cpu_saved);
+  if (near_p99 <= vanilla_near_p99 + 55.0) {
+    std::printf("Nearby update latency is unchanged.\n");
+  } else {
+    std::printf("Under this budget the Director's second\n"
+                "stage engaged: nearby updates are delayed too, but bounded (p99 %.0f ms\n"
+                "vs vanilla's %.0f ms) — raise --budget_mbps to buy the latency back.\n",
+                near_p99, vanilla_near_p99);
+  }
+  return 0;
+}

@@ -1,0 +1,177 @@
+// A Yardstick-style bot client: speaks the full protocol, maintains a local
+// replica of the world it has been sent (entities always; chunk blocks
+// optionally), and drives a behavior (walking, building, mining) that
+// generates the update workload. Bots run in-process but communicate with
+// the server exclusively through the simulated network, so every byte they
+// cause or consume is on the measured wire.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "entity/entity.h"
+#include "net/sim_network.h"
+#include "protocol/codec.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+#include "util/stats.h"
+#include "world/world.h"
+
+namespace dyconits::bots {
+
+enum class BehaviorKind : std::uint8_t { Idle = 0, Walk = 1, Build = 2, Mine = 3 };
+
+const char* behavior_name(BehaviorKind k);
+
+struct BotConfig {
+  BehaviorKind kind = BehaviorKind::Walk;
+  /// Walking speed in blocks/second (Minecraft sprint ~5.6, walk ~4.3).
+  double speed = 4.3;
+  /// Interval between behavior decisions (digs/places/chats).
+  SimDuration action_interval = SimDuration::millis(400);
+  /// Waypoints are drawn from a disc of this radius around `home`.
+  double wander_radius = 80.0;
+  world::Vec3 home{};
+  /// Build behavior: probability a build action places (vs digs).
+  double place_prob = 0.55;
+  /// Probability of sending a chat line per action.
+  double chat_prob = 0.005;
+  /// Keep a full block replica (memory-heavy; tests and small runs only).
+  bool keep_chunk_replica = false;
+  /// Survival economy: builders place only what their inventory holds and
+  /// dig otherwise; they also walk to visible dropped items to collect
+  /// them. Set when the server runs survival_mode.
+  bool survival = false;
+};
+
+struct ReplicaEntity {
+  entity::EntityKind kind = entity::EntityKind::Player;
+  world::Vec3 pos;
+  float yaw = 0, pitch = 0;
+  std::string name;
+  std::uint16_t data = 0;  // item entities: dropped Block id
+  /// Server send time of the newest applied move; guards against applying
+  /// stale positions when the transport reorders (order-error protection).
+  SimTime last_update_sent;
+};
+
+class BotClient {
+ public:
+  /// `truth` is the server world, used only for walking kinematics (ground
+  /// height); all state the bot *reacts to* comes from its replica.
+  BotClient(SimClock& clock, net::SimNetwork& net, world::World& truth,
+            net::EndpointId server, std::string name, std::uint64_t seed, BotConfig cfg);
+
+  /// Sends the JoinRequest. The network link must already exist.
+  void connect();
+
+  /// Forgets the session and replica (used after a server-side disconnect);
+  /// call connect() again to rejoin as a fresh session.
+  void reset_session();
+
+  /// One client tick: drain inbound, update replica, walk, act.
+  void tick();
+
+  bool joined() const { return joined_; }
+  const std::string& name() const { return name_; }
+  net::EndpointId endpoint() const { return endpoint_; }
+  entity::EntityId self() const { return self_; }
+  world::Vec3 pos() const { return pos_; }
+
+  /// Redirects the bot mid-run (the E7 load-spike scenario: everyone
+  /// converges on the village).
+  void set_home(const world::Vec3& home, double radius);
+
+  /// Paused bots stop walking/acting but keep polling and replying to
+  /// keep-alives — used to quiesce a simulation before convergence checks.
+  void set_paused(bool paused) { paused_ = paused; }
+  bool paused() const { return paused_; }
+  const BotConfig& config() const { return cfg_; }
+
+  // -- replica --
+  const std::unordered_map<entity::EntityId, ReplicaEntity>& replica_entities() const {
+    return replica_entities_;
+  }
+  /// Block as this client believes it to be: from the full chunk replica if
+  /// kept, else from the delta map; nullopt if never told.
+  std::optional<world::Block> replica_block(const world::BlockPos& pos) const;
+  const world::World* replica_world() const { return replica_world_.get(); }
+  std::size_t loaded_chunk_count() const { return loaded_chunks_.size(); }
+
+  /// Inventory as last told by the server (survival mode).
+  const std::unordered_map<world::Block, std::uint32_t>& inventory() const {
+    return inventory_;
+  }
+  std::uint32_t inventory_total() const;
+
+  // -- measurements --
+  /// End-to-end latency (ms) of entity-move and block-change updates, from
+  /// server-side event creation to client arrival (via frame trace origin).
+  Samples& update_latency_ms() { return update_latency_ms_; }
+  const Samples& update_latency_ms() const { return update_latency_ms_; }
+
+  /// Same, restricted to *nearby* updates (within kNearDistance blocks of
+  /// this bot) — the updates a player actually perceives, and the paper's
+  /// "without increasing game latency" claim.
+  Samples& near_update_latency_ms() { return near_update_latency_ms_; }
+  const Samples& near_update_latency_ms() const { return near_update_latency_ms_; }
+  static constexpr double kNearDistance = 32.0;  // 2 chunks
+
+  std::uint64_t frames_received() const { return frames_received_; }
+  std::uint64_t updates_applied() const { return updates_applied_; }
+  std::uint64_t unknown_entity_updates() const { return unknown_entity_updates_; }
+  std::uint64_t decode_failures() const { return decode_failures_; }
+  std::uint64_t chats_seen() const { return chats_seen_; }
+  /// Order error observed on the wire (frames arriving behind a newer one)
+  /// and the stale entity moves the replica refused to apply because of it.
+  /// Both are zero on FIFO (TCP-like) links.
+  std::uint64_t out_of_order_frames() const { return out_of_order_frames_; }
+  std::uint64_t stale_moves_rejected() const { return stale_moves_rejected_; }
+
+ private:
+  void apply(const protocol::AnyMessage& msg, const net::Delivery& d);
+  void apply_entity_move(const protocol::EntityMove& m, SimTime sent);
+  void apply_block(const world::BlockPos& pos, world::Block b);
+  void walk();
+  void act();
+  void pick_waypoint();
+  void send(const protocol::AnyMessage& msg);
+
+  SimClock& clock_;
+  net::SimNetwork& net_;
+  world::World& truth_;
+  net::EndpointId server_;
+  net::EndpointId endpoint_;
+  std::string name_;
+  Rng rng_;
+  BotConfig cfg_;
+
+  bool joined_ = false;
+  bool paused_ = false;
+  entity::EntityId self_ = entity::kInvalidEntity;
+  world::Vec3 pos_;
+  world::Vec3 waypoint_;
+  int blocked_ticks_ = 0;
+  SimTime next_action_;
+
+  std::unordered_map<entity::EntityId, ReplicaEntity> replica_entities_;
+  std::unordered_map<world::Block, std::uint32_t> inventory_;
+  std::unordered_map<world::BlockPos, world::Block> block_deltas_;
+  std::unordered_set<world::ChunkPos> loaded_chunks_;
+  std::unique_ptr<world::World> replica_world_;  // only if keep_chunk_replica
+
+  Samples update_latency_ms_;
+  Samples near_update_latency_ms_;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t updates_applied_ = 0;
+  std::uint64_t unknown_entity_updates_ = 0;
+  std::uint64_t decode_failures_ = 0;
+  std::uint64_t chats_seen_ = 0;
+  std::uint64_t out_of_order_frames_ = 0;
+  std::uint64_t stale_moves_rejected_ = 0;
+  SimTime newest_frame_sent_;
+};
+
+}  // namespace dyconits::bots

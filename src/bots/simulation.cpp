@@ -1,0 +1,265 @@
+#include "bots/simulation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "dyconit/policies/director.h"
+#include "dyconit/policies/factory.h"
+#include "util/log.h"
+#include "world/terrain.h"
+
+namespace dyconits::bots {
+
+using server::GameServer;
+using server::ServerConfig;
+
+Simulation::Simulation(SimulationConfig cfg)
+    : cfg_(cfg),
+      world_(std::make_unique<world::World>(
+          std::make_unique<world::TerrainGenerator>(cfg.terrain_seed))),
+      net_(clock_, cfg.seed ^ 0x5E7ull) {
+  const bool vanilla = cfg_.policy == "vanilla";
+  std::unique_ptr<dyconit::Policy> policy;
+  if (!vanilla) {
+    policy = dyconit::make_policy(cfg_.policy);
+    if (policy == nullptr) {
+      Log::error("unknown policy spec '%s', falling back to zero", cfg_.policy.c_str());
+      policy = dyconit::make_policy("zero");
+    }
+  }
+
+  // Bots spawn at their workload-assigned home.
+  const auto plans = plan_bots(cfg_.workload, cfg_.players, cfg_.seed);
+  auto homes = std::make_shared<std::unordered_map<std::string, world::Vec3>>();
+  for (const auto& p : plans) (*homes)[p.name] = p.home;
+
+  ServerConfig scfg;
+  scfg.view_distance = cfg_.view_distance;
+  scfg.use_dyconits = !vanilla;
+  scfg.bandwidth_budget_bps = cfg_.bandwidth_budget_bps;
+  scfg.mob_count = cfg_.mobs;
+  scfg.env_ticks_per_tick = cfg_.env_ticks;
+  scfg.survival_mode = cfg_.survival;
+  scfg.mob_seed = cfg_.seed ^ 0x30B5ull;
+  scfg.mob_spawn_radius =
+      std::max(cfg_.workload.spread_radius, cfg_.workload.village_radius * 3.0);
+  scfg.spawn_provider = [homes, world = world_.get()](const std::string& name) {
+    const auto it = homes->find(name);
+    const world::Vec3 home = it != homes->end() ? it->second : world::Vec3{};
+    return world->spawn_position(static_cast<std::int32_t>(home.x),
+                                 static_cast<std::int32_t>(home.z));
+  };
+
+  server_ = std::make_unique<GameServer>(clock_, net_, *world_, std::move(policy), scfg);
+  server_->dyconits().set_record_staleness(cfg_.record_staleness);
+
+  Rng bot_seeds(cfg_.seed ^ 0xB075EEDull);
+  bots_.reserve(plans.size());
+  for (const auto& p : plans) {
+    BotConfig bc = p.config;
+    bc.keep_chunk_replica = cfg_.keep_chunk_replica;
+    bc.survival = cfg_.survival;
+    auto bot = std::make_unique<BotClient>(clock_, net_, *world_, server_->endpoint(),
+                                           p.name, bot_seeds.next_u64(), bc);
+    net_.connect(bot->endpoint(), server_->endpoint(),
+                 {cfg_.link_latency, cfg_.link_jitter, cfg_.fifo_links});
+    bots_.push_back(std::move(bot));
+  }
+
+  result_.policy = cfg_.policy;
+  result_.players = cfg_.players;
+  churn_rng_ = Rng(cfg_.seed ^ 0xC1124Eull);
+  next_second_ = clock_.now() + SimDuration::seconds(1);
+}
+
+void Simulation::maybe_churn() {
+  if (cfg_.churn_per_second <= 0.0 || !measuring_ || bots_.empty()) return;
+  const SimTime now = clock_.now();
+  for (auto it = rejoin_queue_.begin(); it != rejoin_queue_.end();) {
+    if (now >= it->second) {
+      bots_[it->first]->connect();
+      ++result_.churn_rejoins;
+      it = rejoin_queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Bernoulli per tick: expected churn_per_second leaves per second.
+  if (churn_rng_.chance(cfg_.churn_per_second *
+                        server_->config().tick_interval.as_seconds())) {
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      const std::size_t i =
+          static_cast<std::size_t>(churn_rng_.next_below(bots_.size()));
+      if (!bots_[i]->joined()) continue;
+      server_->disconnect(bots_[i]->endpoint());
+      bots_[i]->reset_session();
+      rejoin_queue_.emplace_back(i, now + cfg_.churn_rejoin_delay);
+      ++result_.churn_leaves;
+      break;
+    }
+  }
+}
+
+void Simulation::maybe_join_next() {
+  for (std::size_t i = 0; i < cfg_.joins_per_tick && next_join_ < bots_.size(); ++i) {
+    bots_[next_join_++]->connect();
+  }
+}
+
+void Simulation::step_tick() {
+  clock_.advance(server_->config().tick_interval);
+  maybe_join_next();
+  maybe_churn();
+  for (auto& bot : bots_) bot->tick();
+  server_->tick();
+
+  if (!measuring_ && clock_.now() >= SimTime::zero() + cfg_.warmup) begin_measurement();
+  if (clock_.now() >= next_second_) {
+    on_second();
+    next_second_ += SimDuration::seconds(1);
+  }
+  if (hook_) hook_(*this, clock_.now());
+}
+
+void Simulation::begin_measurement() {
+  measuring_ = true;
+  measure_start_ = clock_.now();
+  // A constrained uplink models steady-state capacity; applying it from
+  // warmup keeps the one-off join burst (chunk streaming) from poisoning
+  // the steady-state queueing measurement.
+  if (cfg_.server_egress_rate > 0) {
+    net_.set_egress_rate(server_->endpoint(), cfg_.server_egress_rate);
+  }
+  base_bytes_ = net_.egress_bytes(server_->endpoint());
+  base_frames_ = net_.egress_frames(server_->endpoint());
+  for (int t = 1; t < static_cast<int>(net::kMaxTags); ++t) {
+    base_by_type_[static_cast<protocol::MessageType>(t)] =
+        net_.egress_bytes_by_tag(server_->endpoint(), static_cast<std::uint8_t>(t));
+  }
+  base_stats_ = server_->dyconit_stats();
+  server_->dyconits().stats().staleness_ms.clear();
+  for (auto& bot : bots_) {
+    bot->update_latency_ms().clear();
+    bot->near_update_latency_ms().clear();
+  }
+  tick_sample_index_ = server_->tick_cpu_ms().count();
+}
+
+void Simulation::on_second() {
+  // Client-observed positional inconsistency: replica vs ground truth.
+  if (measuring_) {
+    double sum = 0.0, mx = 0.0;
+    std::size_t n = 0;
+    for (const auto& bot : bots_) {
+      if (!bot->joined()) continue;
+      for (const auto& [id, rep] : bot->replica_entities()) {
+        const entity::Entity* truth = server_->entities().find(id);
+        if (truth == nullptr) continue;
+        const double err = world::distance(rep.pos, truth->pos);
+        sum += err;
+        if (err > mx) mx = err;
+        ++n;
+      }
+    }
+    if (n > 0) {
+      result_.pos_error_mean.add(sum / static_cast<double>(n));
+      result_.pos_error_max.add(mx);
+    }
+  }
+
+  if (cfg_.record_timelines) {
+    const SimTime now = clock_.now();
+    auto& reg = result_.registry;
+    const double kbps =
+        egress_rate_.sample(net_.egress_bytes(server_->endpoint()), 1.0) / 1000.0;
+    reg.series("egress_kbps").add(now, kbps);
+    reg.series("players").add(now, static_cast<double>(server_->player_count()));
+    reg.series("queued_updates").add(now,
+                                     static_cast<double>(server_->dyconits().total_queued()));
+    // Mean tick CPU over the last second.
+    const auto& ticks = server_->tick_cpu_ms().values();
+    static_cast<void>(ticks);
+    double tick_sum = 0.0;
+    std::size_t tick_n = 0;
+    for (std::size_t i = server_->tick_cpu_ms().count() >= 20
+                             ? server_->tick_cpu_ms().count() - 20
+                             : 0;
+         i < server_->tick_cpu_ms().count(); ++i) {
+      tick_sum += server_->tick_cpu_ms().values()[i];
+      ++tick_n;
+    }
+    if (tick_n > 0) reg.series("tick_ms").add(now, tick_sum / static_cast<double>(tick_n));
+    if (const auto* director =
+            dynamic_cast<const dyconit::DirectorPolicy*>(server_->policy())) {
+      reg.series("director_scale").add(now, director->scale());
+    }
+    if (!result_.pos_error_mean.values().empty()) {
+      reg.series("pos_error_mean").add(now, result_.pos_error_mean.values().back());
+    }
+  }
+}
+
+SimulationResult Simulation::run() {
+  const auto ticks = static_cast<std::uint64_t>(cfg_.duration.count_micros() /
+                                                server_->config().tick_interval.count_micros());
+  for (std::uint64_t i = 0; i < ticks; ++i) step_tick();
+  finalize();
+  return std::move(result_);
+}
+
+void Simulation::finalize() {
+  if (!measuring_) begin_measurement();
+  const double secs = (clock_.now() - measure_start_).as_seconds();
+  result_.measured_seconds = secs;
+  if (secs > 0) {
+    result_.egress_bytes_per_sec =
+        static_cast<double>(net_.egress_bytes(server_->endpoint()) - base_bytes_) / secs;
+    result_.egress_frames_per_sec =
+        static_cast<double>(net_.egress_frames(server_->endpoint()) - base_frames_) / secs;
+  }
+  for (int t = 1; t < static_cast<int>(net::kMaxTags); ++t) {
+    const auto type = static_cast<protocol::MessageType>(t);
+    const std::uint64_t now =
+        net_.egress_bytes_by_tag(server_->endpoint(), static_cast<std::uint8_t>(t));
+    const std::uint64_t delta = now - base_by_type_[type];
+    if (delta > 0) result_.egress_bytes_by_type[type] = delta;
+  }
+
+  // Tick CPU after warmup.
+  const auto& tick_values = server_->tick_cpu_ms().values();
+  for (std::size_t i = tick_sample_index_; i < tick_values.size(); ++i) {
+    result_.tick_ms.add(tick_values[i]);
+  }
+
+  // Middleware stats over the window.
+  const dyconit::Stats& s = server_->dyconit_stats();
+  dyconit::Stats d;
+  d.enqueued = s.enqueued - base_stats_.enqueued;
+  d.coalesced = s.coalesced - base_stats_.coalesced;
+  d.delivered = s.delivered - base_stats_.delivered;
+  d.dropped_no_subscriber = s.dropped_no_subscriber - base_stats_.dropped_no_subscriber;
+  d.dropped_unsubscribe = s.dropped_unsubscribe - base_stats_.dropped_unsubscribe;
+  d.flushes_staleness = s.flushes_staleness - base_stats_.flushes_staleness;
+  d.flushes_numerical = s.flushes_numerical - base_stats_.flushes_numerical;
+  d.flushes_forced = s.flushes_forced - base_stats_.flushes_forced;
+  d.weight_delivered = s.weight_delivered - base_stats_.weight_delivered;
+  result_.dyconit_stats = d;
+  for (const double v : s.staleness_ms) result_.staleness_ms.add(v);
+
+  for (const auto& bot : bots_) {
+    for (const double v : bot->update_latency_ms().values()) {
+      result_.update_latency_ms.add(v);
+    }
+    for (const double v : bot->near_update_latency_ms().values()) {
+      result_.near_update_latency_ms.add(v);
+    }
+    result_.updates_applied += bot->updates_applied();
+    result_.unknown_entity_updates += bot->unknown_entity_updates();
+    result_.decode_failures += bot->decode_failures();
+    result_.out_of_order_frames += bot->out_of_order_frames();
+    result_.stale_moves_rejected += bot->stale_moves_rejected();
+  }
+}
+
+}  // namespace dyconits::bots

@@ -1,0 +1,165 @@
+// The experiment harness: builds a server + bot fleet on a simulated
+// network, runs a fixed amount of simulated time, and collects the
+// quantities the paper's evaluation reports (egress bandwidth, tick
+// duration, client-observed inconsistency, update latency, middleware
+// stats). Every bench binary and example is a thin wrapper around this.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bots/bot.h"
+#include "bots/workload.h"
+#include "metrics/metrics.h"
+#include "server/game_server.h"
+
+namespace dyconits::bots {
+
+struct SimulationConfig {
+  std::size_t players = 50;
+  SimDuration duration = SimDuration::seconds(60);
+  /// Measurements start after warmup (joins + chunk streaming settle).
+  SimDuration warmup = SimDuration::seconds(15);
+
+  /// Policy spec (see dyconit::make_policy), or "vanilla" for the
+  /// unmodified direct-send baseline (no middleware at all).
+  std::string policy = "director";
+
+  std::uint64_t seed = 42;
+  std::uint64_t terrain_seed = 1234;
+  int view_distance = 8;
+
+  SimDuration link_latency = SimDuration::millis(25);
+  double link_jitter = 0.1;
+  /// false models a UDP-like transport: jitter may reorder frames; clients
+  /// report order error and reject stale moves.
+  bool fifo_links = true;
+  /// Server uplink capacity in bytes/second (0 = unlimited). Applied at
+  /// warmup end so the join burst doesn't poison steady state; saturation
+  /// then shows up as queueing delay in update latency.
+  std::uint64_t server_egress_rate = 0;
+  /// Bandwidth budget handed to adaptive policies, bits/second (0 = none).
+  double bandwidth_budget_bps = 0.0;
+
+  WorkloadConfig workload;
+  std::size_t joins_per_tick = 2;
+  /// Server-driven NPC wanderers (see ServerConfig::mob_count).
+  std::size_t mobs = 0;
+  /// Environmental block ticks per game tick (see ServerConfig).
+  std::size_t env_ticks = 0;
+  /// Survival economy: digs drop items, placement consumes inventory; bots
+  /// run their gather-then-build loop.
+  bool survival = false;
+
+  /// Player churn: expected session leaves per simulated second (after
+  /// warmup). A leaver disconnects server-side and rejoins fresh after
+  /// churn_rejoin_delay — a Minecraft-realistic stressor for session
+  /// teardown, chunk re-streaming, and dyconit (un)subscription.
+  double churn_per_second = 0.0;
+  SimDuration churn_rejoin_delay = SimDuration::seconds(3);
+
+  bool record_staleness = false;
+  bool keep_chunk_replica = false;
+  /// Record per-second timeline series into the registry (E7/E9).
+  bool record_timelines = false;
+};
+
+struct SimulationResult {
+  std::string policy;
+  std::size_t players = 0;
+  double measured_seconds = 0.0;
+
+  // Steady-state (post-warmup) server egress.
+  double egress_bytes_per_sec = 0.0;
+  double egress_frames_per_sec = 0.0;
+  std::map<protocol::MessageType, std::uint64_t> egress_bytes_by_type;
+
+  // Server CPU per tick (ms), post-warmup.
+  Samples tick_ms;
+
+  // Client-observed inconsistency: per-second mean and max positional error
+  // (blocks) between bot replicas and server ground truth.
+  Samples pos_error_mean;
+  Samples pos_error_max;
+
+  // End-to-end update latency (ms), merged over bots, post-warmup.
+  Samples update_latency_ms;
+  // Latency of nearby updates only (what a player perceives).
+  Samples near_update_latency_ms;
+
+  // Middleware counters over the measurement window.
+  dyconit::Stats dyconit_stats;
+  /// Staleness (ms) of updates at flush, if record_staleness was set.
+  Samples staleness_ms;
+
+  std::uint64_t updates_applied = 0;
+  std::uint64_t unknown_entity_updates = 0;
+  std::uint64_t decode_failures = 0;
+  std::uint64_t churn_leaves = 0;
+  std::uint64_t churn_rejoins = 0;
+  std::uint64_t out_of_order_frames = 0;
+  std::uint64_t stale_moves_rejected = 0;
+
+  /// Timeline series when record_timelines: "egress_kbps", "tick_ms",
+  /// "director_scale", "players", "queued_updates", "pos_error_mean".
+  metrics::MetricRegistry registry;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimulationConfig cfg);
+
+  /// Runs the configured duration and finalizes the result.
+  SimulationResult run();
+
+  /// Step API for tests, examples, and scripted scenarios.
+  void step_tick();
+  void finalize();  // computes result aggregates; run() calls it
+  SimulationResult& result() { return result_; }
+
+  SimClock& clock() { return clock_; }
+  server::GameServer& server() { return *server_; }
+  net::SimNetwork& network() { return net_; }
+  world::World& world() { return *world_; }
+  std::vector<std::unique_ptr<BotClient>>& bots() { return bots_; }
+  const SimulationConfig& config() const { return cfg_; }
+
+  /// Called after every tick with the current sim time; lets scenarios
+  /// script mid-run events (the E7 convergence spike).
+  using TickHook = std::function<void(Simulation&, SimTime)>;
+  void set_tick_hook(TickHook hook) { hook_ = std::move(hook); }
+
+ private:
+  void maybe_join_next();
+  void maybe_churn();
+  void on_second();
+  void begin_measurement();
+
+  SimulationConfig cfg_;
+  SimClock clock_;
+  std::unique_ptr<world::World> world_;
+  net::SimNetwork net_;
+  std::unique_ptr<server::GameServer> server_;
+  std::vector<std::unique_ptr<BotClient>> bots_;
+  std::size_t next_join_ = 0;
+  TickHook hook_;
+  Rng churn_rng_{0};
+  std::vector<std::pair<std::size_t, SimTime>> rejoin_queue_;  // bot index, when
+
+  SimulationResult result_;
+  bool measuring_ = false;
+  // Baselines captured at warmup end.
+  std::uint64_t base_bytes_ = 0;
+  std::uint64_t base_frames_ = 0;
+  std::map<protocol::MessageType, std::uint64_t> base_by_type_;
+  dyconit::Stats base_stats_;
+  std::size_t tick_sample_index_ = 0;
+  SimTime measure_start_;
+  SimTime next_second_;
+  metrics::RateSampler egress_rate_;
+};
+
+}  // namespace dyconits::bots

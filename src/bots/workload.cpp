@@ -1,0 +1,101 @@
+#include "bots/workload.h"
+
+#include <cmath>
+
+namespace dyconits::bots {
+
+const char* workload_name(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::Walk: return "walk";
+    case WorkloadKind::Village: return "village";
+    case WorkloadKind::Build: return "build";
+    case WorkloadKind::Mixed: return "mixed";
+  }
+  return "unknown";
+}
+
+WorkloadKind parse_workload(const std::string& s) {
+  if (s == "village") return WorkloadKind::Village;
+  if (s == "build") return WorkloadKind::Build;
+  if (s == "mixed") return WorkloadKind::Mixed;
+  return WorkloadKind::Walk;
+}
+
+namespace {
+
+world::Vec3 disc_point(Rng& rng, double radius) {
+  const double r = radius * std::sqrt(rng.next_double());
+  const double a = rng.next_double() * 2.0 * 3.14159265358979323846;
+  return {r * std::cos(a), 0.0, r * std::sin(a)};
+}
+
+world::Vec3 hotspot_center(const WorkloadConfig& cfg, int index) {
+  // Hotspots on a diagonal line so they land in distinct chunk regions.
+  const double off = (index - (cfg.hotspots - 1) / 2.0) * cfg.hotspot_spacing;
+  return {off, 0.0, off * 0.5};
+}
+
+BotPlan plan_walker(const WorkloadConfig& cfg, std::size_t i, Rng& rng) {
+  BotPlan plan;
+  plan.name = "walker-" + std::to_string(i);
+  plan.home = disc_point(rng, cfg.spread_radius);
+  plan.config.kind = BehaviorKind::Walk;
+  plan.config.wander_radius = 40.0 + rng.next_double() * 40.0;
+  plan.config.home = plan.home;
+  return plan;
+}
+
+BotPlan plan_builder(const WorkloadConfig& cfg, std::size_t i, Rng& rng) {
+  BotPlan plan;
+  plan.name = "builder-" + std::to_string(i);
+  plan.home = disc_point(rng, cfg.spread_radius);
+  plan.config.kind = BehaviorKind::Build;
+  plan.config.wander_radius = 20.0;
+  plan.config.action_interval = SimDuration::millis(300);
+  plan.config.home = plan.home;
+  return plan;
+}
+
+BotPlan plan_villager(const WorkloadConfig& cfg, std::size_t i, Rng& rng) {
+  BotPlan plan;
+  plan.name = "villager-" + std::to_string(i);
+  const auto spot = static_cast<int>(
+      rng.next_zipf(static_cast<std::uint64_t>(cfg.hotspots), cfg.zipf_s));
+  const world::Vec3 center = hotspot_center(cfg, spot);
+  plan.home = center + disc_point(rng, cfg.village_radius * 0.5);
+  plan.config.kind = rng.chance(cfg.village_build_fraction) ? BehaviorKind::Build
+                                                            : BehaviorKind::Walk;
+  plan.config.wander_radius = cfg.village_radius;
+  plan.config.action_interval = SimDuration::millis(350);
+  plan.config.home = plan.home;
+  return plan;
+}
+
+}  // namespace
+
+std::vector<BotPlan> plan_bots(const WorkloadConfig& cfg, std::size_t count,
+                               std::uint64_t seed) {
+  Rng rng(seed ^ 0xB07B07B07ull);
+  std::vector<BotPlan> plans;
+  plans.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    switch (cfg.kind) {
+      case WorkloadKind::Walk:
+        plans.push_back(plan_walker(cfg, i, rng));
+        break;
+      case WorkloadKind::Build:
+        plans.push_back(plan_builder(cfg, i, rng));
+        break;
+      case WorkloadKind::Village:
+        plans.push_back(plan_villager(cfg, i, rng));
+        break;
+      case WorkloadKind::Mixed:
+        plans.push_back(i % 2 == 0 ? plan_walker(cfg, i, rng)
+                                   : plan_villager(cfg, i, rng));
+        break;
+    }
+  }
+  return plans;
+}
+
+}  // namespace dyconits::bots

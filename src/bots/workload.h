@@ -1,0 +1,54 @@
+// Workload shapes, after the paper's Yardstick-style experiments: how many
+// bots, what they do, and — critically for an MVE — how densely they pack.
+//
+//   Walk    — random-waypoint walkers spread over a disc: the classic case
+//             interest management already handles well.
+//   Village — players Zipf-clustered on a few hotspots with small wander
+//             radii and frequent block edits: the high-density, frequently
+//             modified area the paper says breaks existing techniques.
+//   Build   — spread-out builders; block-update heavy, low overlap.
+//   Mixed   — half walkers, half villagers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bots/bot.h"
+#include "util/rng.h"
+
+namespace dyconits::bots {
+
+enum class WorkloadKind : std::uint8_t { Walk = 0, Village = 1, Build = 2, Mixed = 3 };
+
+const char* workload_name(WorkloadKind k);
+/// Parses "walk" | "village" | "build" | "mixed"; defaults to Walk.
+WorkloadKind parse_workload(const std::string& s);
+
+struct WorkloadConfig {
+  WorkloadKind kind = WorkloadKind::Walk;
+  /// Walk/Build: homes drawn uniformly from a disc of this radius.
+  double spread_radius = 150.0;
+  /// Village: number of hotspots and the Zipf exponent of their popularity.
+  int hotspots = 4;
+  double zipf_s = 1.1;
+  /// Distance between adjacent hotspots (on a line through the origin).
+  double hotspot_spacing = 96.0;
+  /// Wander radius for villagers (small = packed crowd).
+  double village_radius = 14.0;
+  /// Fraction of villagers that build (the rest walk).
+  double village_build_fraction = 0.5;
+};
+
+/// Everything needed to instantiate one bot.
+struct BotPlan {
+  std::string name;
+  world::Vec3 home;
+  BotConfig config;
+};
+
+/// Deterministically plans `count` bots for the workload. The same (config,
+/// seed) yields the same plan, so policy comparisons are paired.
+std::vector<BotPlan> plan_bots(const WorkloadConfig& cfg, std::size_t count,
+                               std::uint64_t seed);
+
+}  // namespace dyconits::bots

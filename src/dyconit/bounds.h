@@ -1,0 +1,35 @@
+// Inconsistency bounds — the conit model (Yu & Vahdat, TACT) specialized
+// for MVEs as the Dyconits paper does:
+//
+//  * staleness  — the maximum simulated time an update may sit unsent in a
+//                 subscriber's queue before a flush is forced;
+//  * numerical  — the maximum accumulated update weight (e.g. blocks of
+//                 positional drift, count of unseen block edits) a
+//                 subscriber may be behind by.
+//
+// TACT's third dimension, order error, is identically zero here: the server
+// is the single writer and per-pair delivery is FIFO, so clients always
+// apply updates in server order. This matches the paper's single-server
+// prototype.
+#pragma once
+
+#include "util/sim_time.h"
+
+namespace dyconits::dyconit {
+
+struct Bounds {
+  SimDuration staleness = SimDuration::millis(0);
+  double numerical = 0.0;
+
+  /// Immediate flush: vanilla-equivalent delivery.
+  static constexpr Bounds zero() { return {SimDuration::millis(0), 0.0}; }
+
+  /// Never flush on its own (only forced flushes deliver).
+  static Bounds infinite() { return {SimDuration::infinite(), 1e18}; }
+
+  bool is_zero() const { return staleness.count_micros() <= 0 || numerical <= 0.0; }
+
+  bool operator==(const Bounds&) const = default;
+};
+
+}  // namespace dyconits::dyconit

@@ -1,0 +1,129 @@
+#include "dyconit/dyconit.h"
+
+namespace dyconits::dyconit {
+
+bool SubscriberQueue::enqueue(const Update& u) {
+  total_weight_ += u.weight;
+  if (u.coalesce_key != 0) {
+    const auto it = by_key_.find(u.coalesce_key);
+    if (it != by_key_.end()) {
+      // Last write wins: replace the payload in place, keep the original
+      // position and creation time, accumulate the weight.
+      Update& slot = updates_[it->second];
+      slot.msg = u.msg;
+      slot.weight += u.weight;
+      return true;
+    }
+    by_key_.emplace(u.coalesce_key, updates_.size());
+  }
+  updates_.push_back(u);
+  return false;
+}
+
+std::vector<Update> SubscriberQueue::take_all() {
+  std::vector<Update> out = std::move(updates_);
+  updates_.clear();
+  by_key_.clear();
+  total_weight_ = 0.0;
+  return out;
+}
+
+Dyconit::Dyconit(DyconitId id, Bounds default_bounds)
+    : id_(id), default_bounds_(default_bounds) {}
+
+void Dyconit::subscribe(SubscriberId sub, Bounds b) {
+  subs_[sub].bounds = b;  // creates if absent, keeps existing queue if present
+}
+
+void Dyconit::unsubscribe(SubscriberId sub, Stats& stats) {
+  const auto it = subs_.find(sub);
+  if (it == subs_.end()) return;
+  stats.dropped_unsubscribe += it->second.queue.size();
+  subs_.erase(it);
+}
+
+void Dyconit::set_bounds(SubscriberId sub, Bounds b) {
+  const auto it = subs_.find(sub);
+  if (it != subs_.end()) it->second.bounds = b;
+}
+
+Bounds Dyconit::bounds_of(SubscriberId sub) const {
+  const auto it = subs_.find(sub);
+  return it == subs_.end() ? default_bounds_ : it->second.bounds;
+}
+
+void Dyconit::enqueue(const Update& u, SubscriberId exclude, Stats& stats) {
+  if (subs_.empty() || (subs_.size() == 1 && subs_.count(exclude) > 0)) {
+    ++stats.dropped_no_subscriber;
+    return;
+  }
+  for (auto& [sub, s] : subs_) {
+    if (sub == exclude) continue;
+    ++stats.enqueued;
+    if (s.queue.enqueue(u)) ++stats.coalesced;
+  }
+}
+
+void Dyconit::do_flush(SubscriberId sub, Sub& s, SimTime now, FlushSink& sink,
+                       Stats& stats, FlushReason reason) {
+  if (s.queue.empty()) return;
+  switch (reason) {
+    case FlushReason::Staleness: ++stats.flushes_staleness; break;
+    case FlushReason::Numerical: ++stats.flushes_numerical; break;
+    case FlushReason::Forced: ++stats.flushes_forced; break;
+  }
+  const std::vector<Update> updates = s.queue.take_all();
+  std::vector<FlushSink::FlushedUpdate> flushed;
+  flushed.reserve(updates.size());
+  for (const Update& u : updates) {
+    flushed.push_back({&u.msg, u.created, u.weight});
+    ++stats.delivered;
+    stats.weight_delivered += u.weight;
+    if (stats.record_staleness) {
+      stats.staleness_ms.push_back(static_cast<double>((now - u.created).count_micros()) /
+                                   1000.0);
+    }
+  }
+  sink.deliver(sub, flushed);
+}
+
+void Dyconit::flush_due(SimTime now, FlushSink& sink, Stats& stats,
+                        std::size_t snapshot_threshold) {
+  for (auto& [sub, s] : subs_) {
+    if (snapshot_threshold > 0 && s.queue.size() > snapshot_threshold) {
+      // Too far behind: a fresh snapshot is cheaper than the delta flood.
+      stats.dropped_snapshot += s.queue.size();
+      ++stats.snapshots_requested;
+      s.queue.take_all();
+      sink.request_snapshot(sub, id_);
+      continue;
+    }
+    if (s.queue.violates(s.bounds, now)) {
+      do_flush(sub, s, now, sink, stats, s.queue.violation_reason(s.bounds, now));
+    }
+  }
+}
+
+void Dyconit::flush_subscriber(SubscriberId sub, SimTime now, FlushSink& sink,
+                               Stats& stats, FlushReason reason) {
+  const auto it = subs_.find(sub);
+  if (it == subs_.end()) return;
+  do_flush(sub, it->second, now, sink, stats, reason);
+}
+
+void Dyconit::flush_all(SimTime now, FlushSink& sink, Stats& stats) {
+  for (auto& [sub, s] : subs_) do_flush(sub, s, now, sink, stats, FlushReason::Forced);
+}
+
+void Dyconit::for_each_subscriber(
+    const std::function<void(SubscriberId, Bounds&, const SubscriberQueue&)>& fn) {
+  for (auto& [sub, s] : subs_) fn(sub, s.bounds, s.queue);
+}
+
+std::size_t Dyconit::total_queued() const {
+  std::size_t n = 0;
+  for (const auto& [sub, s] : subs_) n += s.queue.size();
+  return n;
+}
+
+}  // namespace dyconits::dyconit

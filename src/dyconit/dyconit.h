@@ -1,0 +1,150 @@
+// A single dyconit: one consistency unit with a set of subscribers, each
+// holding an outgoing update queue and its own inconsistency bounds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "dyconit/bounds.h"
+#include "dyconit/id.h"
+#include "dyconit/update.h"
+
+namespace dyconits::dyconit {
+
+enum class FlushReason : std::uint8_t {
+  Staleness = 0,  // oldest queued update reached the staleness bound
+  Numerical = 1,  // accumulated weight exceeded the numerical bound
+  Forced = 2,     // explicit flush (snapshot, shutdown, test)
+};
+
+/// Aggregate middleware counters; owned by DyconitSystem, updated by every
+/// dyconit operation. `delivered` counts updates handed to the sink;
+/// `coalesced` counts updates absorbed into a queued predecessor — each one
+/// is a message the network never carries.
+struct Stats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_no_subscriber = 0;
+  std::uint64_t dropped_unsubscribe = 0;
+  std::uint64_t flushes_staleness = 0;
+  std::uint64_t flushes_numerical = 0;
+  std::uint64_t flushes_forced = 0;
+  double weight_delivered = 0.0;
+  /// Snapshot catch-up: queues dropped for being too far behind, and the
+  /// updates discarded with them (replaced by fresh state from the game).
+  std::uint64_t snapshots_requested = 0;
+  std::uint64_t dropped_snapshot = 0;
+
+  /// When enabled (see DyconitSystem::set_record_staleness), per-update
+  /// queueing delay in ms at flush time.
+  bool record_staleness = false;
+  std::vector<double> staleness_ms;
+
+  std::uint64_t flushes() const {
+    return flushes_staleness + flushes_numerical + flushes_forced;
+  }
+};
+
+/// Insertion-ordered outgoing queue with in-place coalescing.
+class SubscriberQueue {
+ public:
+  /// Returns true if the update was coalesced into an existing entry.
+  bool enqueue(const Update& u);
+
+  bool empty() const { return updates_.empty(); }
+  std::size_t size() const { return updates_.size(); }
+  double total_weight() const { return total_weight_; }
+
+  /// Age-of-oldest entry; only meaningful when !empty(). Entries keep their
+  /// first-enqueue timestamp across coalescing, and enqueue times are
+  /// monotone, so the front entry is the oldest.
+  SimTime oldest_created() const { return updates_.front().created; }
+
+  bool violates(const Bounds& b, SimTime now) const {
+    if (empty()) return false;
+    return (now - oldest_created()) >= b.staleness || total_weight_ > b.numerical;
+  }
+
+  /// Which bound tripped (call only when violates() is true).
+  FlushReason violation_reason(const Bounds& b, SimTime now) const {
+    return (now - oldest_created()) >= b.staleness ? FlushReason::Staleness
+                                                   : FlushReason::Numerical;
+  }
+
+  /// Moves out all queued updates in enqueue order and resets the queue.
+  std::vector<Update> take_all();
+
+  const std::vector<Update>& peek() const { return updates_; }
+
+ private:
+  std::vector<Update> updates_;
+  std::unordered_map<std::uint64_t, std::size_t> by_key_;  // coalesce_key -> index
+  double total_weight_ = 0.0;
+};
+
+class Dyconit {
+ public:
+  Dyconit(DyconitId id, Bounds default_bounds);
+
+  DyconitId id() const { return id_; }
+
+  /// Bounds applied to subscribers that don't specify their own.
+  Bounds default_bounds() const { return default_bounds_; }
+  void set_default_bounds(Bounds b) { default_bounds_ = b; }
+
+  /// Subscribing twice updates the bounds and keeps the queue.
+  void subscribe(SubscriberId sub, Bounds b);
+  void subscribe(SubscriberId sub) { subscribe(sub, default_bounds_); }
+
+  /// Unsubscribes and drops any queued updates (counted in stats).
+  void unsubscribe(SubscriberId sub, Stats& stats);
+
+  bool subscribed(SubscriberId sub) const { return subs_.count(sub) > 0; }
+  std::size_t subscriber_count() const { return subs_.size(); }
+
+  void set_bounds(SubscriberId sub, Bounds b);
+  /// Bounds of a subscriber; default bounds if not subscribed.
+  Bounds bounds_of(SubscriberId sub) const;
+
+  /// Queues `u` toward every subscriber except `exclude` (the originator,
+  /// which already knows its own action).
+  void enqueue(const Update& u, SubscriberId exclude, Stats& stats);
+
+  /// Flushes every subscriber queue that violates its bounds at `now`.
+  /// If `snapshot_threshold` > 0, a queue holding more updates than that is
+  /// dropped and the sink is asked for a snapshot instead.
+  void flush_due(SimTime now, FlushSink& sink, Stats& stats,
+                 std::size_t snapshot_threshold = 0);
+
+  /// Unconditionally flushes one subscriber (no-op if queue empty).
+  void flush_subscriber(SubscriberId sub, SimTime now, FlushSink& sink, Stats& stats,
+                        FlushReason reason = FlushReason::Forced);
+
+  void flush_all(SimTime now, FlushSink& sink, Stats& stats);
+
+  /// Visits (subscriber, mutable bounds, queue) — used by adaptive policies
+  /// to retune bounds in place.
+  void for_each_subscriber(
+      const std::function<void(SubscriberId, Bounds&, const SubscriberQueue&)>& fn);
+
+  std::size_t total_queued() const;
+  bool idle() const { return subs_.empty(); }
+
+ private:
+  struct Sub {
+    Bounds bounds;
+    SubscriberQueue queue;
+  };
+
+  void do_flush(SubscriberId sub, Sub& s, SimTime now, FlushSink& sink, Stats& stats,
+                FlushReason reason);
+
+  DyconitId id_;
+  Bounds default_bounds_;
+  std::unordered_map<SubscriberId, Sub> subs_;
+};
+
+}  // namespace dyconits::dyconit

@@ -1,0 +1,32 @@
+#include "dyconit/id.h"
+
+#include <cstdio>
+
+namespace dyconits::dyconit {
+
+std::optional<world::Vec3> DyconitId::center() const {
+  switch (domain) {
+    case Domain::ChunkBlocks:
+    case Domain::ChunkEntities:
+      return world::ChunkPos{x, z}.center();
+    case Domain::RegionBlocks:
+    case Domain::RegionEntities: {
+      const double blocks_per_region = static_cast<double>(kRegionSize) * world::kChunkSize;
+      return world::Vec3{(x + 0.5) * blocks_per_region, 0.0, (z + 0.5) * blocks_per_region};
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::string DyconitId::to_string() const {
+  const char* names[] = {"invalid",       "chunk-blocks",  "chunk-entities",
+                         "region-blocks", "region-entities", "global-blocks",
+                         "global-entities", "custom"};
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s(%d,%d)",
+                names[static_cast<std::uint8_t>(domain)], x, z);
+  return buf;
+}
+
+}  // namespace dyconits::dyconit

@@ -1,0 +1,21 @@
+#include "dyconit/policies/adaptive.h"
+
+#include "util/log.h"
+
+namespace dyconits::dyconit {
+
+void AdaptiveGranularityPolicy::on_tick(PolicyContext& ctx) {
+  DirectorPolicy::on_tick(ctx);  // MIMD scale adjustment + slice retunes
+
+  if (!coarse_ && scale() >= params_.coarsen_at) {
+    coarse_ = true;
+    Log::info("adaptive policy: coarsening to region units (scale %.1f)", scale());
+    ctx.request_resubscribe();
+  } else if (coarse_ && scale() <= params_.refine_at) {
+    coarse_ = false;
+    Log::info("adaptive policy: refining to chunk units (scale %.1f)", scale());
+    ctx.request_resubscribe();
+  }
+}
+
+}  // namespace dyconits::dyconit

@@ -1,0 +1,47 @@
+// Runtime granularity adaptation: a Director that re-partitions the world
+// when its multiplier says the per-chunk partition is too expensive.
+//
+// At high sustained load the per-(chunk, subscriber) queue count itself
+// costs CPU and caps batching at chunk scope; this policy then switches the
+// unit mapping from per-chunk to per-region (kRegionSize^2 chunks) and asks
+// the host to flush + resubscribe everything. When load falls back it
+// refines to per-chunk again for tighter distance shaping. The thresholds
+// are hysteretic so the partition does not flap.
+#pragma once
+
+#include "dyconit/policies/director.h"
+
+namespace dyconits::dyconit {
+
+struct AdaptiveGranularityParams {
+  DirectorParams director;
+  /// Switch chunk->region when scale reaches this...
+  double coarsen_at = 6.0;
+  /// ...and back region->chunk when it falls to this.
+  double refine_at = 2.0;
+};
+
+class AdaptiveGranularityPolicy final : public DirectorPolicy {
+ public:
+  explicit AdaptiveGranularityPolicy(AdaptiveGranularityParams params = {})
+      : DirectorPolicy(params.director), params_(params) {}
+
+  std::string name() const override { return "adaptive"; }
+
+  DyconitId block_unit_for(world::ChunkPos c) const override {
+    return coarse_ ? DyconitId::region_blocks(c) : DyconitId::chunk_blocks(c);
+  }
+  DyconitId entity_unit_for(world::ChunkPos c) const override {
+    return coarse_ ? DyconitId::region_entities(c) : DyconitId::chunk_entities(c);
+  }
+
+  void on_tick(PolicyContext& ctx) override;
+
+  bool coarse() const { return coarse_; }
+
+ private:
+  AdaptiveGranularityParams params_;
+  bool coarse_ = false;
+};
+
+}  // namespace dyconits::dyconit

@@ -1,0 +1,38 @@
+#include "dyconit/policies/aoi.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dyconits::dyconit {
+
+Bounds AoiPolicy::scaled_bounds(const DyconitId& unit, const world::Vec3& subscriber_pos,
+                                double scale) const {
+  const auto center = unit.center();
+  if (!center.has_value()) {
+    // Global/custom units have no location; treat as maximally distant.
+    const bool ent = unit.is_entity_domain();
+    return {params_.max_staleness,
+            ent ? params_.max_entity_numerical : params_.max_block_numerical};
+  }
+
+  // Chebyshev distance in chunks between the subscriber and the unit.
+  const double dx = std::abs(center->x - subscriber_pos.x);
+  const double dz = std::abs(center->z - subscriber_pos.z);
+  const double dist_chunks = std::max(dx, dz) / world::kChunkSize;
+  const double beyond = dist_chunks - params_.near_chunks;
+  if (beyond <= 0.0) return Bounds::zero();
+
+  const double theta_ms =
+      std::min(static_cast<double>(params_.staleness_per_chunk.count_millis()) * beyond *
+                   scale,
+               static_cast<double>(params_.max_staleness.count_millis()) * scale);
+  const bool ent = unit.is_entity_domain();
+  const double per_chunk =
+      ent ? params_.entity_numerical_per_chunk : params_.block_numerical_per_chunk;
+  const double cap = ent ? params_.max_entity_numerical : params_.max_block_numerical;
+  const double numerical = std::min(per_chunk * beyond * scale, cap * scale);
+
+  return {SimDuration::millis(static_cast<std::int64_t>(theta_ms)), numerical};
+}
+
+}  // namespace dyconits::dyconit

@@ -1,0 +1,49 @@
+// Distance-scaled bounds (area-of-interest shaped, but graded rather than
+// a hard cutoff): units within `near_chunks` of the subscriber get zero
+// bounds — updates a player actually looks at arrive with vanilla latency,
+// which is how the paper scales "without increasing game latency" — and
+// bounds grow with distance beyond that, letting far updates be delayed
+// and coalesced.
+#pragma once
+
+#include "dyconit/policy.h"
+
+namespace dyconits::dyconit {
+
+struct AoiParams {
+  /// Chebyshev chunk distance within which bounds are zero.
+  int near_chunks = 2;
+  /// Staleness added per chunk of distance beyond near.
+  SimDuration staleness_per_chunk = SimDuration::millis(150);
+  SimDuration max_staleness = SimDuration::millis(2500);
+  /// Numerical bound added per chunk beyond near: blocks of positional
+  /// drift for entity units; unseen block edits for block units.
+  double entity_numerical_per_chunk = 0.6;
+  double block_numerical_per_chunk = 2.0;
+  double max_entity_numerical = 6.0;
+  double max_block_numerical = 24.0;
+};
+
+class AoiPolicy : public Policy {
+ public:
+  explicit AoiPolicy(AoiParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "aoi"; }
+
+  Bounds bounds_for(const DyconitId& unit, const world::Vec3& subscriber_pos) const override {
+    return scaled_bounds(unit, subscriber_pos, 1.0);
+  }
+
+  const AoiParams& params() const { return params_; }
+
+ protected:
+  /// Distance-shaped bounds with all non-zero components multiplied by
+  /// `scale` (the Director's adaptation knob).
+  Bounds scaled_bounds(const DyconitId& unit, const world::Vec3& subscriber_pos,
+                       double scale) const;
+
+ private:
+  AoiParams params_;
+};
+
+}  // namespace dyconits::dyconit

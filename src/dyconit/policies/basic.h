@@ -1,0 +1,46 @@
+// The non-adaptive policies: Zero (vanilla-equivalent), Infinite (lower
+// bound on traffic), and StaticConit (classic TACT: one fixed bound for
+// every subscription, the paper's "existing techniques" strawman).
+#pragma once
+
+#include "dyconit/policy.h"
+
+namespace dyconits::dyconit {
+
+/// Every bound zero: every update flushes on the tick it was made —
+/// byte-for-byte the consistency of the vanilla broadcast path, via the
+/// middleware. Used to measure middleware overhead and as the E1 baseline.
+class ZeroPolicy final : public Policy {
+ public:
+  std::string name() const override { return "zero"; }
+  Bounds bounds_for(const DyconitId&, const world::Vec3&) const override {
+    return Bounds::zero();
+  }
+};
+
+/// Bounds so large they never trip: updates only move on forced flushes.
+/// Not a playable configuration — it is the bandwidth floor (only chunk
+/// loads, spawns and keep-alives remain).
+class InfinitePolicy final : public Policy {
+ public:
+  std::string name() const override { return "infinite"; }
+  Bounds bounds_for(const DyconitId&, const world::Vec3&) const override {
+    return Bounds::infinite();
+  }
+};
+
+/// Fixed (staleness, numerical) bounds for every subscription regardless of
+/// distance or load — a conit system without the "dy".
+class StaticConitPolicy final : public Policy {
+ public:
+  StaticConitPolicy(SimDuration staleness, double numerical)
+      : bounds_{staleness, numerical} {}
+
+  std::string name() const override { return "static-conit"; }
+  Bounds bounds_for(const DyconitId&, const world::Vec3&) const override { return bounds_; }
+
+ private:
+  Bounds bounds_;
+};
+
+}  // namespace dyconits::dyconit

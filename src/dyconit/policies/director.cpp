@@ -1,0 +1,58 @@
+#include "dyconit/policies/director.h"
+
+#include <algorithm>
+
+namespace dyconits::dyconit {
+
+Bounds DirectorPolicy::bounds_for(const DyconitId& unit,
+                                  const world::Vec3& subscriber_pos) const {
+  Bounds b = scaled_bounds(unit, subscriber_pos, scale_);
+  if (!b.is_zero() || scale_ <= params_.near_pressure_scale) return b;
+  // Sustained overload: spend a perceptually minor amount of nearby
+  // consistency too. `over` grows from 0 at the threshold to 1 at max.
+  const double over = (scale_ - params_.near_pressure_scale) /
+                      std::max(params_.max_scale - params_.near_pressure_scale, 1e-9);
+  b.staleness = SimDuration::micros(static_cast<std::int64_t>(
+      static_cast<double>(params_.near_staleness_cap.count_micros()) * over));
+  const double cap = unit.is_entity_domain() ? params_.near_entity_numerical_cap
+                                             : params_.near_block_numerical_cap;
+  b.numerical = cap * over;
+  return b;
+}
+
+void DirectorPolicy::on_tick(PolicyContext& ctx) {
+  const LoadSample& load = ctx.load();
+
+  // Drain one slice of a pending reshape per tick.
+  if (retune_cursor_ < kRetuneSlices) {
+    retune_bounds_slice(*this, ctx, retune_cursor_, kRetuneSlices);
+    ++retune_cursor_;
+  }
+
+  if (primed_ && load.now - last_adjust_ < params_.adjust_interval) return;
+  last_adjust_ = load.now;
+  primed_ = true;
+
+  const double tick_pressure =
+      static_cast<double>(load.tick_duration.count_micros()) /
+      static_cast<double>(load.tick_budget.count_micros());
+  double bw_pressure = 0.0;
+  if (load.bandwidth_budget_bps > 0.0) {
+    bw_pressure = load.egress_bytes_per_sec * 8.0 / load.bandwidth_budget_bps;
+  }
+
+  const double old_scale = scale_;
+  if (tick_pressure > params_.tick_high || bw_pressure > params_.bandwidth_high) {
+    scale_ = std::min(scale_ * params_.increase, params_.max_scale);
+  } else if (tick_pressure < params_.tick_low &&
+             (load.bandwidth_budget_bps <= 0.0 || bw_pressure < params_.bandwidth_low)) {
+    scale_ = std::max(scale_ * params_.decrease, params_.min_scale);
+  }
+
+  // Reshaping is the expensive part (touches every subscription), so only
+  // do it when the multiplier actually moved — and spread it over the next
+  // kRetuneSlices ticks rather than stalling this one.
+  if (scale_ != old_scale) retune_cursor_ = 0;
+}
+
+}  // namespace dyconits::dyconit

@@ -1,0 +1,77 @@
+// The Director: the paper's dynamic policy. Starts from the AOI distance
+// shape and scales its non-zero bounds by an adaptive multiplier driven by
+// observed load — multiplicative increase when the tick budget or the
+// bandwidth budget is under pressure, gentle decrease when there is slack.
+// Near-distance bounds stay pinned at zero at every multiplier, so game
+// latency for what a player is looking at never degrades; only the
+// consistency of the periphery is spent to buy capacity.
+#pragma once
+
+#include "dyconit/policies/aoi.h"
+
+namespace dyconits::dyconit {
+
+struct DirectorParams {
+  AoiParams aoi;
+  /// Multiplier range. 1.0 = plain AOI shape.
+  double min_scale = 1.0;
+  double max_scale = 16.0;
+  /// Load targets: act when tick time exceeds `tick_high` of the budget,
+  /// relax when below `tick_low` (and likewise for bandwidth).
+  double tick_high = 0.70;
+  double tick_low = 0.45;
+  double bandwidth_high = 0.85;
+  double bandwidth_low = 0.55;
+  /// Adjustment factors (MIMD).
+  double increase = 1.30;
+  double decrease = 0.93;
+  /// Minimum time between adjustments.
+  SimDuration adjust_interval = SimDuration::millis(1000);
+
+  /// Second stage: once scale exceeds this (sustained overload — e.g. a
+  /// packed village where everyone is "near" and the distance shape has no
+  /// slack left), near units too get a small *staleness* bound, capped at
+  /// the perceptually minor value below. At or below this scale, near
+  /// stays exactly zero.
+  ///
+  /// The near stage is staleness-driven on purpose: numerical bounds are
+  /// per-queue aggregates (TACT semantics — the summed weight of all unseen
+  /// writes in the unit), so in a dense unit even a generous per-entity
+  /// budget trips every tick and suppresses nothing. A staleness bound
+  /// already limits positional drift to walk_speed x θ (≈0.65 blocks at
+  /// 150 ms); set the numerical caps finite to additionally bound edit
+  /// bursts.
+  double near_pressure_scale = 4.0;
+  SimDuration near_staleness_cap = SimDuration::millis(150);
+  double near_entity_numerical_cap = 1e9;
+  double near_block_numerical_cap = 1e9;
+};
+
+class DirectorPolicy : public AoiPolicy {
+ public:
+  explicit DirectorPolicy(DirectorParams params = {})
+      : AoiPolicy(params.aoi), params_(params), scale_(params.min_scale) {}
+
+  std::string name() const override { return "director"; }
+
+  Bounds bounds_for(const DyconitId& unit,
+                    const world::Vec3& subscriber_pos) const override;
+
+  void on_tick(PolicyContext& ctx) override;
+
+  /// Current adaptation multiplier (1 = tightest, max_scale = loosest).
+  double scale() const { return scale_; }
+
+  /// Ticks a scale change's retune is spread over (amortizes the
+  /// O(subscriptions) reshape so it never stalls a single tick).
+  static constexpr std::size_t kRetuneSlices = 8;
+
+ private:
+  DirectorParams params_;
+  double scale_;
+  SimTime last_adjust_;
+  bool primed_ = false;
+  std::size_t retune_cursor_ = kRetuneSlices;  // == done
+};
+
+}  // namespace dyconits::dyconit

@@ -1,0 +1,98 @@
+#include "dyconit/policies/factory.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "dyconit/policies/adaptive.h"
+#include "dyconit/policies/basic.h"
+#include "dyconit/policies/director.h"
+
+namespace dyconits::dyconit {
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+GranularityPolicy::GranularityPolicy(std::unique_ptr<Policy> inner, Granularity g)
+    : inner_(std::move(inner)), granularity_(g) {}
+
+std::string GranularityPolicy::name() const {
+  const char* suffix = granularity_ == Granularity::Region ? "@region" : "@global";
+  return inner_->name() + suffix;
+}
+
+DyconitId GranularityPolicy::block_unit_for(world::ChunkPos c) const {
+  switch (granularity_) {
+    case Granularity::Chunk: return DyconitId::chunk_blocks(c);
+    case Granularity::Region: return DyconitId::region_blocks(c);
+    case Granularity::Global: return DyconitId::global_blocks();
+  }
+  return DyconitId::chunk_blocks(c);
+}
+
+DyconitId GranularityPolicy::entity_unit_for(world::ChunkPos c) const {
+  switch (granularity_) {
+    case Granularity::Chunk: return DyconitId::chunk_entities(c);
+    case Granularity::Region: return DyconitId::region_entities(c);
+    case Granularity::Global: return DyconitId::global_entities();
+  }
+  return DyconitId::chunk_entities(c);
+}
+
+std::unique_ptr<Policy> make_policy(const std::string& spec) {
+  std::string base = spec;
+  Granularity gran = Granularity::Chunk;
+  if (const auto at = spec.find('@'); at != std::string::npos) {
+    base = spec.substr(0, at);
+    const std::string g = spec.substr(at + 1);
+    if (g == "chunk") {
+      gran = Granularity::Chunk;
+    } else if (g == "region") {
+      gran = Granularity::Region;
+    } else if (g == "global") {
+      gran = Granularity::Global;
+    } else {
+      return nullptr;
+    }
+  }
+
+  const auto parts = split(base, ':');
+  std::unique_ptr<Policy> policy;
+  if (parts[0] == "zero") {
+    policy = std::make_unique<ZeroPolicy>();
+  } else if (parts[0] == "infinite") {
+    policy = std::make_unique<InfinitePolicy>();
+  } else if (parts[0] == "static") {
+    SimDuration staleness = SimDuration::millis(250);
+    double numerical = 4.0;
+    if (parts.size() > 1) staleness = SimDuration::millis(std::atoll(parts[1].c_str()));
+    if (parts.size() > 2) numerical = std::atof(parts[2].c_str());
+    policy = std::make_unique<StaticConitPolicy>(staleness, numerical);
+  } else if (parts[0] == "aoi") {
+    policy = std::make_unique<AoiPolicy>();
+  } else if (parts[0] == "director") {
+    policy = std::make_unique<DirectorPolicy>();
+  } else if (parts[0] == "adaptive") {
+    policy = std::make_unique<AdaptiveGranularityPolicy>();
+  } else {
+    return nullptr;
+  }
+
+  if (gran != Granularity::Chunk) {
+    policy = std::make_unique<GranularityPolicy>(std::move(policy), gran);
+  }
+  return policy;
+}
+
+}  // namespace dyconits::dyconit

@@ -1,0 +1,41 @@
+// Policy construction from a spec string, used by benches, examples, and
+// tests to sweep configurations:
+//
+//   "zero" | "infinite" | "aoi" | "director"
+//   "static:<staleness_ms>:<numerical>"      e.g. "static:250:4"
+//   any of the above + "@chunk" | "@region" | "@global"  (unit granularity)
+//
+// Unknown specs return nullptr.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dyconit/policy.h"
+
+namespace dyconits::dyconit {
+
+enum class Granularity { Chunk, Region, Global };
+
+/// Decorator that re-maps updates onto coarser consistency units while
+/// delegating all bound decisions to the wrapped policy.
+class GranularityPolicy final : public Policy {
+ public:
+  GranularityPolicy(std::unique_ptr<Policy> inner, Granularity g);
+
+  std::string name() const override;
+  DyconitId block_unit_for(world::ChunkPos c) const override;
+  DyconitId entity_unit_for(world::ChunkPos c) const override;
+  Bounds bounds_for(const DyconitId& unit, const world::Vec3& pos) const override {
+    return inner_->bounds_for(unit, pos);
+  }
+  void on_tick(PolicyContext& ctx) override { inner_->on_tick(ctx); }
+
+ private:
+  std::unique_ptr<Policy> inner_;
+  Granularity granularity_;
+};
+
+std::unique_ptr<Policy> make_policy(const std::string& spec);
+
+}  // namespace dyconits::dyconit

@@ -1,0 +1,29 @@
+#include "dyconit/policy.h"
+
+#include <unordered_map>
+
+namespace dyconits::dyconit {
+
+void retune_bounds_slice(const Policy& policy, PolicyContext& ctx, std::size_t slice,
+                         std::size_t slice_count) {
+  std::unordered_map<SubscriberId, world::Vec3> pos;
+  pos.reserve(ctx.players().size());
+  for (const auto& p : ctx.players()) pos.emplace(p.sub, p.pos);
+
+  ctx.system().for_each([&](Dyconit& d) {
+    if (slice_count > 1 &&
+        std::hash<DyconitId>{}(d.id()) % slice_count != slice) {
+      return;
+    }
+    d.for_each_subscriber([&](SubscriberId sub, Bounds& b, const SubscriberQueue&) {
+      const auto it = pos.find(sub);
+      if (it != pos.end()) b = policy.bounds_for(d.id(), it->second);
+    });
+  });
+}
+
+void retune_all_bounds(const Policy& policy, PolicyContext& ctx) {
+  retune_bounds_slice(policy, ctx, 0, 1);
+}
+
+}  // namespace dyconits::dyconit

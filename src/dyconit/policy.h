@@ -1,0 +1,115 @@
+// Policy interface — where "dynamically managed" happens.
+//
+// A policy makes three decisions the paper assigns to the dyconit system:
+//   1. *Granularity*: which consistency unit an update belongs to
+//      (per-chunk, per-region, or global — the E8 ablation axis).
+//   2. *Bounds*: the (staleness, numerical) bounds of each subscription,
+//      typically as a function of subscriber-to-unit distance.
+//   3. *Adaptation*: per-tick retuning from observed load (tick duration,
+//      egress bandwidth) — loosening bounds under pressure and tightening
+//      them when capacity returns (the Director policy).
+//
+// The game server calls bounds_for() whenever a subscription is created or
+// its subscriber moves across a chunk boundary, and on_tick() once per
+// policy interval with a LoadSample.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dyconit/system.h"
+#include "entity/entity.h"
+#include "util/sim_time.h"
+#include "world/geometry.h"
+
+namespace dyconits::dyconit {
+
+/// A player as the policy sees it.
+struct PlayerView {
+  SubscriberId sub = kNoSubscriber;
+  entity::EntityId entity = entity::kInvalidEntity;
+  world::Vec3 pos;
+  /// Smoothed network round-trip time (zero until measured). Lets a policy
+  /// grant high-latency clients no less total delay budget than their link
+  /// already imposes.
+  SimDuration rtt;
+};
+
+/// Load measurements the server feeds the policy.
+struct LoadSample {
+  SimTime now;
+  SimDuration tick_duration;  // measured CPU time of the last game tick
+  SimDuration tick_budget;    // nominal tick length (50 ms)
+  double egress_bytes_per_sec = 0.0;   // server uplink, recent window
+  double bandwidth_budget_bps = 0.0;   // 0 = unconstrained
+  std::size_t players = 0;
+};
+
+class PolicyContext {
+ public:
+  PolicyContext(DyconitSystem& system, const std::vector<PlayerView>& players,
+                const LoadSample& load)
+      : system_(system), players_(players), load_(load) {}
+
+  DyconitSystem& system() { return system_; }
+  const std::vector<PlayerView>& players() const { return players_; }
+  const LoadSample& load() const { return load_; }
+
+  /// Position of a subscriber, if it is a known player.
+  const PlayerView* find_player(SubscriberId sub) const {
+    for (const auto& p : players_) {
+      if (p.sub == sub) return &p;
+    }
+    return nullptr;
+  }
+
+  /// Asks the host to flush everything owed and rebuild every subscription
+  /// from the policy's (possibly changed) unit mapping. Used by policies
+  /// that re-partition the world at runtime (granularity adaptation).
+  void request_resubscribe() { resubscribe_ = true; }
+  bool resubscribe_requested() const { return resubscribe_; }
+
+ private:
+  DyconitSystem& system_;
+  const std::vector<PlayerView>& players_;
+  const LoadSample& load_;
+  bool resubscribe_ = false;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Consistency unit carrying block updates originating in chunk `c`.
+  virtual DyconitId block_unit_for(world::ChunkPos c) const {
+    return DyconitId::chunk_blocks(c);
+  }
+  /// Consistency unit carrying movement of entities currently in chunk `c`.
+  virtual DyconitId entity_unit_for(world::ChunkPos c) const {
+    return DyconitId::chunk_entities(c);
+  }
+
+  /// Bounds for a subscriber standing at `subscriber_pos` on unit `unit`.
+  virtual Bounds bounds_for(const DyconitId& unit,
+                            const world::Vec3& subscriber_pos) const = 0;
+
+  /// Periodic adaptation hook. Default: static policy, no-op.
+  virtual void on_tick(PolicyContext& ctx) { (void)ctx; }
+};
+
+/// Re-derives every subscription's bounds from policy->bounds_for using
+/// current player positions. Shared by adaptive policies and by the server
+/// after a player crosses chunks. Subscribers without a player view keep
+/// their bounds.
+void retune_all_bounds(const Policy& policy, PolicyContext& ctx);
+
+/// Slice variant for amortizing a full retune across ticks: only dyconits
+/// whose id hashes into `slice` of `slice_count` buckets are touched.
+/// slice_count == 1 degenerates to retune_all_bounds.
+void retune_bounds_slice(const Policy& policy, PolicyContext& ctx, std::size_t slice,
+                         std::size_t slice_count);
+
+}  // namespace dyconits::dyconit

@@ -1,0 +1,82 @@
+#include "dyconit/system.h"
+
+namespace dyconits::dyconit {
+
+Dyconit& DyconitSystem::get_or_create(DyconitId id, Bounds default_bounds) {
+  auto it = dyconits_.find(id);
+  if (it != dyconits_.end()) return *it->second;
+  auto [ins, _] = dyconits_.emplace(id, std::make_unique<Dyconit>(id, default_bounds));
+  return *ins->second;
+}
+
+Dyconit* DyconitSystem::find(DyconitId id) {
+  const auto it = dyconits_.find(id);
+  return it == dyconits_.end() ? nullptr : it->second.get();
+}
+
+const Dyconit* DyconitSystem::find(DyconitId id) const {
+  const auto it = dyconits_.find(id);
+  return it == dyconits_.end() ? nullptr : it->second.get();
+}
+
+void DyconitSystem::subscribe(DyconitId id, SubscriberId sub, Bounds b) {
+  get_or_create(id).subscribe(sub, b);
+}
+
+void DyconitSystem::unsubscribe(DyconitId id, SubscriberId sub) {
+  if (Dyconit* d = find(id)) d->unsubscribe(sub, stats_);
+}
+
+void DyconitSystem::unsubscribe_all(SubscriberId sub) {
+  for (auto& [id, d] : dyconits_) d->unsubscribe(sub, stats_);
+}
+
+bool DyconitSystem::is_subscribed(DyconitId id, SubscriberId sub) const {
+  const Dyconit* d = find(id);
+  return d != nullptr && d->subscribed(sub);
+}
+
+void DyconitSystem::set_bounds(DyconitId id, SubscriberId sub, Bounds b) {
+  if (Dyconit* d = find(id)) d->set_bounds(sub, b);
+}
+
+void DyconitSystem::update(DyconitId id, Update u, SubscriberId exclude) {
+  if (u.created == SimTime::zero()) u.created = clock_.now();
+  get_or_create(id).enqueue(u, exclude, stats_);
+}
+
+void DyconitSystem::tick(FlushSink& sink) {
+  const SimTime now = clock_.now();
+  for (auto& [id, d] : dyconits_) d->flush_due(now, sink, stats_, snapshot_threshold_);
+  // GC: a dyconit with no subscribers holds no queues (enqueue drops when
+  // subscriber-less), so it can be removed without losing updates.
+  for (auto it = dyconits_.begin(); it != dyconits_.end();) {
+    if (it->second->idle()) {
+      it = dyconits_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DyconitSystem::flush_all(FlushSink& sink) {
+  const SimTime now = clock_.now();
+  for (auto& [id, d] : dyconits_) d->flush_all(now, sink, stats_);
+}
+
+void DyconitSystem::flush_subscriber(SubscriberId sub, FlushSink& sink) {
+  const SimTime now = clock_.now();
+  for (auto& [id, d] : dyconits_) d->flush_subscriber(sub, now, sink, stats_);
+}
+
+void DyconitSystem::for_each(const std::function<void(Dyconit&)>& fn) {
+  for (auto& [id, d] : dyconits_) fn(*d);
+}
+
+std::size_t DyconitSystem::total_queued() const {
+  std::size_t n = 0;
+  for (const auto& [id, d] : dyconits_) n += d->total_queued();
+  return n;
+}
+
+}  // namespace dyconits::dyconit

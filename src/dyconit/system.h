@@ -1,0 +1,74 @@
+// DyconitSystem — the middleware facade the game server talks to.
+//
+// The integration surface is deliberately small (the paper's "thin
+// middleware" claim): the server (1) subscribes/unsubscribes players as
+// their interest sets change, (2) routes every state update through
+// update(), and (3) calls tick() once per game tick with a sink that packs
+// flushed updates into protocol frames. Everything else — queues, bounds
+// enforcement, coalescing — is internal.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "dyconit/dyconit.h"
+#include "util/sim_time.h"
+
+namespace dyconits::dyconit {
+
+class DyconitSystem {
+ public:
+  explicit DyconitSystem(const SimClock& clock) : clock_(clock) {}
+
+  /// Creates the dyconit on first use. `default_bounds` only applies at
+  /// creation; existing dyconits keep their configuration.
+  Dyconit& get_or_create(DyconitId id, Bounds default_bounds = Bounds::zero());
+  Dyconit* find(DyconitId id);
+  const Dyconit* find(DyconitId id) const;
+
+  void subscribe(DyconitId id, SubscriberId sub, Bounds b);
+  void unsubscribe(DyconitId id, SubscriberId sub);
+  /// Drops every subscription of `sub` (player disconnect).
+  void unsubscribe_all(SubscriberId sub);
+  bool is_subscribed(DyconitId id, SubscriberId sub) const;
+  void set_bounds(DyconitId id, SubscriberId sub, Bounds b);
+
+  /// Queues an update for all subscribers of `id` except `exclude`. If the
+  /// dyconit does not exist it is created with zero default bounds (and the
+  /// update, having no subscribers, is dropped and counted).
+  void update(DyconitId id, Update u, SubscriberId exclude = kNoSubscriber);
+
+  /// One middleware tick: flushes every (dyconit, subscriber) queue that
+  /// violates its bounds at clock.now(), then garbage-collects dyconits
+  /// with no subscribers.
+  void tick(FlushSink& sink);
+
+  /// Forced full flush (server shutdown, snapshot, tests).
+  void flush_all(FlushSink& sink);
+  /// Forced flush of everything owed to one subscriber.
+  void flush_subscriber(SubscriberId sub, FlushSink& sink);
+
+  void for_each(const std::function<void(Dyconit&)>& fn);
+
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+  void set_record_staleness(bool on) { stats_.record_staleness = on; }
+
+  /// Queues longer than this are dropped at tick() in favor of a snapshot
+  /// (FlushSink::request_snapshot). 0 disables.
+  void set_snapshot_threshold(std::size_t n) { snapshot_threshold_ = n; }
+  std::size_t snapshot_threshold() const { return snapshot_threshold_; }
+
+  const SimClock& clock() const { return clock_; }
+  std::size_t dyconit_count() const { return dyconits_.size(); }
+  std::size_t total_queued() const;
+
+ private:
+  const SimClock& clock_;
+  std::unordered_map<DyconitId, std::unique_ptr<Dyconit>> dyconits_;
+  Stats stats_;
+  std::size_t snapshot_threshold_ = 0;
+};
+
+}  // namespace dyconits::dyconit

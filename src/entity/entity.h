@@ -1,0 +1,37 @@
+// Entities: players, mobs, and dropped items. Entity state is what the
+// server replicates to clients at high rate, and therefore the main source
+// of dyconit-managed updates.
+#pragma once
+
+#include <cstdint>
+
+#include "world/geometry.h"
+
+namespace dyconits::entity {
+
+using EntityId = std::uint32_t;
+inline constexpr EntityId kInvalidEntity = 0;
+
+enum class EntityKind : std::uint8_t { Player = 0, Mob = 1, Item = 2 };
+
+struct Entity {
+  EntityId id = kInvalidEntity;
+  EntityKind kind = EntityKind::Player;
+  world::Vec3 pos;
+  world::Vec3 velocity;
+  float yaw = 0.0f;    // degrees, [0, 360)
+  float pitch = 0.0f;  // degrees, [-90, 90]
+  bool on_ground = true;
+
+  /// Kind-specific payload: for Item entities, the world::Block id of the
+  /// dropped block; unused otherwise.
+  std::uint16_t data = 0;
+
+  /// Monotonic per-entity state revision; bumped on every mutation the
+  /// server applies, used to detect "entity changed since last send".
+  std::uint64_t revision = 0;
+
+  world::ChunkPos chunk() const { return world::ChunkPos::of(pos); }
+};
+
+}  // namespace dyconits::entity

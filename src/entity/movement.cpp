@@ -1,0 +1,63 @@
+#include "entity/movement.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dyconits::entity {
+namespace {
+
+/// Ground y to stand on at column (x,z): top solid block + 1.
+double ground_y(world::World& world, double x, double z) {
+  const int h = world.surface_height(static_cast<std::int32_t>(std::floor(x)),
+                                     static_cast<std::int32_t>(std::floor(z)));
+  return static_cast<double>(h + 1);
+}
+
+}  // namespace
+
+bool can_stand_at(world::World& world, const world::Vec3& pos) {
+  const world::BlockPos feet = world::BlockPos::from(pos);
+  if (feet.y < 1 || feet.y + 1 >= world::kWorldHeight) return false;
+  if (world::is_solid(world.block_at(feet))) return false;
+  if (world::is_solid(world.block_at({feet.x, feet.y + 1, feet.z}))) return false;
+  return world::is_solid(world.block_at({feet.x, feet.y - 1, feet.z}));
+}
+
+MoveResult step_toward(world::World& world, const world::Vec3& from,
+                       const world::Vec3& target, double speed, double dt_seconds,
+                       world::Vec3& out_pos) {
+  MoveResult result;
+  out_pos = from;
+
+  world::Vec3 delta = target - from;
+  delta.y = 0;
+  const double dist = delta.horizontal_length();
+  const double max_step = speed * dt_seconds;
+  if (dist < 1e-9 || max_step <= 0.0) return result;
+
+  const double frac = std::min(1.0, max_step / dist);
+  world::Vec3 next = from + delta * frac;
+
+  const double cur_ground = ground_y(world, from.x, from.z);
+  const double next_ground = ground_y(world, next.x, next.z);
+
+  // Walls taller than one block stop horizontal motion.
+  if (next_ground - cur_ground > 1.5) {
+    result.blocked = true;
+    // Still settle vertically in place (e.g. block dug out underfoot).
+    next = from;
+    next.y = cur_ground;
+  } else {
+    next.y = next_ground;
+  }
+
+  if (next == from) {
+    result.blocked = true;
+    return result;
+  }
+  out_pos = next;
+  result.moved = true;
+  return result;
+}
+
+}  // namespace dyconits::entity

@@ -1,0 +1,29 @@
+// Walking kinematics on voxel terrain: horizontal motion at a target speed,
+// with step-up over one-block ledges, blocking on taller walls, and gravity
+// snapping to the ground. Deliberately simple — the replication workload
+// (per-tick position deltas) is what matters, not physics fidelity.
+#pragma once
+
+#include "entity/entity.h"
+#include "world/world.h"
+
+namespace dyconits::entity {
+
+struct MoveResult {
+  bool moved = false;    // position changed at all
+  bool blocked = false;  // horizontal motion was stopped by terrain
+};
+
+/// Computes one step from `from` toward `target` (horizontal plane) of at
+/// most `speed * dt_seconds`, adjusting y to the terrain surface. The world
+/// is mutated only by chunk generation. The caller applies `out_pos` itself
+/// (bots send it as PlayerMove; tests feed it to the registry).
+MoveResult step_toward(world::World& world, const world::Vec3& from,
+                       const world::Vec3& target, double speed, double dt_seconds,
+                       world::Vec3& out_pos);
+
+/// True if a standing entity fits at (pos.x, pos.y, pos.z): feet and head
+/// blocks non-solid, ground below solid or y==0.
+bool can_stand_at(world::World& world, const world::Vec3& pos);
+
+}  // namespace dyconits::entity

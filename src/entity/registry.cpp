@@ -1,0 +1,83 @@
+#include "entity/registry.h"
+
+#include <memory>
+
+namespace dyconits::entity {
+
+Entity& EntityRegistry::create(EntityKind kind, const world::Vec3& pos) {
+  auto e = std::make_unique<Entity>();
+  e->id = next_id_++;
+  e->kind = kind;
+  e->pos = pos;
+  Entity& ref = *e;
+  index_add(ref.id, ref.chunk());
+  entities_.emplace(ref.id, std::move(e));
+  return ref;
+}
+
+bool EntityRegistry::remove(EntityId id) {
+  const auto it = entities_.find(id);
+  if (it == entities_.end()) return false;
+  index_remove(id, it->second->chunk());
+  entities_.erase(it);
+  return true;
+}
+
+Entity* EntityRegistry::find(EntityId id) {
+  const auto it = entities_.find(id);
+  return it == entities_.end() ? nullptr : it->second.get();
+}
+
+const Entity* EntityRegistry::find(EntityId id) const {
+  const auto it = entities_.find(id);
+  return it == entities_.end() ? nullptr : it->second.get();
+}
+
+void EntityRegistry::move(Entity& e, const world::Vec3& new_pos) {
+  const world::ChunkPos before = e.chunk();
+  e.pos = new_pos;
+  ++e.revision;
+  const world::ChunkPos after = e.chunk();
+  if (before != after) {
+    index_remove(e.id, before);
+    index_add(e.id, after);
+  }
+}
+
+void EntityRegistry::for_each(const std::function<void(Entity&)>& fn) {
+  for (auto& [id, e] : entities_) fn(*e);
+}
+
+void EntityRegistry::for_each(const std::function<void(const Entity&)>& fn) const {
+  for (const auto& [id, e] : entities_) fn(*e);
+}
+
+std::vector<EntityId> EntityRegistry::query_chunk_radius(world::ChunkPos center,
+                                                         int radius_chunks) const {
+  std::vector<EntityId> out;
+  for (int dx = -radius_chunks; dx <= radius_chunks; ++dx) {
+    for (int dz = -radius_chunks; dz <= radius_chunks; ++dz) {
+      const auto it = by_chunk_.find({center.x + dx, center.z + dz});
+      if (it == by_chunk_.end()) continue;
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return out;
+}
+
+const std::unordered_set<EntityId>* EntityRegistry::entities_in_chunk(
+    world::ChunkPos pos) const {
+  const auto it = by_chunk_.find(pos);
+  return it == by_chunk_.end() ? nullptr : &it->second;
+}
+
+void EntityRegistry::index_add(EntityId id, world::ChunkPos cp) { by_chunk_[cp].insert(id); }
+
+void EntityRegistry::index_remove(EntityId id, world::ChunkPos cp) {
+  const auto it = by_chunk_.find(cp);
+  if (it == by_chunk_.end()) return;
+  it->second.erase(id);
+  if (it->second.empty()) by_chunk_.erase(it);
+}
+
+}  // namespace dyconits::entity

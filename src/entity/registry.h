@@ -1,0 +1,55 @@
+// Entity storage plus a chunk-bucketed spatial index for interest queries
+// ("which entities are within R chunks of this player?").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "entity/entity.h"
+#include "world/geometry.h"
+
+namespace dyconits::entity {
+
+class EntityRegistry {
+ public:
+  /// Creates an entity at `pos` and returns a stable reference to it.
+  /// References remain valid until the entity is removed.
+  Entity& create(EntityKind kind, const world::Vec3& pos);
+
+  /// Removes the entity; false if the id is unknown.
+  bool remove(EntityId id);
+
+  Entity* find(EntityId id);
+  const Entity* find(EntityId id) const;
+
+  /// Moves an entity, keeping the spatial index consistent and bumping the
+  /// entity revision. Use this (not direct pos writes) for all movement.
+  void move(Entity& e, const world::Vec3& new_pos);
+
+  std::size_t size() const { return entities_.size(); }
+
+  /// Visits every entity (unspecified order).
+  void for_each(const std::function<void(Entity&)>& fn);
+  void for_each(const std::function<void(const Entity&)>& fn) const;
+
+  /// Entity ids whose chunk is within `radius_chunks` (Chebyshev) of
+  /// `center`. Cost is O(radius^2 + results).
+  std::vector<EntityId> query_chunk_radius(world::ChunkPos center, int radius_chunks) const;
+
+  /// Ids of entities in exactly this chunk.
+  const std::unordered_set<EntityId>* entities_in_chunk(world::ChunkPos pos) const;
+
+ private:
+  void index_add(EntityId id, world::ChunkPos cp);
+  void index_remove(EntityId id, world::ChunkPos cp);
+
+  EntityId next_id_ = 1;
+  std::unordered_map<EntityId, std::unique_ptr<Entity>> entities_;
+  std::unordered_map<world::ChunkPos, std::unordered_set<EntityId>> by_chunk_;
+};
+
+}  // namespace dyconits::entity

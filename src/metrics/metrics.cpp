@@ -1,0 +1,59 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+
+namespace dyconits::metrics {
+
+double TimeSeries::mean() const {
+  if (points_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& [t, v] : points_) s += v;
+  return s / static_cast<double>(points_.size());
+}
+
+double TimeSeries::max() const {
+  double m = 0.0;
+  bool first = true;
+  for (const auto& [t, v] : points_) {
+    if (first || v > m) m = v;
+    first = false;
+  }
+  return m;
+}
+
+double TimeSeries::mean_after(SimTime from) const {
+  double s = 0.0;
+  std::size_t n = 0;
+  for (const auto& [t, v] : points_) {
+    if (t >= from) {
+      s += v;
+      ++n;
+    }
+  }
+  return n > 0 ? s / static_cast<double>(n) : 0.0;
+}
+
+void MetricRegistry::write_csv(std::ostream& os) const {
+  os << "kind,name,t_seconds,value\n";
+  for (const auto& [name, v] : counters_) {
+    os << "counter," << name << ",-1," << v << "\n";
+  }
+  for (const auto& [name, ts] : series_) {
+    for (const auto& [t, v] : ts.points()) {
+      os << "series," << name << "," << t.as_seconds() << "," << v << "\n";
+    }
+  }
+}
+
+double RateSampler::sample(std::uint64_t current, double dt_seconds) {
+  if (!primed_) {
+    primed_ = true;
+    last_ = current;
+    return 0.0;
+  }
+  const double delta = static_cast<double>(current - last_);
+  last_ = current;
+  return dt_seconds > 0 ? delta / dt_seconds : 0.0;
+}
+
+}  // namespace dyconits::metrics

@@ -1,0 +1,59 @@
+// Experiment metrics: named counters, time series, and CSV export. Bench
+// binaries sample monotonic counters (e.g. network bytes) into rates each
+// simulated second and dump series for the figure tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace dyconits::metrics {
+
+class TimeSeries {
+ public:
+  void add(SimTime t, double value) { points_.emplace_back(t, value); }
+  const std::vector<std::pair<SimTime, double>>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  double mean() const;
+  double max() const;
+  /// Mean over points with t >= from (for skipping warmup).
+  double mean_after(SimTime from) const;
+
+ private:
+  std::vector<std::pair<SimTime, double>> points_;
+};
+
+class MetricRegistry {
+ public:
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+  TimeSeries& series(const std::string& name) { return series_[name]; }
+
+  const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, TimeSeries>& all_series() const { return series_; }
+
+  /// CSV rows: kind,name,t_seconds,value (counters get t=-1).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, TimeSeries> series_;
+};
+
+/// Turns a monotonic counter into a rate between successive samples.
+class RateSampler {
+ public:
+  /// Returns (current - last) / dt_seconds and remembers `current`.
+  double sample(std::uint64_t current, double dt_seconds);
+
+ private:
+  std::uint64_t last_ = 0;
+  bool primed_ = false;
+};
+
+}  // namespace dyconits::metrics

@@ -1,0 +1,159 @@
+#include "net/bytes.h"
+
+namespace dyconits::net {
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u32(bits);
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::svarint(std::int64_t v) {
+  varint((static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
+void ByteWriter::blob(const std::uint8_t* data, std::size_t size) {
+  varint(size);
+  buf_.insert(buf_.end(), data, data + size);
+}
+
+void ByteWriter::str(std::string_view s) {
+  varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+bool ByteReader::take(void* out, std::size_t n) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::u8(std::uint8_t& out) { return take(&out, 1); }
+
+bool ByteReader::u16(std::uint16_t& out) {
+  std::uint8_t b[2];
+  if (!take(b, 2)) return false;
+  out = static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  return true;
+}
+
+bool ByteReader::u32(std::uint32_t& out) {
+  std::uint8_t b[4];
+  if (!take(b, 4)) return false;
+  out = 0;
+  for (int i = 3; i >= 0; --i) out = (out << 8) | b[i];
+  return true;
+}
+
+bool ByteReader::u64(std::uint64_t& out) {
+  std::uint8_t b[8];
+  if (!take(b, 8)) return false;
+  out = 0;
+  for (int i = 7; i >= 0; --i) out = (out << 8) | b[i];
+  return true;
+}
+
+bool ByteReader::f32(float& out) {
+  std::uint32_t bits;
+  if (!u32(bits)) return false;
+  std::memcpy(&out, &bits, sizeof(out));
+  return true;
+}
+
+bool ByteReader::f64(double& out) {
+  std::uint64_t bits;
+  if (!u64(bits)) return false;
+  std::memcpy(&out, &bits, sizeof(out));
+  return true;
+}
+
+bool ByteReader::varint(std::uint64_t& out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    std::uint8_t b;
+    if (!u8(b)) return false;
+    if (shift >= 64 || (shift == 63 && (b & 0x7E) != 0)) {
+      ok_ = false;  // would overflow 64 bits
+      return false;
+    }
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  out = v;
+  return true;
+}
+
+bool ByteReader::svarint(std::int64_t& out) {
+  std::uint64_t z;
+  if (!varint(z)) return false;
+  out = static_cast<std::int64_t>(z >> 1) ^ -static_cast<std::int64_t>(z & 1);
+  return true;
+}
+
+bool ByteReader::blob(std::vector<std::uint8_t>& out) {
+  std::uint64_t n;
+  if (!varint(n)) return false;
+  if (size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  out.assign(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::str(std::string& out) {
+  std::uint64_t n;
+  if (!varint(n)) return false;
+  if (size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  out.assign(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return true;
+}
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace dyconits::net

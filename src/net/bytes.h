@@ -1,0 +1,79 @@
+// Wire codec: little-endian fixed-width integers, LEB128 varints (with
+// zigzag for signed values), floats, strings and blobs. All protocol
+// messages are built from these, so measured byte counts reflect a real
+// compact binary encoding, as in Minecraft's own protocol.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dyconits::net {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f32(float v);
+  void f64(double v);
+
+  /// Unsigned LEB128.
+  void varint(std::uint64_t v);
+  /// Zigzag-encoded signed LEB128.
+  void svarint(std::int64_t v);
+
+  /// Length-prefixed (varint) byte blob.
+  void blob(const std::uint8_t* data, std::size_t size);
+  void blob(const std::vector<std::uint8_t>& data) { blob(data.data(), data.size()); }
+  /// Length-prefixed (varint) UTF-8 string.
+  void str(std::string_view s);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reader over a borrowed buffer. Every accessor returns false on underflow
+/// or malformed input and leaves the output untouched; once any read fails
+/// the reader is poisoned (ok() == false) so call sites can check once at
+/// the end of a fixed-layout decode.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& v) : ByteReader(v.data(), v.size()) {}
+
+  bool u8(std::uint8_t& out);
+  bool u16(std::uint16_t& out);
+  bool u32(std::uint32_t& out);
+  bool u64(std::uint64_t& out);
+  bool f32(float& out);
+  bool f64(double& out);
+  bool varint(std::uint64_t& out);
+  bool svarint(std::int64_t& out);
+  bool blob(std::vector<std::uint8_t>& out);
+  bool str(std::string& out);
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool take(void* out, std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Encoded size of an unsigned varint, for framing-overhead accounting.
+std::size_t varint_size(std::uint64_t v);
+
+}  // namespace dyconits::net

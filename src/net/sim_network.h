@@ -1,0 +1,139 @@
+// In-process simulated network.
+//
+// Models point-to-point links with latency (+ optional jitter), per-pair
+// FIFO ordering (TCP-like), an optional per-endpoint egress rate limit
+// (which produces realistic queueing delay when a sender saturates its
+// uplink — the mechanism by which bandwidth savings translate into latency
+// savings), and exact byte accounting per endpoint and per message tag.
+//
+// Substitutes for the physical cluster used in the paper: the quantities
+// the paper measures (bytes on the wire, delivery latency) are measured
+// here on real serialized frames. See DESIGN.md §2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/bytes.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace dyconits::net {
+
+using EndpointId = std::uint32_t;
+inline constexpr EndpointId kInvalidEndpoint = 0;
+
+/// Highest message tag value + 1; tags index fixed-size accounting arrays.
+inline constexpr std::size_t kMaxTags = 32;
+
+/// A framed message: one tag byte plus an opaque payload. On the "wire" a
+/// frame costs tag + varint(length) + payload bytes.
+struct Frame {
+  std::uint8_t tag = 0;
+  std::vector<std::uint8_t> payload;
+
+  /// Instrumentation only (a Yardstick-style measurement tap): the sim time
+  /// of the oldest game event this frame carries. Receivers use it to
+  /// compute end-to-end update latency. NOT part of wire_size() — a real
+  /// deployment would not ship it.
+  SimTime trace_origin;
+
+  std::size_t wire_size() const { return 1 + varint_size(payload.size()) + payload.size(); }
+};
+
+struct Delivery {
+  EndpointId from = kInvalidEndpoint;
+  Frame frame;
+  SimTime sent;     // when send() was called
+  SimTime arrival;  // when the frame became visible to the receiver
+};
+
+struct LinkParams {
+  SimDuration latency = SimDuration::millis(25);
+  /// Uniform jitter as a fraction of latency, in [0, 1): each frame's
+  /// latency is latency * (1 + U(-jitter, +jitter)).
+  double jitter = 0.0;
+  /// TCP-like in-order delivery per (src,dst) pair. Set false to model a
+  /// UDP-like transport where jitter can reorder frames — receivers then
+  /// see non-zero order error and must guard against stale updates.
+  bool fifo = true;
+};
+
+class SimNetwork {
+ public:
+  /// The network reads the shared simulation clock; poll() releases frames
+  /// whose arrival time has passed.
+  SimNetwork(const SimClock& clock, std::uint64_t seed = 1);
+
+  EndpointId create_endpoint(std::string name);
+  const std::string& endpoint_name(EndpointId id) const;
+
+  /// Establishes a bidirectional link. Reconnecting overwrites params.
+  void connect(EndpointId a, EndpointId b, LinkParams params);
+  void disconnect(EndpointId a, EndpointId b);
+  bool connected(EndpointId a, EndpointId b) const;
+
+  /// Egress serialization rate in bytes/second; 0 means unlimited.
+  void set_egress_rate(EndpointId id, std::uint64_t bytes_per_second);
+
+  /// Sends a frame; returns false (and drops it, uncounted) if the
+  /// endpoints are not connected.
+  bool send(EndpointId from, EndpointId to, Frame frame);
+
+  /// All frames for `to` whose arrival time <= clock.now(), in arrival
+  /// order (stable across equal arrivals).
+  std::vector<Delivery> poll(EndpointId to);
+
+  // -- Accounting (monotonic counters over the whole run) --
+  std::uint64_t egress_bytes(EndpointId id) const;
+  std::uint64_t ingress_bytes(EndpointId id) const;
+  std::uint64_t egress_frames(EndpointId id) const;
+  std::uint64_t egress_bytes_by_tag(EndpointId id, std::uint8_t tag) const;
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t total_frames() const { return total_frames_; }
+
+  /// Frames enqueued but not yet polled by `to`.
+  std::size_t pending_count(EndpointId to) const;
+
+ private:
+  struct PendingFrame {
+    SimTime arrival;
+    std::uint64_t seq;  // global sequence for stable ordering
+    Delivery delivery;
+
+    bool operator>(const PendingFrame& o) const {
+      if (arrival != o.arrival) return arrival > o.arrival;
+      return seq > o.seq;
+    }
+  };
+
+  struct EndpointState {
+    std::string name;
+    std::uint64_t egress_bytes = 0;
+    std::uint64_t ingress_bytes = 0;
+    std::uint64_t egress_frames = 0;
+    std::array<std::uint64_t, kMaxTags> egress_by_tag{};
+    std::uint64_t egress_rate = 0;  // bytes/sec, 0 = unlimited
+    SimTime egress_free;            // uplink busy until this time
+    std::priority_queue<PendingFrame, std::vector<PendingFrame>, std::greater<>> inbox;
+  };
+
+  static std::uint64_t pair_key(EndpointId a, EndpointId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  const SimClock& clock_;
+  Rng rng_;
+  std::vector<EndpointState> endpoints_;  // index = id (0 unused)
+  std::unordered_map<std::uint64_t, LinkParams> links_;        // directed key
+  std::unordered_map<std::uint64_t, SimTime> last_arrival_;    // FIFO floor per pair
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_frames_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dyconits::net

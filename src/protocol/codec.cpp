@@ -1,0 +1,364 @@
+#include "protocol/codec.h"
+
+#include <cmath>
+
+#include "world/chunk.h"
+
+namespace dyconits::protocol {
+namespace {
+
+using net::ByteReader;
+using net::ByteWriter;
+
+std::uint8_t quantize_angle(float deg) {
+  const float turns = deg / 360.0f;
+  const int steps = static_cast<int>(std::lround(turns * 256.0f));
+  return static_cast<std::uint8_t>(steps & 0xFF);
+}
+
+float dequantize_angle(std::uint8_t q) { return static_cast<float>(q) * 360.0f / 256.0f; }
+
+void put_vec3(ByteWriter& w, const world::Vec3& v) {
+  w.f32(static_cast<float>(v.x));
+  w.f32(static_cast<float>(v.y));
+  w.f32(static_cast<float>(v.z));
+}
+
+bool get_vec3(ByteReader& r, world::Vec3& v) {
+  float x, y, z;
+  if (!r.f32(x) || !r.f32(y) || !r.f32(z)) return false;
+  v = {x, y, z};
+  return true;
+}
+
+void put_block_pos(ByteWriter& w, const world::BlockPos& p) {
+  w.svarint(p.x);
+  w.u8(static_cast<std::uint8_t>(p.y));
+  w.svarint(p.z);
+}
+
+bool get_block_pos(ByteReader& r, world::BlockPos& p) {
+  std::int64_t x, z;
+  std::uint8_t y;
+  if (!r.svarint(x) || !r.u8(y) || !r.svarint(z)) return false;
+  p = {static_cast<std::int32_t>(x), y, static_cast<std::int32_t>(z)};
+  return true;
+}
+
+void put_chunk_pos(ByteWriter& w, const world::ChunkPos& p) {
+  w.svarint(p.x);
+  w.svarint(p.z);
+}
+
+bool get_chunk_pos(ByteReader& r, world::ChunkPos& p) {
+  std::int64_t x, z;
+  if (!r.svarint(x) || !r.svarint(z)) return false;
+  p = {static_cast<std::int32_t>(x), static_cast<std::int32_t>(z)};
+  return true;
+}
+
+bool get_block(ByteReader& r, world::Block& b) {
+  std::uint64_t id;
+  if (!r.varint(id)) return false;
+  if (id >= world::kBlockPaletteSize) return false;
+  b = static_cast<world::Block>(id);
+  return true;
+}
+
+void put_entity_move(ByteWriter& w, const EntityMove& m) {
+  w.varint(m.id);
+  put_vec3(w, m.pos);
+  w.u8(quantize_angle(m.yaw));
+  w.u8(quantize_angle(m.pitch));
+}
+
+bool get_entity_move(ByteReader& r, EntityMove& m) {
+  std::uint64_t id;
+  std::uint8_t yaw, pitch;
+  if (!r.varint(id) || !get_vec3(r, m.pos) || !r.u8(yaw) || !r.u8(pitch)) return false;
+  m.id = static_cast<entity::EntityId>(id);
+  m.yaw = dequantize_angle(yaw);
+  m.pitch = dequantize_angle(pitch);
+  return true;
+}
+
+struct Encoder {
+  ByteWriter w;
+
+  void operator()(const JoinRequest& m) { w.str(m.name); }
+  void operator()(const PlayerMove& m) {
+    put_vec3(w, m.pos);
+    w.u8(quantize_angle(m.yaw));
+    w.u8(quantize_angle(m.pitch));
+  }
+  void operator()(const PlayerDig& m) { put_block_pos(w, m.pos); }
+  void operator()(const PlayerPlace& m) {
+    put_block_pos(w, m.pos);
+    w.varint(static_cast<std::uint64_t>(m.block));
+  }
+  void operator()(const KeepAliveReply& m) { w.u32(m.nonce); }
+  void operator()(const ChatSend& m) { w.str(m.text); }
+  void operator()(const JoinAck& m) {
+    w.varint(m.self_id);
+    put_vec3(w, m.spawn);
+    w.u8(m.view_distance);
+  }
+  void operator()(const ChunkData& m) {
+    put_chunk_pos(w, m.pos);
+    w.blob(m.rle);
+  }
+  void operator()(const UnloadChunk& m) { put_chunk_pos(w, m.pos); }
+  void operator()(const BlockChange& m) {
+    put_block_pos(w, m.pos);
+    w.varint(static_cast<std::uint64_t>(m.block));
+  }
+  void operator()(const MultiBlockChange& m) {
+    put_chunk_pos(w, m.chunk);
+    w.varint(m.entries.size());
+    for (const auto& e : m.entries) {
+      w.u8(static_cast<std::uint8_t>((e.x << 4) | (e.z & 0x0F)));
+      w.u8(e.y);
+      w.varint(static_cast<std::uint64_t>(e.block));
+    }
+  }
+  void operator()(const EntitySpawn& m) {
+    w.varint(m.id);
+    w.u8(static_cast<std::uint8_t>(m.kind));
+    put_vec3(w, m.pos);
+    w.u8(quantize_angle(m.yaw));
+    w.u8(quantize_angle(m.pitch));
+    w.str(m.name);
+    w.varint(m.data);
+  }
+  void operator()(const EntityDespawn& m) { w.varint(m.id); }
+  void operator()(const EntityMove& m) { put_entity_move(w, m); }
+  void operator()(const EntityMoveBatch& m) {
+    w.varint(m.moves.size());
+    for (const auto& mv : m.moves) put_entity_move(w, mv);
+  }
+  void operator()(const KeepAlive& m) { w.u32(m.nonce); }
+  void operator()(const ChatBroadcast& m) {
+    w.varint(m.from);
+    w.str(m.text);
+  }
+  void operator()(const InventoryUpdate& m) {
+    w.varint(static_cast<std::uint64_t>(m.item));
+    w.varint(m.count);
+  }
+};
+
+template <typename T>
+std::optional<AnyMessage> finish(ByteReader& r, T msg) {
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return AnyMessage{std::move(msg)};
+}
+
+std::optional<AnyMessage> decode_payload(MessageType type, ByteReader& r) {
+  switch (type) {
+    case MessageType::JoinRequest: {
+      JoinRequest m;
+      if (!r.str(m.name)) return std::nullopt;
+      return finish(r, std::move(m));
+    }
+    case MessageType::PlayerMove: {
+      PlayerMove m;
+      std::uint8_t yaw, pitch;
+      if (!get_vec3(r, m.pos) || !r.u8(yaw) || !r.u8(pitch)) return std::nullopt;
+      m.yaw = dequantize_angle(yaw);
+      m.pitch = dequantize_angle(pitch);
+      return finish(r, m);
+    }
+    case MessageType::PlayerDig: {
+      PlayerDig m;
+      if (!get_block_pos(r, m.pos)) return std::nullopt;
+      return finish(r, m);
+    }
+    case MessageType::PlayerPlace: {
+      PlayerPlace m;
+      if (!get_block_pos(r, m.pos) || !get_block(r, m.block)) return std::nullopt;
+      return finish(r, m);
+    }
+    case MessageType::KeepAliveReply: {
+      KeepAliveReply m;
+      if (!r.u32(m.nonce)) return std::nullopt;
+      return finish(r, m);
+    }
+    case MessageType::ChatSend: {
+      ChatSend m;
+      if (!r.str(m.text)) return std::nullopt;
+      return finish(r, std::move(m));
+    }
+    case MessageType::JoinAck: {
+      JoinAck m;
+      std::uint64_t id;
+      if (!r.varint(id) || !get_vec3(r, m.spawn) || !r.u8(m.view_distance)) {
+        return std::nullopt;
+      }
+      m.self_id = static_cast<entity::EntityId>(id);
+      return finish(r, m);
+    }
+    case MessageType::ChunkData: {
+      ChunkData m;
+      if (!get_chunk_pos(r, m.pos) || !r.blob(m.rle)) return std::nullopt;
+      return finish(r, std::move(m));
+    }
+    case MessageType::UnloadChunk: {
+      UnloadChunk m;
+      if (!get_chunk_pos(r, m.pos)) return std::nullopt;
+      return finish(r, m);
+    }
+    case MessageType::BlockChange: {
+      BlockChange m;
+      if (!get_block_pos(r, m.pos) || !get_block(r, m.block)) return std::nullopt;
+      return finish(r, m);
+    }
+    case MessageType::MultiBlockChange: {
+      MultiBlockChange m;
+      std::uint64_t n;
+      if (!get_chunk_pos(r, m.chunk) || !r.varint(n)) return std::nullopt;
+      if (n > world::Chunk::kVolume) return std::nullopt;
+      m.entries.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        MultiBlockChange::Entry e;
+        std::uint8_t xz;
+        if (!r.u8(xz) || !r.u8(e.y) || !get_block(r, e.block)) return std::nullopt;
+        e.x = xz >> 4;
+        e.z = xz & 0x0F;
+        m.entries.push_back(e);
+      }
+      return finish(r, std::move(m));
+    }
+    case MessageType::EntitySpawn: {
+      EntitySpawn m;
+      std::uint64_t id, data;
+      std::uint8_t kind, yaw, pitch;
+      if (!r.varint(id) || !r.u8(kind) || !get_vec3(r, m.pos) || !r.u8(yaw) ||
+          !r.u8(pitch) || !r.str(m.name) || !r.varint(data)) {
+        return std::nullopt;
+      }
+      if (kind > static_cast<std::uint8_t>(entity::EntityKind::Item)) return std::nullopt;
+      if (data > 0xFFFF) return std::nullopt;
+      m.id = static_cast<entity::EntityId>(id);
+      m.kind = static_cast<entity::EntityKind>(kind);
+      m.yaw = dequantize_angle(yaw);
+      m.pitch = dequantize_angle(pitch);
+      m.data = static_cast<std::uint16_t>(data);
+      return finish(r, std::move(m));
+    }
+    case MessageType::EntityDespawn: {
+      EntityDespawn m;
+      std::uint64_t id;
+      if (!r.varint(id)) return std::nullopt;
+      m.id = static_cast<entity::EntityId>(id);
+      return finish(r, m);
+    }
+    case MessageType::EntityMove: {
+      EntityMove m;
+      if (!get_entity_move(r, m)) return std::nullopt;
+      return finish(r, m);
+    }
+    case MessageType::EntityMoveBatch: {
+      EntityMoveBatch m;
+      std::uint64_t n;
+      if (!r.varint(n)) return std::nullopt;
+      if (n > 1'000'000) return std::nullopt;  // sanity cap against hostile input
+      m.moves.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        EntityMove mv;
+        if (!get_entity_move(r, mv)) return std::nullopt;
+        m.moves.push_back(mv);
+      }
+      return finish(r, std::move(m));
+    }
+    case MessageType::KeepAlive: {
+      KeepAlive m;
+      if (!r.u32(m.nonce)) return std::nullopt;
+      return finish(r, m);
+    }
+    case MessageType::ChatBroadcast: {
+      ChatBroadcast m;
+      std::uint64_t from;
+      if (!r.varint(from) || !r.str(m.text)) return std::nullopt;
+      m.from = static_cast<entity::EntityId>(from);
+      return finish(r, std::move(m));
+    }
+    case MessageType::InventoryUpdate: {
+      InventoryUpdate m;
+      std::uint64_t count;
+      if (!get_block(r, m.item) || !r.varint(count)) return std::nullopt;
+      if (count > 0xFFFFFFFFull) return std::nullopt;
+      m.count = static_cast<std::uint32_t>(count);
+      return finish(r, m);
+    }
+  }
+  return std::nullopt;
+}
+
+struct TypeOf {
+  MessageType operator()(const JoinRequest&) const { return MessageType::JoinRequest; }
+  MessageType operator()(const PlayerMove&) const { return MessageType::PlayerMove; }
+  MessageType operator()(const PlayerDig&) const { return MessageType::PlayerDig; }
+  MessageType operator()(const PlayerPlace&) const { return MessageType::PlayerPlace; }
+  MessageType operator()(const KeepAliveReply&) const { return MessageType::KeepAliveReply; }
+  MessageType operator()(const ChatSend&) const { return MessageType::ChatSend; }
+  MessageType operator()(const JoinAck&) const { return MessageType::JoinAck; }
+  MessageType operator()(const ChunkData&) const { return MessageType::ChunkData; }
+  MessageType operator()(const UnloadChunk&) const { return MessageType::UnloadChunk; }
+  MessageType operator()(const BlockChange&) const { return MessageType::BlockChange; }
+  MessageType operator()(const MultiBlockChange&) const {
+    return MessageType::MultiBlockChange;
+  }
+  MessageType operator()(const EntitySpawn&) const { return MessageType::EntitySpawn; }
+  MessageType operator()(const EntityDespawn&) const { return MessageType::EntityDespawn; }
+  MessageType operator()(const EntityMove&) const { return MessageType::EntityMove; }
+  MessageType operator()(const EntityMoveBatch&) const { return MessageType::EntityMoveBatch; }
+  MessageType operator()(const KeepAlive&) const { return MessageType::KeepAlive; }
+  MessageType operator()(const ChatBroadcast&) const { return MessageType::ChatBroadcast; }
+  MessageType operator()(const InventoryUpdate&) const {
+    return MessageType::InventoryUpdate;
+  }
+};
+
+}  // namespace
+
+const char* message_type_name(MessageType t) {
+  switch (t) {
+    case MessageType::JoinRequest: return "JoinRequest";
+    case MessageType::PlayerMove: return "PlayerMove";
+    case MessageType::PlayerDig: return "PlayerDig";
+    case MessageType::PlayerPlace: return "PlayerPlace";
+    case MessageType::KeepAliveReply: return "KeepAliveReply";
+    case MessageType::ChatSend: return "ChatSend";
+    case MessageType::JoinAck: return "JoinAck";
+    case MessageType::ChunkData: return "ChunkData";
+    case MessageType::UnloadChunk: return "UnloadChunk";
+    case MessageType::BlockChange: return "BlockChange";
+    case MessageType::MultiBlockChange: return "MultiBlockChange";
+    case MessageType::EntitySpawn: return "EntitySpawn";
+    case MessageType::EntityDespawn: return "EntityDespawn";
+    case MessageType::EntityMove: return "EntityMove";
+    case MessageType::EntityMoveBatch: return "EntityMoveBatch";
+    case MessageType::KeepAlive: return "KeepAlive";
+    case MessageType::ChatBroadcast: return "ChatBroadcast";
+    case MessageType::InventoryUpdate: return "InventoryUpdate";
+  }
+  return "Unknown";
+}
+
+net::Frame encode(const AnyMessage& msg) {
+  Encoder enc;
+  std::visit(enc, msg);
+  net::Frame frame;
+  frame.tag = static_cast<std::uint8_t>(type_of(msg));
+  frame.payload = enc.w.take();
+  return frame;
+}
+
+std::optional<AnyMessage> decode(const net::Frame& frame) {
+  ByteReader r(frame.payload);
+  return decode_payload(static_cast<MessageType>(frame.tag), r);
+}
+
+MessageType type_of(const AnyMessage& msg) { return std::visit(TypeOf{}, msg); }
+
+}  // namespace dyconits::protocol

@@ -1,0 +1,22 @@
+// Encode/decode between message structs and net::Frame. decode() returns
+// nullopt for unknown tags or malformed payloads (trailing bytes included),
+// so a fuzzing test can assert memory-safe rejection of arbitrary input.
+#pragma once
+
+#include <optional>
+
+#include "net/sim_network.h"
+#include "protocol/messages.h"
+
+namespace dyconits::protocol {
+
+/// Encodes any protocol message into a tagged frame.
+net::Frame encode(const AnyMessage& msg);
+
+/// Decodes a frame; nullopt on unknown tag or malformed payload.
+std::optional<AnyMessage> decode(const net::Frame& frame);
+
+/// Tag carried by the frame for `msg` (for per-type byte accounting).
+MessageType type_of(const AnyMessage& msg);
+
+}  // namespace dyconits::protocol

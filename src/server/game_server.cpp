@@ -1,0 +1,809 @@
+#include "server/game_server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "entity/movement.h"
+#include "util/log.h"
+
+namespace dyconits::server {
+
+using dyconit::Bounds;
+using dyconit::DyconitId;
+using dyconit::Update;
+using entity::Entity;
+using entity::EntityId;
+using world::ChunkPos;
+
+namespace {
+
+world::Vec3 default_spawn(const std::string&) { return {8.5, 40.0, 8.5}; }
+
+}  // namespace
+
+GameServer::GameServer(SimClock& clock, net::SimNetwork& net, world::World& world,
+                       std::unique_ptr<dyconit::Policy> policy, ServerConfig cfg)
+    : clock_(clock),
+      net_(net),
+      world_(world),
+      policy_(std::move(policy)),
+      cfg_(std::move(cfg)),
+      endpoint_(net.create_endpoint("server")),
+      dyconits_(clock) {
+  assert(!cfg_.use_dyconits || policy_ != nullptr);
+  if (!cfg_.spawn_provider) cfg_.spawn_provider = default_spawn;
+  observer_token_ =
+      world_.add_block_observer([this](const world::BlockChange& c) { on_block_change(c); });
+
+  dyconits_.set_snapshot_threshold(cfg_.snapshot_queue_threshold);
+  mob_rng_ = Rng(cfg_.mob_seed);
+  mobs_.reserve(cfg_.mob_count);
+  for (std::size_t i = 0; i < cfg_.mob_count; ++i) {
+    const double r = cfg_.mob_spawn_radius * std::sqrt(mob_rng_.next_double());
+    const double a = mob_rng_.next_double() * 2.0 * 3.14159265358979323846;
+    const auto x = static_cast<std::int32_t>(r * std::cos(a));
+    const auto z = static_cast<std::int32_t>(r * std::sin(a));
+    Entity& e = registry_.create(entity::EntityKind::Mob, world_.spawn_position(x, z));
+    mobs_.push_back(Mob{e.id, e.pos, SimTime::zero()});
+  }
+}
+
+GameServer::~GameServer() { world_.remove_block_observer(observer_token_); }
+
+void GameServer::tick() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t frames0 = net_.egress_frames(endpoint_);
+  const std::uint64_t bytes0 = net_.egress_bytes(endpoint_);
+  ++tick_number_;
+
+  process_inbound();
+  tick_mobs();
+  tick_environment();
+  tick_items();
+  dispatch_moved_entities();
+  stream_chunks();
+  send_keepalives();
+  if (cfg_.use_dyconits) dyconits_.tick(*this);
+  run_policy();
+
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  auto micros = std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  // Add the modeled network-stack CPU the in-process send skipped.
+  const std::uint64_t frames = net_.egress_frames(endpoint_) - frames0;
+  const std::uint64_t bytes = net_.egress_bytes(endpoint_) - bytes0;
+  micros += static_cast<std::int64_t>(frames) * cfg_.net_cost_per_frame.count_micros();
+  micros += static_cast<std::int64_t>(static_cast<double>(bytes) *
+                                      cfg_.net_cost_per_byte_ns / 1000.0);
+  last_tick_cpu_ = SimDuration::micros(micros);
+  tick_cpu_ms_.add(static_cast<double>(micros) / 1000.0);
+}
+
+// ---------------------------------------------------------------- inbound
+
+void GameServer::process_inbound() {
+  for (net::Delivery& d : net_.poll(endpoint_)) {
+    const auto msg = protocol::decode(d.frame);
+    if (!msg.has_value()) {
+      Log::warn("server: dropping malformed frame from %u", d.from);
+      continue;
+    }
+    Session* s = session_of(d.from);
+    if (s == nullptr) {
+      if (const auto* join = std::get_if<protocol::JoinRequest>(&*msg)) {
+        handle_join(d.from, *join);
+      }
+      continue;  // any other message from a stranger is ignored
+    }
+    current_actor_ = s->id;
+    handle_message(*s, *msg);
+    current_actor_ = dyconit::kNoSubscriber;
+  }
+}
+
+void GameServer::handle_join(net::EndpointId from, const protocol::JoinRequest& m) {
+  Session s;
+  s.id = from;  // subscriber id == client endpoint id (both unique, nonzero)
+  s.endpoint = from;
+  s.name = m.name;
+
+  const world::Vec3 spawn = cfg_.spawn_provider(m.name);
+  Entity& e = registry_.create(entity::EntityKind::Player, spawn);
+  s.entity = e.id;
+  entity_to_session_.emplace(e.id, s.id);
+
+  auto [it, inserted] = sessions_.emplace(s.id, std::move(s));
+  assert(inserted);
+  Session& session = it->second;
+
+  send_to(session, protocol::JoinAck{e.id, spawn,
+                                     static_cast<std::uint8_t>(cfg_.view_distance)});
+  update_interest(session, /*initial=*/true);
+
+  // Announce the new player to everyone already watching the spawn chunk.
+  announce_spawn(e);
+  Log::info("server: %s joined as entity %u", session.name.c_str(), e.id);
+}
+
+void GameServer::handle_message(Session& s, const protocol::AnyMessage& m) {
+  if (const auto* move = std::get_if<protocol::PlayerMove>(&m)) {
+    apply_player_move(s, *move);
+  } else if (const auto* dig = std::get_if<protocol::PlayerDig>(&m)) {
+    if (cfg_.owns_chunk && !cfg_.owns_chunk(ChunkPos::of_block(dig->pos))) return;
+    const world::Block b = world_.block_at(dig->pos);
+    if (world::is_breakable(b)) {
+      world_.set_block(dig->pos, world::Block::Air);
+      if (cfg_.survival_mode) drop_item(dig->pos, b);
+    }
+  } else if (const auto* place = std::get_if<protocol::PlayerPlace>(&m)) {
+    if (cfg_.owns_chunk && !cfg_.owns_chunk(ChunkPos::of_block(place->pos))) return;
+    if (world::is_solid(place->block) &&
+        world_.block_at(place->pos) == world::Block::Air) {
+      if (cfg_.survival_mode) {
+        const auto it = s.inventory.find(place->block);
+        if (it == s.inventory.end() || it->second == 0) return;  // nothing to place
+        --it->second;
+        send_to(s, protocol::InventoryUpdate{place->block, it->second});
+      }
+      world_.set_block(place->pos, place->block);
+    }
+  } else if (std::get_if<protocol::KeepAliveReply>(&m) != nullptr) {
+    s.keepalive_pending = 0;
+    if (s.keepalive_sent_at != SimTime()) {
+      const SimDuration sample = clock_.now() - s.keepalive_sent_at;
+      // EWMA, alpha 1/4 — same shape as TCP's SRTT.
+      s.rtt = s.rtt.count_micros() == 0
+                  ? sample
+                  : SimDuration::micros((s.rtt.count_micros() * 3 +
+                                         sample.count_micros()) /
+                                        4);
+    }
+  } else if (const auto* chat = std::get_if<protocol::ChatSend>(&m)) {
+    // Chat is low-rate and latency-critical: vanilla broadcast in both modes.
+    const protocol::ChatBroadcast out{s.entity, chat->text};
+    for (auto& [id, other] : sessions_) send_to(other, out, clock_.now());
+  }
+  // JoinRequest from an existing session and server-bound-only types: ignore.
+}
+
+void GameServer::apply_player_move(Session& s, const protocol::PlayerMove& m) {
+  Entity* e = registry_.find(s.entity);
+  if (e == nullptr) return;
+
+  world::Vec3 target = m.pos;
+  const double dist = world::distance(e->pos, target);
+  if (dist > cfg_.max_move_per_message) return;  // anti-teleport: reject
+  if (dist < 1e-9 && e->yaw == m.yaw && e->pitch == m.pitch) return;
+
+  const ChunkPos before = e->chunk();
+  registry_.move(*e, target);
+  e->yaw = m.yaw;
+  e->pitch = m.pitch;
+  moved_[e->id] += dist;
+  const ChunkPos after = e->chunk();
+
+  if (before != after) {
+    entity_crossed_chunk(*e, before, after);
+    update_interest(s, /*initial=*/false);
+  }
+}
+
+void GameServer::tick_mobs() {
+  const double dt = cfg_.tick_interval.as_seconds();
+  for (Mob& mob : mobs_) {
+    Entity* e = registry_.find(mob.id);
+    if (e == nullptr) continue;
+    if (clock_.now() >= mob.next_waypoint ||
+        world::horizontal_distance(e->pos, mob.waypoint) < 1.0) {
+      const double r = 24.0 * std::sqrt(mob_rng_.next_double());
+      const double a = mob_rng_.next_double() * 2.0 * 3.14159265358979323846;
+      mob.waypoint = {e->pos.x + r * std::cos(a), 0.0, e->pos.z + r * std::sin(a)};
+      mob.next_waypoint = clock_.now() + SimDuration::seconds(8);
+    }
+    world::Vec3 next;
+    const auto res = entity::step_toward(world_, e->pos, mob.waypoint, cfg_.mob_speed,
+                                         dt, next);
+    if (res.blocked) mob.next_waypoint = SimTime::zero();  // repick next tick
+    if (!res.moved) continue;
+    const world::ChunkPos before = e->chunk();
+    const double dist = world::distance(e->pos, next);
+    registry_.move(*e, next);
+    moved_[e->id] += dist;
+    const world::ChunkPos after = e->chunk();
+    if (before != after) entity_crossed_chunk(*e, before, after);
+  }
+}
+
+void GameServer::tick_environment() {
+  if (cfg_.env_ticks_per_tick == 0) return;
+  // Refresh the active-chunk list every ~2 s; exact freshness is not
+  // needed, only that ticks land where players are watching.
+  if (active_chunks_.empty() || tick_number_ - active_chunks_built_at_tick_ >= 40) {
+    active_chunks_.clear();
+    active_chunks_.reserve(viewers_.size());
+    for (const auto& [c, subs] : viewers_) active_chunks_.push_back(c);
+    active_chunks_built_at_tick_ = tick_number_;
+  }
+  if (active_chunks_.empty()) return;
+
+  for (std::size_t i = 0; i < cfg_.env_ticks_per_tick; ++i) {
+    const ChunkPos c = active_chunks_[mob_rng_.next_below(active_chunks_.size())];
+    const auto lx = static_cast<int>(mob_rng_.next_below(world::kChunkSize));
+    const auto lz = static_cast<int>(mob_rng_.next_below(world::kChunkSize));
+    const std::int32_t wx = c.x * world::kChunkSize + lx;
+    const std::int32_t wz = c.z * world::kChunkSize + lz;
+    const int h = world_.surface_height(wx, wz);
+    if (h < 1) continue;
+    // Exposed dirt regrows into grass — the classic ambient world change.
+    if (world_.block_at({wx, h, wz}) == world::Block::Dirt) {
+      world_.set_block({wx, h, wz}, world::Block::Grass);
+      ++env_changes_;
+    }
+  }
+}
+
+// ------------------------------------------------------------ dispatching
+
+void GameServer::on_block_change(const world::BlockChange& change) {
+  const ChunkPos chunk = ChunkPos::of_block(change.pos);
+  const protocol::BlockChange msg{change.pos, change.new_block};
+
+  if (update_tap_ && !applying_external_) {
+    update_tap_(msg, 1.0, dyconit::coalesce_key_block(change.pos), chunk,
+                entity::EntityKind::Player);
+  }
+
+  if (cfg_.use_dyconits) {
+    Update u;
+    u.msg = msg;
+    u.weight = 1.0;
+    u.created = clock_.now();
+    u.coalesce_key = dyconit::coalesce_key_block(change.pos);
+    dyconits_.update(policy_->block_unit_for(chunk), std::move(u), current_actor_);
+    return;
+  }
+
+  const auto it = viewers_.find(chunk);
+  if (it == viewers_.end()) return;
+  for (const SubscriberId sub : it->second) {
+    if (sub == current_actor_) continue;
+    if (Session* s = session_of(sub)) send_to(*s, msg, clock_.now());
+  }
+}
+
+void GameServer::dispatch_moved_entities() {
+  for (const auto& [id, weight] : moved_) {
+    const Entity* e = registry_.find(id);
+    if (e != nullptr) dispatch_entity_move(*e, weight);
+  }
+  moved_.clear();
+}
+
+void GameServer::dispatch_entity_move(const Entity& e, double weight) {
+  const protocol::EntityMove msg{e.id, e.pos, e.yaw, e.pitch};
+  if (update_tap_ && external_entities_.count(e.id) == 0) {
+    update_tap_(msg, weight, dyconit::coalesce_key_entity(e.id), e.chunk(), e.kind);
+  }
+  const auto own_it = entity_to_session_.find(e.id);
+  const SubscriberId own =
+      own_it == entity_to_session_.end() ? dyconit::kNoSubscriber : own_it->second;
+
+  if (cfg_.use_dyconits) {
+    Update u;
+    u.msg = msg;
+    u.weight = weight;
+    u.created = clock_.now();
+    u.coalesce_key = dyconit::coalesce_key_entity(e.id);
+    dyconits_.update(policy_->entity_unit_for(e.chunk()), std::move(u), own);
+    return;
+  }
+
+  const auto it = viewers_.find(e.chunk());
+  if (it == viewers_.end()) return;
+  for (const SubscriberId sub : it->second) {
+    if (sub == own) continue;
+    Session* s = session_of(sub);
+    if (s != nullptr && s->known_entities.count(e.id) > 0) {
+      send_to(*s, msg, clock_.now());
+    }
+  }
+}
+
+// ------------------------------------------------------- interest tracking
+
+void GameServer::update_interest(Session& s, bool initial) {
+  const Entity* e = registry_.find(s.entity);
+  if (e == nullptr) return;
+  const ChunkPos center = e->chunk();
+  if (!initial && center == s.interest_center) return;
+  s.interest_center = center;
+
+  const int v = cfg_.view_distance;
+  std::vector<ChunkPos> to_remove;
+  for (const ChunkPos c : s.interest) {
+    if (c.chebyshev(center) > v + cfg_.unload_margin) to_remove.push_back(c);
+  }
+  for (const ChunkPos c : to_remove) remove_interest_chunk(s, c);
+
+  for (int dx = -v; dx <= v; ++dx) {
+    for (int dz = -v; dz <= v; ++dz) {
+      const ChunkPos c{center.x + dx, center.z + dz};
+      if (s.interest.count(c) == 0) add_interest_chunk(s, c);
+    }
+  }
+
+  if (cfg_.use_dyconits) retune_session_bounds(s);
+}
+
+void GameServer::add_interest_chunk(Session& s, ChunkPos c) {
+  s.interest.insert(c);
+  viewers_[c].insert(s.id);
+
+  if (s.chunk_queued.insert(c).second) s.chunk_queue.push_back(c);
+
+  // Spawn entities already standing in the chunk.
+  if (const auto* ids = registry_.entities_in_chunk(c)) {
+    for (const EntityId id : *ids) {
+      if (id == s.entity) continue;
+      const Entity* e = registry_.find(id);
+      if (e != nullptr && s.known_entities.insert(id).second) {
+        send_entity_spawn(s, *e);
+      }
+    }
+  }
+
+  if (cfg_.use_dyconits) {
+    const Entity* self = registry_.find(s.entity);
+    const world::Vec3 pos = self != nullptr ? self->pos : world::Vec3{};
+    for (const DyconitId unit :
+         {policy_->block_unit_for(c), policy_->entity_unit_for(c)}) {
+      if (++s.unit_refs[unit] == 1) {
+        dyconits_.subscribe(unit, s.id, policy_->bounds_for(unit, pos));
+      }
+    }
+  }
+}
+
+void GameServer::remove_interest_chunk(Session& s, ChunkPos c) {
+  s.interest.erase(c);
+  const auto vit = viewers_.find(c);
+  if (vit != viewers_.end()) {
+    vit->second.erase(s.id);
+    if (vit->second.empty()) viewers_.erase(vit);
+  }
+
+  if (s.chunk_queued.erase(c) > 0) {
+    // Leave the stale entry in chunk_queue; stream_chunks skips it.
+  } else {
+    send_to(s, protocol::UnloadChunk{c});
+  }
+
+  if (const auto* ids = registry_.entities_in_chunk(c)) {
+    for (const EntityId id : *ids) {
+      if (s.known_entities.erase(id) > 0) send_to(s, protocol::EntityDespawn{id});
+    }
+  }
+
+  if (cfg_.use_dyconits) {
+    for (const DyconitId unit :
+         {policy_->block_unit_for(c), policy_->entity_unit_for(c)}) {
+      const auto it = s.unit_refs.find(unit);
+      if (it != s.unit_refs.end() && --it->second == 0) {
+        s.unit_refs.erase(it);
+        dyconits_.unsubscribe(unit, s.id);
+      }
+    }
+  }
+}
+
+void GameServer::retune_session_bounds(Session& s) {
+  const Entity* e = registry_.find(s.entity);
+  if (e == nullptr) return;
+  for (const auto& [unit, refs] : s.unit_refs) {
+    dyconits_.set_bounds(unit, s.id, policy_->bounds_for(unit, e->pos));
+  }
+}
+
+void GameServer::entity_crossed_chunk(Entity& e, ChunkPos from, ChunkPos to) {
+  const auto* old_viewers = [&]() -> const std::unordered_set<SubscriberId>* {
+    const auto it = viewers_.find(from);
+    return it == viewers_.end() ? nullptr : &it->second;
+  }();
+  const auto* new_viewers = [&]() -> const std::unordered_set<SubscriberId>* {
+    const auto it = viewers_.find(to);
+    return it == viewers_.end() ? nullptr : &it->second;
+  }();
+
+  if (old_viewers != nullptr) {
+    for (const SubscriberId sub : *old_viewers) {
+      if (new_viewers != nullptr && new_viewers->count(sub) > 0) continue;
+      Session* s = session_of(sub);
+      if (s != nullptr && s->entity != e.id && s->known_entities.erase(e.id) > 0) {
+        send_to(*s, protocol::EntityDespawn{e.id});
+      }
+    }
+  }
+  if (new_viewers != nullptr) {
+    for (const SubscriberId sub : *new_viewers) {
+      if (old_viewers != nullptr && old_viewers->count(sub) > 0) continue;
+      Session* s = session_of(sub);
+      if (s != nullptr && s->entity != e.id && s->known_entities.insert(e.id).second) {
+        send_entity_spawn(*s, e);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- tick phases
+
+void GameServer::stream_chunks() {
+  for (auto& [id, s] : sessions_) {
+    int sent = 0;
+    while (sent < cfg_.max_chunk_sends_per_tick && !s.chunk_queue.empty()) {
+      const ChunkPos c = s.chunk_queue.front();
+      s.chunk_queue.pop_front();
+      if (s.chunk_queued.erase(c) == 0) continue;  // interest moved on
+      world::Chunk& chunk = world_.chunk_at(c);
+      send_to(s, protocol::ChunkData{c, chunk.encode_rle()});
+      ++sent;
+    }
+  }
+}
+
+void GameServer::send_keepalives() {
+  if (cfg_.keepalive_interval_ticks == 0 ||
+      tick_number_ % cfg_.keepalive_interval_ticks != 0) {
+    return;
+  }
+  std::vector<SubscriberId> timed_out;
+  for (auto& [id, s] : sessions_) {
+    if (s.keepalive_pending >= cfg_.keepalive_missed_limit) {
+      timed_out.push_back(id);
+      continue;
+    }
+    ++s.keepalive_pending;
+    s.keepalive_sent_at = clock_.now();
+    send_to(s, protocol::KeepAlive{static_cast<std::uint32_t>(tick_number_)});
+    ++keepalives_sent_;
+  }
+  for (const SubscriberId id : timed_out) {
+    ++sessions_timed_out_;
+    Log::warn("server: session %u timed out", id);
+    disconnect(id);
+  }
+}
+
+void GameServer::run_policy() {
+  if (!cfg_.use_dyconits) return;
+
+  const SimTime now = clock_.now();
+  if (now - last_rate_sample_ >= SimDuration::seconds(1)) {
+    const double dt = (now - last_rate_sample_).as_seconds();
+    egress_bytes_per_sec_ = egress_rate_.sample(net_.egress_bytes(endpoint_), dt);
+    last_rate_sample_ = now;
+  }
+
+  dyconit::LoadSample load;
+  load.now = now;
+  load.tick_duration = last_tick_cpu_;
+  load.tick_budget = cfg_.tick_interval;
+  load.egress_bytes_per_sec = egress_bytes_per_sec_;
+  load.bandwidth_budget_bps = cfg_.bandwidth_budget_bps;
+  load.players = sessions_.size();
+
+  const std::vector<dyconit::PlayerView> views = player_views();
+  dyconit::PolicyContext ctx(dyconits_, views, load);
+  policy_->on_tick(ctx);
+  if (ctx.resubscribe_requested()) rebuild_subscriptions();
+}
+
+void GameServer::rebuild_subscriptions() {
+  // The policy re-partitioned the world. Flush everything owed under the
+  // old partition (so no queued update is lost), drop the old
+  // subscriptions, and rebuild from the new unit mapping.
+  for (auto& [id, s] : sessions_) {
+    dyconits_.flush_subscriber(s.id, *this);
+    for (const auto& [unit, refs] : s.unit_refs) dyconits_.unsubscribe(unit, s.id);
+    s.unit_refs.clear();
+    const Entity* e = registry_.find(s.entity);
+    const world::Vec3 pos = e != nullptr ? e->pos : world::Vec3{};
+    for (const ChunkPos c : s.interest) {
+      for (const DyconitId unit :
+           {policy_->block_unit_for(c), policy_->entity_unit_for(c)}) {
+        if (++s.unit_refs[unit] == 1) {
+          dyconits_.subscribe(unit, s.id, policy_->bounds_for(unit, pos));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- flushing
+
+void GameServer::deliver(SubscriberId to, const std::vector<FlushedUpdate>& updates) {
+  Session* s = session_of(to);
+  if (s == nullptr) return;
+
+  // Pack flushed updates into batch frames: entity moves into one
+  // EntityMoveBatch, block changes into per-chunk MultiBlockChange. The
+  // frame's trace origin is the oldest constituent update, so measured
+  // latency is the worst case within the batch.
+  std::vector<protocol::EntityMove> moves;
+  SimTime moves_origin = SimTime::zero();
+  std::unordered_map<ChunkPos, protocol::MultiBlockChange> blocks;
+  std::unordered_map<ChunkPos, SimTime> blocks_origin;
+
+  for (const FlushedUpdate& u : updates) {
+    if (const auto* mv = std::get_if<protocol::EntityMove>(u.msg)) {
+      if (moves.empty() || u.created < moves_origin) moves_origin = u.created;
+      moves.push_back(*mv);
+    } else if (const auto* bc = std::get_if<protocol::BlockChange>(u.msg)) {
+      const ChunkPos c = ChunkPos::of_block(bc->pos);
+      auto& mbc = blocks[c];
+      mbc.chunk = c;
+      mbc.entries.push_back({static_cast<std::uint8_t>(world::floor_mod(bc->pos.x, 16)),
+                             static_cast<std::uint8_t>(bc->pos.y),
+                             static_cast<std::uint8_t>(world::floor_mod(bc->pos.z, 16)),
+                             bc->block});
+      auto [oit, inserted] = blocks_origin.emplace(c, u.created);
+      if (!inserted && u.created < oit->second) oit->second = u.created;
+    } else {
+      send_to(*s, *u.msg, u.created);
+    }
+  }
+
+  if (moves.size() == 1) {
+    send_to(*s, moves.front(), moves_origin);
+  } else if (!moves.empty()) {
+    send_to(*s, protocol::EntityMoveBatch{std::move(moves)}, moves_origin);
+  }
+  for (auto& [c, mbc] : blocks) {
+    if (mbc.entries.size() == 1) {
+      const auto& e = mbc.entries.front();
+      const world::BlockPos pos{c.x * 16 + e.x, e.y, c.z * 16 + e.z};
+      send_to(*s, protocol::BlockChange{pos, e.block}, blocks_origin[c]);
+    } else {
+      send_to(*s, std::move(mbc), blocks_origin[c]);
+    }
+  }
+}
+
+// ------------------------------------------------------------------- items
+
+void GameServer::drop_item(const world::BlockPos& pos, world::Block block) {
+  Entity& item = registry_.create(entity::EntityKind::Item, pos.center());
+  item.data = static_cast<std::uint16_t>(block);
+  items_.push_back({item.id, clock_.now() + cfg_.item_ttl});
+  ++items_dropped_;
+  announce_spawn(item);
+}
+
+void GameServer::tick_items() {
+  if (items_.empty()) return;
+  const SimTime now = clock_.now();
+  for (auto it = items_.begin(); it != items_.end();) {
+    Entity* item = registry_.find(it->id);
+    if (item == nullptr) {
+      it = items_.erase(it);
+      continue;
+    }
+    // Pickup: the nearest player standing on the item takes it.
+    Session* taker = nullptr;
+    for (const EntityId near_id : registry_.query_chunk_radius(item->chunk(), 1)) {
+      const Entity* e = registry_.find(near_id);
+      if (e == nullptr || e->kind != entity::EntityKind::Player) continue;
+      if (world::distance(e->pos, item->pos) > cfg_.pickup_radius) continue;
+      if (Session* s = session_by_entity(near_id)) {
+        taker = s;
+        break;
+      }
+    }
+    if (taker != nullptr) {
+      pickup_item(*taker, *item);
+      it = items_.erase(it);
+      continue;
+    }
+    if (now >= it->expires) {
+      ++items_expired_;
+      despawn_entity_everywhere(item->id, item->chunk());
+      registry_.remove(item->id);
+      it = items_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+}
+
+void GameServer::pickup_item(Session& s, const Entity& item) {
+  const auto block = static_cast<world::Block>(item.data);
+  const std::uint32_t count = ++s.inventory[block];
+  send_to(s, protocol::InventoryUpdate{block, count});
+  ++items_picked_up_;
+  despawn_entity_everywhere(item.id, item.chunk());
+  registry_.remove(item.id);
+}
+
+void GameServer::despawn_entity_everywhere(EntityId id, ChunkPos chunk) {
+  const auto vit = viewers_.find(chunk);
+  if (vit == viewers_.end()) return;
+  for (const SubscriberId sub : vit->second) {
+    Session* s = session_of(sub);
+    if (s != nullptr && s->known_entities.erase(id) > 0) {
+      send_to(*s, protocol::EntityDespawn{id});
+    }
+  }
+}
+
+void GameServer::announce_spawn(const Entity& e) {
+  const auto vit = viewers_.find(e.chunk());
+  if (vit == viewers_.end()) return;
+  for (const SubscriberId sub : vit->second) {
+    Session* s = session_of(sub);
+    if (s != nullptr && s->entity != e.id && s->known_entities.insert(e.id).second) {
+      send_entity_spawn(*s, e);
+    }
+  }
+}
+
+// -------------------------------------------------------------- federation
+
+void GameServer::apply_external_block(const world::BlockPos& pos, world::Block b) {
+  applying_external_ = true;
+  world_.set_block(pos, b);
+  applying_external_ = false;
+}
+
+entity::EntityId GameServer::spawn_external_entity(entity::EntityKind kind,
+                                                   const world::Vec3& pos,
+                                                   std::uint16_t data,
+                                                   const std::string& name) {
+  Entity& e = registry_.create(kind, pos);
+  e.data = data;
+  external_entities_.insert(e.id);
+  external_names_[e.id] = name;
+  announce_spawn(e);
+  return e.id;
+}
+
+void GameServer::move_external_entity(entity::EntityId id, const world::Vec3& pos,
+                                      float yaw, float pitch, double weight) {
+  Entity* e = registry_.find(id);
+  if (e == nullptr || external_entities_.count(id) == 0) return;
+  const ChunkPos before = e->chunk();
+  registry_.move(*e, pos);
+  e->yaw = yaw;
+  e->pitch = pitch;
+  moved_[id] += weight;
+  const ChunkPos after = e->chunk();
+  if (before != after) entity_crossed_chunk(*e, before, after);
+}
+
+void GameServer::remove_external_entity(entity::EntityId id) {
+  Entity* e = registry_.find(id);
+  if (e == nullptr || external_entities_.erase(id) == 0) return;
+  external_names_.erase(id);
+  despawn_entity_everywhere(id, e->chunk());
+  registry_.remove(id);
+  moved_.erase(id);
+}
+
+std::uint32_t GameServer::inventory_of(SubscriberId sub, world::Block item) const {
+  const auto sit = sessions_.find(sub);
+  if (sit == sessions_.end()) return 0;
+  const auto it = sit->second.inventory.find(item);
+  return it == sit->second.inventory.end() ? 0 : it->second;
+}
+
+void GameServer::request_snapshot(SubscriberId to, const dyconit::DyconitId& unit) {
+  Session* s = session_of(to);
+  if (s == nullptr) return;
+  // Fresh state for every interest chunk the unit covers.
+  for (const ChunkPos c : s->interest) {
+    const bool covered = unit.is_entity_domain() ? policy_->entity_unit_for(c) == unit
+                                                 : policy_->block_unit_for(c) == unit;
+    if (!covered) continue;
+    if (unit.is_entity_domain()) {
+      // Current positions of everything the client knows in this chunk.
+      if (const auto* ids = registry_.entities_in_chunk(c)) {
+        for (const EntityId id : *ids) {
+          const Entity* e = registry_.find(id);
+          if (e != nullptr && s->known_entities.count(id) > 0) {
+            send_to(*s, protocol::EntityMove{e->id, e->pos, e->yaw, e->pitch},
+                    clock_.now());
+          }
+        }
+      }
+    } else if (s->chunk_queued.insert(c).second) {
+      s->chunk_queue.push_back(c);  // full chunk resend via the throttle
+    }
+  }
+}
+
+// ----------------------------------------------------------------- helpers
+
+void GameServer::send_to(Session& s, const protocol::AnyMessage& m, SimTime trace_origin) {
+  net::Frame frame = protocol::encode(m);
+  frame.trace_origin = trace_origin;
+  net_.send(endpoint_, s.endpoint, std::move(frame));
+}
+
+void GameServer::send_entity_spawn(Session& s, const Entity& e) {
+  send_to(s, protocol::EntitySpawn{e.id, e.kind, e.pos, e.yaw, e.pitch,
+                                   display_name_of(e.id), e.data});
+}
+
+const std::string& GameServer::display_name_of(EntityId id) const {
+  static const std::string kEmpty;
+  const auto eit = external_names_.find(id);
+  if (eit != external_names_.end()) return eit->second;
+  const auto it = entity_to_session_.find(id);
+  if (it == entity_to_session_.end()) return kEmpty;
+  const auto sit = sessions_.find(it->second);
+  return sit == sessions_.end() ? kEmpty : sit->second.name;
+}
+
+void GameServer::disconnect(SubscriberId sub) {
+  const auto it = sessions_.find(sub);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+
+  // Remove the player's view.
+  for (const ChunkPos c : s.interest) {
+    const auto vit = viewers_.find(c);
+    if (vit != viewers_.end()) {
+      vit->second.erase(sub);
+      if (vit->second.empty()) viewers_.erase(vit);
+    }
+  }
+  if (cfg_.use_dyconits) dyconits_.unsubscribe_all(sub);
+
+  // Remove the player's presence.
+  Entity* e = registry_.find(s.entity);
+  if (e != nullptr) {
+    const auto vit = viewers_.find(e->chunk());
+    if (vit != viewers_.end()) {
+      for (const SubscriberId other_id : vit->second) {
+        Session* other = session_of(other_id);
+        if (other != nullptr && other->known_entities.erase(e->id) > 0) {
+          send_to(*other, protocol::EntityDespawn{e->id});
+        }
+      }
+    }
+    entity_to_session_.erase(e->id);
+    registry_.remove(e->id);
+    moved_.erase(s.entity);
+  }
+  sessions_.erase(it);
+}
+
+GameServer::Session* GameServer::session_of(SubscriberId sub) {
+  const auto it = sessions_.find(sub);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+GameServer::Session* GameServer::session_by_entity(EntityId id) {
+  const auto it = entity_to_session_.find(id);
+  return it == entity_to_session_.end() ? nullptr : session_of(it->second);
+}
+
+entity::EntityId GameServer::entity_of(SubscriberId sub) const {
+  const auto it = sessions_.find(sub);
+  return it == sessions_.end() ? entity::kInvalidEntity : it->second.entity;
+}
+
+std::vector<dyconit::PlayerView> GameServer::player_views() const {
+  std::vector<dyconit::PlayerView> views;
+  views.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) {
+    const Entity* e = registry_.find(s.entity);
+    if (e != nullptr) views.push_back({s.id, s.entity, e->pos, s.rtt});
+  }
+  return views;
+}
+
+SimDuration GameServer::rtt_of(SubscriberId sub) const {
+  const auto it = sessions_.find(sub);
+  return it == sessions_.end() ? SimDuration() : it->second.rtt;
+}
+
+}  // namespace dyconits::server

@@ -1,0 +1,247 @@
+// The MVE game server: a 20 Hz tick loop over player sessions, chunk
+// streaming, interest management, and state-update dispatch. The dispatch
+// path is the integration point of the paper: with use_dyconits=false every
+// update is serialized and sent at the update site (the unmodified game);
+// with use_dyconits=true the same call sites hand updates to the
+// DyconitSystem and the server's FlushSink packs flushed batches into
+// protocol frames on the existing network stack.
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dyconit/policy.h"
+#include "dyconit/system.h"
+#include "entity/registry.h"
+#include "metrics/metrics.h"
+#include "net/sim_network.h"
+#include "protocol/codec.h"
+#include "server/config.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "world/world.h"
+
+namespace dyconits::server {
+
+using dyconit::SubscriberId;
+
+class GameServer final : public dyconit::FlushSink {
+ public:
+  /// `policy` may be null only when cfg.use_dyconits is false.
+  GameServer(SimClock& clock, net::SimNetwork& net, world::World& world,
+             std::unique_ptr<dyconit::Policy> policy, ServerConfig cfg);
+  ~GameServer() override;
+
+  GameServer(const GameServer&) = delete;
+  GameServer& operator=(const GameServer&) = delete;
+
+  net::EndpointId endpoint() const { return endpoint_; }
+
+  /// Runs one full game tick at the current simulated time: drains inbound
+  /// messages, applies actions, dispatches updates, streams chunks, flushes
+  /// due dyconit queues, and runs the policy. Measures its own CPU time.
+  void tick();
+
+  /// Force-disconnects a player (drops session, despawns entity, notifies
+  /// viewers). Used by tests/examples; timeouts call it internally.
+  void disconnect(SubscriberId sub);
+
+  // -- FlushSink --
+  void deliver(SubscriberId to, const std::vector<FlushedUpdate>& updates) override;
+  void request_snapshot(SubscriberId to, const dyconit::DyconitId& unit) override;
+
+  // -- introspection --
+  std::size_t player_count() const { return sessions_.size(); }
+  const entity::EntityRegistry& entities() const { return registry_; }
+  world::World& world() { return world_; }
+  dyconit::DyconitSystem& dyconits() { return dyconits_; }
+  const dyconit::Stats& dyconit_stats() const { return dyconits_.stats(); }
+  dyconit::Policy* policy() { return policy_.get(); }
+  const ServerConfig& config() const { return cfg_; }
+
+  /// Wall-clock CPU time of each tick() call, in milliseconds.
+  const Samples& tick_cpu_ms() const { return tick_cpu_ms_; }
+  Samples& tick_cpu_ms() { return tick_cpu_ms_; }
+  SimDuration last_tick_cpu() const { return last_tick_cpu_; }
+  std::uint64_t tick_count() const { return tick_number_; }
+
+  // -- federation hooks --
+  /// Observes every locally-originated update the server dispatches (block
+  /// changes and entity moves), with its dyconit coalesce key and source
+  /// chunk. Externally-applied updates and mirror entities are not tapped
+  /// (loop prevention). `kind` is meaningful for entity moves only.
+  using UpdateTap =
+      std::function<void(const protocol::AnyMessage& msg, double weight,
+                         std::uint64_t key, world::ChunkPos chunk,
+                         entity::EntityKind kind)>;
+  void set_update_tap(UpdateTap tap) { update_tap_ = std::move(tap); }
+
+  /// Applies a block change received from a peer instance: local players
+  /// are notified through the normal dispatch path, but the update tap is
+  /// suppressed.
+  void apply_external_block(const world::BlockPos& pos, world::Block b);
+
+  /// Mirror entities: local stand-ins for entities owned by a peer.
+  entity::EntityId spawn_external_entity(entity::EntityKind kind,
+                                         const world::Vec3& pos, std::uint16_t data,
+                                         const std::string& name);
+  void move_external_entity(entity::EntityId id, const world::Vec3& pos, float yaw,
+                            float pitch, double weight);
+  void remove_external_entity(entity::EntityId id);
+  bool is_external_entity(entity::EntityId id) const {
+    return external_entities_.count(id) > 0;
+  }
+  std::size_t external_entity_count() const { return external_entities_.size(); }
+
+  /// Entity id of a connected player, kInvalidEntity if unknown.
+  entity::EntityId entity_of(SubscriberId sub) const;
+  /// Smoothed keep-alive RTT of a player; zero until measured.
+  SimDuration rtt_of(SubscriberId sub) const;
+  /// Positions of all connected players (policy views).
+  std::vector<dyconit::PlayerView> player_views() const;
+
+  /// Total updates suppressed relative to a vanilla send (coalesced).
+  std::uint64_t keepalives_sent() const { return keepalives_sent_; }
+  std::uint64_t sessions_timed_out() const { return sessions_timed_out_; }
+
+ private:
+  struct Session {
+    SubscriberId id = 0;
+    net::EndpointId endpoint = net::kInvalidEndpoint;
+    entity::EntityId entity = entity::kInvalidEntity;
+    std::string name;
+    world::ChunkPos interest_center;
+    std::unordered_set<world::ChunkPos> interest;        // chunks in view
+    std::unordered_map<dyconit::DyconitId, int> unit_refs;  // unit -> #interest chunks
+    std::deque<world::ChunkPos> chunk_queue;             // pending ChunkData sends
+    std::unordered_set<world::ChunkPos> chunk_queued;    // membership for chunk_queue
+    std::unordered_set<entity::EntityId> known_entities;
+    std::unordered_map<world::Block, std::uint32_t> inventory;
+    std::uint32_t keepalive_pending = 0;
+    SimTime keepalive_sent_at;
+    /// Smoothed round-trip time measured from keep-alive replies (zero
+    /// until the first reply). Available to policies via PlayerView.
+    SimDuration rtt;
+    bool joined = false;
+  };
+
+  // -- tick phases --
+  void process_inbound();
+  void tick_mobs();
+  void tick_environment();
+  void tick_items();
+  void dispatch_moved_entities();
+  void stream_chunks();
+  void send_keepalives();
+  void run_policy();
+
+  // -- message handling --
+  void handle_join(net::EndpointId from, const protocol::JoinRequest& m);
+  void handle_message(Session& s, const protocol::AnyMessage& m);
+  void apply_player_move(Session& s, const protocol::PlayerMove& m);
+
+  // -- interest management --
+  void update_interest(Session& s, bool initial);
+  void add_interest_chunk(Session& s, world::ChunkPos c);
+  void remove_interest_chunk(Session& s, world::ChunkPos c);
+  void retune_session_bounds(Session& s);
+  void rebuild_subscriptions();
+  void entity_crossed_chunk(entity::Entity& e, world::ChunkPos from, world::ChunkPos to);
+
+  // -- update dispatch (the paper's integration point) --
+  void on_block_change(const world::BlockChange& change);
+  void dispatch_entity_move(const entity::Entity& e, double weight);
+
+  // -- items --
+  void drop_item(const world::BlockPos& pos, world::Block block);
+  void pickup_item(Session& s, const entity::Entity& item);
+  void despawn_entity_everywhere(entity::EntityId id, world::ChunkPos chunk);
+  void announce_spawn(const entity::Entity& e);
+
+  // -- sending --
+  void send_to(Session& s, const protocol::AnyMessage& m, SimTime trace_origin = {});
+  void send_entity_spawn(Session& s, const entity::Entity& e);
+  const std::string& display_name_of(entity::EntityId id) const;
+
+  Session* session_of(SubscriberId sub);
+  Session* session_by_entity(entity::EntityId id);
+
+  SimClock& clock_;
+  net::SimNetwork& net_;
+  world::World& world_;
+  std::unique_ptr<dyconit::Policy> policy_;
+  ServerConfig cfg_;
+
+  net::EndpointId endpoint_;
+  dyconit::DyconitSystem dyconits_;
+  entity::EntityRegistry registry_;
+
+  std::unordered_map<SubscriberId, Session> sessions_;
+  std::unordered_map<entity::EntityId, SubscriberId> entity_to_session_;
+  std::unordered_map<world::ChunkPos, std::unordered_set<SubscriberId>> viewers_;
+
+  /// Entities that moved during the current tick and the weight (distance)
+  /// they accumulated.
+  std::unordered_map<entity::EntityId, double> moved_;
+  /// Originator of the action currently being applied (excluded from its
+  /// own update fan-out).
+  SubscriberId current_actor_ = dyconit::kNoSubscriber;
+
+  std::uint64_t tick_number_ = 0;
+  SimDuration last_tick_cpu_;
+  Samples tick_cpu_ms_;
+  metrics::RateSampler egress_rate_;
+  double egress_bytes_per_sec_ = 0.0;
+  SimTime last_rate_sample_;
+  std::uint64_t keepalives_sent_ = 0;
+  std::uint64_t sessions_timed_out_ = 0;
+  int observer_token_ = 0;
+
+  struct Mob {
+    entity::EntityId id = entity::kInvalidEntity;
+    world::Vec3 waypoint;
+    SimTime next_waypoint;
+  };
+  std::vector<Mob> mobs_;
+  Rng mob_rng_{1};
+
+  struct DroppedItem {
+    entity::EntityId id = entity::kInvalidEntity;
+    SimTime expires;
+  };
+  std::vector<DroppedItem> items_;
+  UpdateTap update_tap_;
+  bool applying_external_ = false;
+  std::unordered_set<entity::EntityId> external_entities_;
+  std::unordered_map<entity::EntityId, std::string> external_names_;
+  std::uint64_t items_dropped_ = 0;
+  std::uint64_t items_picked_up_ = 0;
+  std::uint64_t items_expired_ = 0;
+
+ public:
+  std::uint64_t items_dropped() const { return items_dropped_; }
+  std::uint64_t items_picked_up() const { return items_picked_up_; }
+  std::uint64_t items_expired() const { return items_expired_; }
+  /// Inventory count of one item for a connected player (0 if unknown).
+  std::uint32_t inventory_of(SubscriberId sub, world::Block item) const;
+
+ private:
+
+  /// Chunks eligible for environmental ticks (watched by someone); lazily
+  /// rebuilt from viewers_ every couple of seconds.
+  std::vector<world::ChunkPos> active_chunks_;
+  std::uint64_t active_chunks_built_at_tick_ = 0;
+  std::uint64_t env_changes_ = 0;
+
+ public:
+  std::uint64_t env_changes() const { return env_changes_; }
+
+ private:
+};
+
+}  // namespace dyconits::server

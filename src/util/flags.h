@@ -1,0 +1,39 @@
+// Tiny --key=value flag parser shared by bench binaries and examples.
+//
+// Usage:
+//   Flags flags(argc, argv);
+//   int players = flags.get_int("players", 100);
+//   if (flags.has("help")) { ... }
+// Unknown positional arguments are an error; unknown flags are retrievable
+// so each binary defines its own vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dyconits {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string get_string(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Comma-separated list of integers, e.g. --players=25,50,100.
+  std::vector<std::int64_t> get_int_list(const std::string& key,
+                                         const std::vector<std::int64_t>& def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dyconits

@@ -1,0 +1,42 @@
+// Minimal leveled logger. Defaults to Warn so tests and benches stay quiet;
+// examples raise it to Info for narration.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dyconits {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+class Log {
+ public:
+  static void set_level(LogLevel level) { level_ = level; }
+  static LogLevel level() { return level_; }
+
+  template <typename... Args>
+  static void debug(const char* fmt, Args... args) { emit(LogLevel::Debug, "D", fmt, args...); }
+  template <typename... Args>
+  static void info(const char* fmt, Args... args) { emit(LogLevel::Info, "I", fmt, args...); }
+  template <typename... Args>
+  static void warn(const char* fmt, Args... args) { emit(LogLevel::Warn, "W", fmt, args...); }
+  template <typename... Args>
+  static void error(const char* fmt, Args... args) { emit(LogLevel::Error, "E", fmt, args...); }
+
+ private:
+  template <typename... Args>
+  static void emit(LogLevel lvl, const char* tag, const char* fmt, Args... args) {
+    if (lvl < level_) return;
+    std::fprintf(stderr, "[%s] ", tag);
+    if constexpr (sizeof...(args) == 0) {
+      std::fputs(fmt, stderr);
+    } else {
+      std::fprintf(stderr, fmt, args...);
+    }
+    std::fputc('\n', stderr);
+  }
+
+  static inline LogLevel level_ = LogLevel::Warn;
+};
+
+}  // namespace dyconits

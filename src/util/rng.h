@@ -1,0 +1,52 @@
+// Deterministic, seedable random number generation (xoshiro256++).
+//
+// Every stochastic component (terrain, bot behavior, network jitter) takes an
+// explicit Rng or a seed derived from the experiment seed, so runs with the
+// same seed are bit-identical across policies — a requirement for the
+// paired-comparison experiments in bench/.
+#pragma once
+
+#include <cstdint>
+
+namespace dyconits {
+
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state via SplitMix64, so any seed
+  /// (including 0) yields a well-mixed state.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double_in(double lo, double hi);
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Standard normal via Box-Muller (no cached spare; fine for sim use).
+  double next_gaussian();
+
+  /// Zipf-distributed rank in [0, n) with exponent s. Used by the village
+  /// workload to cluster players on hotspots. O(n) setup-free inversion by
+  /// rejection; suitable for small n (hotspot counts).
+  std::uint64_t next_zipf(std::uint64_t n, double s);
+
+  /// Derives an independent child generator (stream splitting).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dyconits

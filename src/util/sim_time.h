@@ -1,0 +1,79 @@
+// Simulated-time primitives.
+//
+// All game logic runs on a deterministic simulated clock so experiments are
+// reproducible; wall-clock time is only used to *measure* CPU cost (see
+// server::TickTimer). Times are strong types wrapping integral microseconds
+// to prevent unit mix-ups between ms-denominated bounds and tick durations.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace dyconits {
+
+/// A duration of simulated time, in microseconds.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr SimDuration micros(std::int64_t n) { return SimDuration(n); }
+  static constexpr SimDuration millis(std::int64_t n) { return SimDuration(n * 1000); }
+  static constexpr SimDuration seconds(std::int64_t n) { return SimDuration(n * 1000000); }
+
+  /// A duration no real bound will ever exceed; used for "infinite" bounds.
+  static constexpr SimDuration infinite() { return SimDuration(INT64_MAX / 4); }
+
+  constexpr std::int64_t count_micros() const { return micros_; }
+  constexpr std::int64_t count_millis() const { return micros_ / 1000; }
+  constexpr double as_seconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration(micros_ + o.micros_); }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration(micros_ - o.micros_); }
+  constexpr SimDuration operator*(std::int64_t k) const { return SimDuration(micros_ * k); }
+  constexpr SimDuration operator/(std::int64_t k) const { return SimDuration(micros_ / k); }
+  constexpr SimDuration& operator+=(SimDuration o) { micros_ += o.micros_; return *this; }
+  constexpr SimDuration& operator-=(SimDuration o) { micros_ -= o.micros_; return *this; }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// A point in simulated time (microseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr SimTime zero() { return SimTime(0); }
+
+  constexpr std::int64_t count_micros() const { return micros_; }
+  constexpr double as_seconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimDuration d) const { return SimTime(micros_ + d.count_micros()); }
+  constexpr SimTime operator-(SimDuration d) const { return SimTime(micros_ - d.count_micros()); }
+  constexpr SimDuration operator-(SimTime o) const { return SimDuration(micros_ - o.micros_); }
+  constexpr SimTime& operator+=(SimDuration d) { micros_ += d.count_micros(); return *this; }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// Monotonic simulated clock, advanced explicitly by the simulation driver.
+class SimClock {
+ public:
+  SimTime now() const { return now_; }
+  void advance(SimDuration d) { now_ += d; }
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  SimTime now_ = SimTime::zero();
+};
+
+}  // namespace dyconits

@@ -1,0 +1,73 @@
+// Online statistics and percentile estimation for experiment metrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dyconits {
+
+/// Welford's online mean/variance plus min/max. O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1); 0 if n < 2
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return n_ > 0 ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile estimation over a retained sample vector. Intended for
+/// per-run latency/staleness distributions (at most a few million samples).
+class Samples {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { xs_.reserve(n); }
+  std::size_t count() const { return xs_.size(); }
+
+  /// q in [0,1]; nearest-rank on the sorted samples. Returns 0 when empty.
+  /// Sorts lazily; add() after a percentile() call re-sorts on next query.
+  double percentile(double q) const;
+  double min() const { return percentile(0.0); }
+  double median() const { return percentile(0.5); }
+  double max() const { return percentile(1.0); }
+  double mean() const;
+
+  const std::vector<double>& values() const { return xs_; }
+  void clear() { xs_.clear(); sorted_ = false; }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+/// Log-bucketed histogram for unbounded positive values (e.g. queue sizes).
+/// Bucket b covers [2^b, 2^(b+1)). Values < 1 land in bucket 0.
+class LogHistogram {
+ public:
+  void add(double x);
+  std::size_t count() const { return total_; }
+  /// Upper-bound estimate of percentile q (bucket upper edge).
+  double percentile(double q) const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dyconits

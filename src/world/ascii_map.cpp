@@ -1,0 +1,75 @@
+#include "world/ascii_map.h"
+
+#include <cmath>
+
+namespace dyconits::world {
+namespace {
+
+char block_glyph(Block b, int height) {
+  switch (b) {
+    case Block::Water: return '~';
+    case Block::Sand: return ':';
+    case Block::Wood: return 'T';
+    case Block::Leaves: return 't';
+    case Block::Planks: return '#';
+    case Block::Cobblestone: return '%';
+    case Block::Grass:
+    case Block::Dirt:
+    case Block::Stone:
+      // Shade terrain by altitude.
+      return height > 34 ? '^' : (height > 26 ? ',' : '.');
+    case Block::Bedrock: return '_';
+    case Block::Air: return ' ';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string render_ascii_map(World& world, const Vec3& center, int radius,
+                             const std::vector<MapOverlay>& overlays) {
+  const auto cx = static_cast<std::int32_t>(std::floor(center.x));
+  const auto cz = static_cast<std::int32_t>(std::floor(center.z));
+  const int side = 2 * radius + 1;
+  std::string out;
+  out.reserve(static_cast<std::size_t>(side) * (side + 1));
+
+  // Render rows north-to-south (decreasing z up the screen).
+  std::vector<std::string> rows;
+  for (int dz = -radius; dz <= radius; ++dz) {
+    std::string row;
+    for (int dx = -radius; dx <= radius; ++dx) {
+      const std::int32_t x = cx + dx;
+      const std::int32_t z = cz + dz;
+      const Chunk* chunk = world.find_chunk(ChunkPos::of_block({x, 0, z}));
+      if (chunk == nullptr) {
+        row.push_back(' ');
+        continue;
+      }
+      const int h = chunk->height_at(floor_mod(x, kChunkSize), floor_mod(z, kChunkSize));
+      if (h < 0) {
+        row.push_back(' ');
+        continue;
+      }
+      row.push_back(block_glyph(
+          chunk->get_local(floor_mod(x, kChunkSize), h, floor_mod(z, kChunkSize)), h));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  for (const MapOverlay& o : overlays) {
+    const auto ox = static_cast<std::int32_t>(std::floor(o.pos.x)) - cx + radius;
+    const auto oz = static_cast<std::int32_t>(std::floor(o.pos.z)) - cz + radius;
+    if (ox >= 0 && ox < side && oz >= 0 && oz < side) {
+      rows[static_cast<std::size_t>(oz)][static_cast<std::size_t>(ox)] = o.glyph;
+    }
+  }
+
+  for (const std::string& row : rows) {
+    out += row;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace dyconits::world

@@ -1,0 +1,40 @@
+// Top-down ASCII rendering of a world region — a quick visual check for
+// examples and debugging (what did the builders actually build?).
+//
+// Each character is one column: the top block's glyph, with height shading
+// for terrain. Entities are overlaid as '@' (players) / 'm' (mobs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "entity/registry.h"
+#include "world/world.h"
+
+namespace dyconits::world {
+
+struct MapOverlay {
+  Vec3 pos;
+  char glyph = '@';
+};
+
+/// Renders the square of side 2*radius+1 centered on (center.x, center.z).
+/// Only loaded chunks are read (unloaded area renders as ' ').
+std::string render_ascii_map(World& world, const Vec3& center, int radius,
+                             const std::vector<MapOverlay>& overlays = {});
+
+/// Overlays for every entity in the registry (players '@', mobs 'm',
+/// items '*'). Inline so dyco_world does not link against dyco_entity
+/// (which depends on dyco_world); callers always link both.
+inline std::vector<MapOverlay> entity_overlays(const entity::EntityRegistry& registry) {
+  std::vector<MapOverlay> out;
+  registry.for_each([&](const entity::Entity& e) {
+    char glyph = '@';
+    if (e.kind == entity::EntityKind::Mob) glyph = 'm';
+    if (e.kind == entity::EntityKind::Item) glyph = '*';
+    out.push_back({e.pos, glyph});
+  });
+  return out;
+}
+
+}  // namespace dyconits::world

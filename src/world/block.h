@@ -1,0 +1,51 @@
+// Block types. A block is a 16-bit id; the small palette below covers the
+// terrain generator and bot behaviors (dig/place). Ids are stable and part
+// of the wire protocol.
+#pragma once
+
+#include <cstdint>
+
+namespace dyconits::world {
+
+enum class Block : std::uint16_t {
+  Air = 0,
+  Stone = 1,
+  Dirt = 2,
+  Grass = 3,
+  Sand = 4,
+  Water = 5,
+  Wood = 6,
+  Leaves = 7,
+  Planks = 8,
+  Cobblestone = 9,
+  Bedrock = 10,
+};
+
+inline constexpr std::uint16_t kBlockPaletteSize = 11;
+
+constexpr bool is_solid(Block b) {
+  return b != Block::Air && b != Block::Water;
+}
+
+constexpr bool is_breakable(Block b) {
+  return b != Block::Air && b != Block::Bedrock && b != Block::Water;
+}
+
+constexpr const char* block_name(Block b) {
+  switch (b) {
+    case Block::Air: return "air";
+    case Block::Stone: return "stone";
+    case Block::Dirt: return "dirt";
+    case Block::Grass: return "grass";
+    case Block::Sand: return "sand";
+    case Block::Water: return "water";
+    case Block::Wood: return "wood";
+    case Block::Leaves: return "leaves";
+    case Block::Planks: return "planks";
+    case Block::Cobblestone: return "cobblestone";
+    case Block::Bedrock: return "bedrock";
+  }
+  return "unknown";
+}
+
+}  // namespace dyconits::world

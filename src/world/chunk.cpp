@@ -1,0 +1,79 @@
+#include "world/chunk.h"
+
+namespace dyconits::world {
+
+Chunk::Chunk(ChunkPos pos) : pos_(pos) {
+  blocks_.fill(Block::Air);
+  heightmap_.fill(-1);
+}
+
+void Chunk::set_local(int x, int y, int z, Block b) {
+  Block& slot = blocks_[index(x, y, z)];
+  if (slot == b) return;
+  const bool was_air = slot == Block::Air;
+  const bool is_air = b == Block::Air;
+  slot = b;
+  if (was_air && !is_air) ++non_air_;
+  if (!was_air && is_air) --non_air_;
+  ++revision_;
+
+  const int h = heightmap_[x * kChunkSize + z];
+  if (!is_air && y > h) {
+    heightmap_[x * kChunkSize + z] = static_cast<std::int16_t>(y);
+  } else if (is_air && y == h) {
+    recompute_height(x, z);
+  }
+}
+
+void Chunk::recompute_height(int x, int z) {
+  for (int y = kWorldHeight - 1; y >= 0; --y) {
+    if (blocks_[index(x, y, z)] != Block::Air) {
+      heightmap_[x * kChunkSize + z] = static_cast<std::int16_t>(y);
+      return;
+    }
+  }
+  heightmap_[x * kChunkSize + z] = -1;
+}
+
+std::vector<std::uint8_t> Chunk::encode_rle() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(1024);
+  std::size_t i = 0;
+  while (i < kVolume) {
+    const Block b = blocks_[i];
+    std::size_t run = 1;
+    while (i + run < kVolume && blocks_[i + run] == b && run < 0xFFFF) ++run;
+    const auto id = static_cast<std::uint16_t>(b);
+    out.push_back(static_cast<std::uint8_t>(id & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(id >> 8));
+    out.push_back(static_cast<std::uint8_t>(run & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(run >> 8));
+    i += run;
+  }
+  return out;
+}
+
+bool Chunk::decode_rle(const std::uint8_t* data, std::size_t size) {
+  if (size % 4 != 0) return false;
+  std::size_t i = 0;
+  for (std::size_t off = 0; off < size; off += 4) {
+    const auto id = static_cast<std::uint16_t>(data[off] | (data[off + 1] << 8));
+    const auto run = static_cast<std::size_t>(data[off + 2] | (data[off + 3] << 8));
+    if (run == 0 || i + run > kVolume || id >= kBlockPaletteSize) return false;
+    for (std::size_t k = 0; k < run; ++k) blocks_[i + k] = static_cast<Block>(id);
+    i += run;
+  }
+  if (i != kVolume) return false;
+  // Rebuild derived state.
+  non_air_ = 0;
+  for (const Block b : blocks_) {
+    if (b != Block::Air) ++non_air_;
+  }
+  for (int x = 0; x < kChunkSize; ++x) {
+    for (int z = 0; z < kChunkSize; ++z) recompute_height(x, z);
+  }
+  ++revision_;
+  return true;
+}
+
+}  // namespace dyconits::world

@@ -1,0 +1,112 @@
+// Spatial primitives for the voxel world: continuous positions (Vec3),
+// integer block coordinates (BlockPos), and chunk-grid coordinates
+// (ChunkPos). Conversions follow Minecraft conventions: a chunk is a
+// 16x16-column of blocks; floor-division maps block to chunk coordinates.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace dyconits::world {
+
+inline constexpr int kChunkSize = 16;   // blocks per chunk edge (x and z)
+inline constexpr int kWorldHeight = 64; // blocks per column (y)
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double k) const { return {x * k, y * k, z * k}; }
+  constexpr bool operator==(const Vec3&) const = default;
+
+  double length() const { return std::sqrt(x * x + y * y + z * z); }
+  double horizontal_length() const { return std::sqrt(x * x + z * z); }
+  Vec3 normalized() const {
+    const double len = length();
+    return len > 1e-12 ? Vec3{x / len, y / len, z / len} : Vec3{};
+  }
+};
+
+inline double distance(const Vec3& a, const Vec3& b) { return (a - b).length(); }
+inline double horizontal_distance(const Vec3& a, const Vec3& b) {
+  return (a - b).horizontal_length();
+}
+
+/// Floor division, correct for negative coordinates.
+constexpr std::int32_t floor_div(std::int32_t a, std::int32_t b) {
+  const std::int32_t q = a / b;
+  return (a % b != 0 && (a < 0) != (b < 0)) ? q - 1 : q;
+}
+
+/// Non-negative remainder in [0, b).
+constexpr std::int32_t floor_mod(std::int32_t a, std::int32_t b) {
+  return a - floor_div(a, b) * b;
+}
+
+struct BlockPos {
+  std::int32_t x = 0, y = 0, z = 0;
+  constexpr auto operator<=>(const BlockPos&) const = default;
+
+  static BlockPos from(const Vec3& v) {
+    return {static_cast<std::int32_t>(std::floor(v.x)),
+            static_cast<std::int32_t>(std::floor(v.y)),
+            static_cast<std::int32_t>(std::floor(v.z))};
+  }
+  constexpr Vec3 center() const { return {x + 0.5, y + 0.5, z + 0.5}; }
+};
+
+struct ChunkPos {
+  std::int32_t x = 0, z = 0;
+  constexpr auto operator<=>(const ChunkPos&) const = default;
+
+  static constexpr ChunkPos of_block(const BlockPos& b) {
+    return {floor_div(b.x, kChunkSize), floor_div(b.z, kChunkSize)};
+  }
+  static ChunkPos of(const Vec3& v) { return of_block(BlockPos::from(v)); }
+
+  /// Chebyshev distance in chunks — the metric view-distance uses.
+  constexpr std::int32_t chebyshev(const ChunkPos& o) const {
+    const std::int32_t dx = x > o.x ? x - o.x : o.x - x;
+    const std::int32_t dz = z > o.z ? z - o.z : o.z - z;
+    return dx > dz ? dx : dz;
+  }
+
+  /// Center of the chunk at ground level, for distance heuristics.
+  constexpr Vec3 center() const {
+    return {x * static_cast<double>(kChunkSize) + kChunkSize / 2.0, 0.0,
+            z * static_cast<double>(kChunkSize) + kChunkSize / 2.0};
+  }
+
+  /// Packs both coordinates into one 64-bit key for hash maps.
+  constexpr std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(z));
+  }
+  static constexpr ChunkPos from_key(std::uint64_t k) {
+    return {static_cast<std::int32_t>(k >> 32), static_cast<std::int32_t>(k & 0xFFFFFFFFull)};
+  }
+};
+
+}  // namespace dyconits::world
+
+template <>
+struct std::hash<dyconits::world::ChunkPos> {
+  std::size_t operator()(const dyconits::world::ChunkPos& p) const noexcept {
+    // Mix the packed key; chunk coordinates are small and regular, so a
+    // multiplicative mix avoids clustering in power-of-two tables.
+    return static_cast<std::size_t>(p.key() * 0x9E3779B97F4A7C15ull);
+  }
+};
+
+template <>
+struct std::hash<dyconits::world::BlockPos> {
+  std::size_t operator()(const dyconits::world::BlockPos& p) const noexcept {
+    std::uint64_t h = static_cast<std::uint32_t>(p.x);
+    h = h * 0x100000001B3ull ^ static_cast<std::uint32_t>(p.y);
+    h = h * 0x100000001B3ull ^ static_cast<std::uint32_t>(p.z);
+    return static_cast<std::size_t>(h * 0x9E3779B97F4A7C15ull);
+  }
+};

@@ -1,0 +1,186 @@
+#include "world/storage.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <vector>
+
+#include "util/log.h"
+
+namespace dyconits::world {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31525944;  // "DYR1"
+constexpr int kChunksPerRegion = kStorageRegion * kStorageRegion;
+constexpr std::size_t kHeaderSize = 4 + 4 + 4 + kChunksPerRegion * 8u;
+
+struct IndexEntry {
+  std::uint32_t offset = 0;
+  std::uint32_t size = 0;
+};
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+int slot_of(ChunkPos chunk) {
+  const int lx = floor_mod(chunk.x, kStorageRegion);
+  const int lz = floor_mod(chunk.z, kStorageRegion);
+  return lx * kStorageRegion + lz;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out.resize(static_cast<std::size_t>(size));
+  const bool ok = size == 0 || std::fread(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  return ok;
+}
+
+bool write_file(const std::string& path, const std::vector<std::uint8_t>& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+/// Parses a region file header; returns false on malformed input.
+bool parse_header(const std::vector<std::uint8_t>& bytes, ChunkPos expected_region,
+                  IndexEntry (&index)[kChunksPerRegion]) {
+  if (bytes.size() < kHeaderSize) return false;
+  if (get_u32(bytes.data()) != kMagic) return false;
+  const auto rx = static_cast<std::int32_t>(get_u32(bytes.data() + 4));
+  const auto rz = static_cast<std::int32_t>(get_u32(bytes.data() + 8));
+  if (rx != expected_region.x || rz != expected_region.z) return false;
+  for (int i = 0; i < kChunksPerRegion; ++i) {
+    index[i].offset = get_u32(bytes.data() + 12 + i * 8);
+    index[i].size = get_u32(bytes.data() + 12 + i * 8 + 4);
+    if (index[i].offset == 0) continue;
+    if (index[i].offset < kHeaderSize ||
+        static_cast<std::size_t>(index[i].offset) + index[i].size > bytes.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+WorldStorage::WorldStorage(std::string directory) : dir_(std::move(directory)) {}
+
+std::string WorldStorage::region_path(ChunkPos region) const {
+  return dir_ + "/r." + std::to_string(region.x) + "." + std::to_string(region.z) +
+         ".dyr";
+}
+
+bool WorldStorage::save(const World& world, std::size_t* chunks_written) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    Log::error("storage: cannot create %s: %s", dir_.c_str(), ec.message().c_str());
+    return false;
+  }
+
+  // Group chunk payloads by region.
+  std::map<std::uint64_t, std::map<int, std::vector<std::uint8_t>>> regions;
+  world.for_each_chunk([&](const Chunk& c) {
+    regions[region_of(c.pos()).key()][slot_of(c.pos())] = c.encode_rle();
+  });
+
+  std::size_t written = 0;
+  for (const auto& [region_key, slots] : regions) {
+    const ChunkPos region = ChunkPos::from_key(region_key);
+    std::vector<std::uint8_t> file;
+    put_u32(file, kMagic);
+    put_u32(file, static_cast<std::uint32_t>(region.x));
+    put_u32(file, static_cast<std::uint32_t>(region.z));
+    // Reserve the index, fill after layout.
+    const std::size_t index_pos = file.size();
+    file.resize(file.size() + kChunksPerRegion * 8u, 0);
+    std::vector<std::pair<int, IndexEntry>> entries;
+    for (const auto& [slot, payload] : slots) {
+      IndexEntry e{static_cast<std::uint32_t>(file.size()),
+                   static_cast<std::uint32_t>(payload.size())};
+      file.insert(file.end(), payload.begin(), payload.end());
+      entries.emplace_back(slot, e);
+      ++written;
+    }
+    for (const auto& [slot, e] : entries) {
+      std::uint8_t* p = file.data() + index_pos + static_cast<std::size_t>(slot) * 8;
+      for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(e.offset >> (8 * i));
+      for (int i = 0; i < 4; ++i) {
+        p[4 + i] = static_cast<std::uint8_t>(e.size >> (8 * i));
+      }
+    }
+    if (!write_file(region_path(region), file)) {
+      Log::error("storage: write failed for %s", region_path(region).c_str());
+      return false;
+    }
+  }
+  if (chunks_written != nullptr) *chunks_written = written;
+  return true;
+}
+
+bool WorldStorage::load(World& world, std::size_t* chunks_loaded) {
+  std::size_t loaded = 0;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) return false;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    int rx = 0, rz = 0;
+    if (std::sscanf(name.c_str(), "r.%d.%d.dyr", &rx, &rz) != 2) continue;
+    const ChunkPos region{rx, rz};
+    std::vector<std::uint8_t> bytes;
+    if (!read_file(entry.path().string(), bytes)) return false;
+    IndexEntry index[kChunksPerRegion];
+    if (!parse_header(bytes, region, index)) return false;
+    for (int slot = 0; slot < kChunksPerRegion; ++slot) {
+      if (index[slot].offset == 0) continue;
+      const ChunkPos pos{region.x * kStorageRegion + slot / kStorageRegion,
+                         region.z * kStorageRegion + slot % kStorageRegion};
+      if (!world.chunk_at(pos).decode_rle(bytes.data() + index[slot].offset,
+                                          index[slot].size)) {
+        return false;
+      }
+      ++loaded;
+    }
+  }
+  if (chunks_loaded != nullptr) *chunks_loaded = loaded;
+  return true;
+}
+
+bool WorldStorage::load_chunk(World& world, ChunkPos pos) {
+  std::vector<std::uint8_t> bytes;
+  if (!read_file(region_path(region_of(pos)), bytes)) return false;
+  IndexEntry index[kChunksPerRegion];
+  if (!parse_header(bytes, region_of(pos), index)) return false;
+  const IndexEntry& e = index[slot_of(pos)];
+  if (e.offset == 0) return false;
+  return world.chunk_at(pos).decode_rle(bytes.data() + e.offset, e.size);
+}
+
+bool WorldStorage::has_chunk(ChunkPos pos) const {
+  std::vector<std::uint8_t> bytes;
+  if (!read_file(region_path(region_of(pos)), bytes)) return false;
+  IndexEntry index[kChunksPerRegion];
+  if (!parse_header(bytes, region_of(pos), index)) return false;
+  return index[slot_of(pos)].offset != 0;
+}
+
+}  // namespace dyconits::world

@@ -1,0 +1,53 @@
+// World persistence: region files, one per kStorageRegion x kStorageRegion
+// chunk area (the shape of Minecraft's own Anvil storage, simplified).
+//
+// File format (little-endian), name "r.<rx>.<rz>.dyr":
+//   u32  magic "DYR1"
+//   i32  region x, i32 region z
+//   64 x { u32 payload offset (from file start), u32 payload size }
+//   payloads: Chunk::encode_rle bytes
+// A zero offset/size index entry means "chunk absent".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "world/world.h"
+
+namespace dyconits::world {
+
+/// Chunks per region-file edge.
+inline constexpr int kStorageRegion = 8;
+
+class WorldStorage {
+ public:
+  /// `directory` is created on first save if missing.
+  explicit WorldStorage(std::string directory);
+
+  /// Writes every loaded chunk of `world`, rewriting affected region files
+  /// completely. Returns false on any I/O failure.
+  bool save(const World& world, std::size_t* chunks_written = nullptr);
+
+  /// Loads every stored chunk into `world` (overwriting loaded chunks with
+  /// the stored state). Malformed files or payloads fail the load.
+  bool load(World& world, std::size_t* chunks_loaded = nullptr);
+
+  /// Loads a single chunk; false if absent or unreadable.
+  bool load_chunk(World& world, ChunkPos pos);
+
+  /// True if the chunk exists in storage (index probe; cheap).
+  bool has_chunk(ChunkPos pos) const;
+
+  const std::string& directory() const { return dir_; }
+
+  static ChunkPos region_of(ChunkPos chunk) {
+    return {floor_div(chunk.x, kStorageRegion), floor_div(chunk.z, kStorageRegion)};
+  }
+
+ private:
+  std::string region_path(ChunkPos region) const;
+
+  std::string dir_;
+};
+
+}  // namespace dyconits::world

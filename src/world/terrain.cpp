@@ -1,0 +1,104 @@
+#include "world/terrain.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dyconits::world {
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+}  // namespace
+
+TerrainGenerator::TerrainGenerator(std::uint64_t seed) : seed_(seed) {}
+
+double TerrainGenerator::lattice(std::int32_t x, std::int32_t z, std::uint64_t salt) const {
+  std::uint64_t h = seed_ ^ salt;
+  h = mix(h ^ static_cast<std::uint32_t>(x));
+  h = mix(h ^ static_cast<std::uint32_t>(z));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double TerrainGenerator::value_noise(double x, double z, int period, std::uint64_t salt) const {
+  const double fx = x / period;
+  const double fz = z / period;
+  const auto x0 = static_cast<std::int32_t>(std::floor(fx));
+  const auto z0 = static_cast<std::int32_t>(std::floor(fz));
+  const double tx = smoothstep(fx - x0);
+  const double tz = smoothstep(fz - z0);
+  const double v00 = lattice(x0, z0, salt);
+  const double v10 = lattice(x0 + 1, z0, salt);
+  const double v01 = lattice(x0, z0 + 1, salt);
+  const double v11 = lattice(x0 + 1, z0 + 1, salt);
+  const double a = v00 + (v10 - v00) * tx;
+  const double b = v01 + (v11 - v01) * tx;
+  return a + (b - a) * tz;
+}
+
+double TerrainGenerator::column_hash(std::int32_t x, std::int32_t z, std::uint64_t salt) const {
+  return lattice(x, z, salt ^ 0xFEEDFACEull);
+}
+
+int TerrainGenerator::height_at(std::int32_t x, std::int32_t z) const {
+  // Three octaves: continental swell, hills, roughness.
+  const double n = 0.55 * value_noise(x, z, 96, 1) +
+                   0.30 * value_noise(x, z, 24, 2) +
+                   0.15 * value_noise(x, z, 6, 3);
+  const int h = 12 + static_cast<int>(n * 28.0);
+  return std::clamp(h, 1, kWorldHeight - 10);
+}
+
+void TerrainGenerator::generate(Chunk& chunk) const {
+  const ChunkPos cp = chunk.pos();
+  for (int lx = 0; lx < kChunkSize; ++lx) {
+    for (int lz = 0; lz < kChunkSize; ++lz) {
+      const std::int32_t wx = cp.x * kChunkSize + lx;
+      const std::int32_t wz = cp.z * kChunkSize + lz;
+      const int ground = height_at(wx, wz);
+
+      chunk.set_local(lx, 0, lz, Block::Bedrock);
+      for (int y = 1; y <= ground; ++y) {
+        Block b = Block::Stone;
+        if (y == ground) {
+          b = ground < kSeaLevel + 2 ? Block::Sand : Block::Grass;
+        } else if (y >= ground - 3) {
+          b = Block::Dirt;
+        }
+        chunk.set_local(lx, y, lz, b);
+      }
+      for (int y = ground + 1; y <= kSeaLevel; ++y) {
+        chunk.set_local(lx, y, lz, Block::Water);
+      }
+
+      // Sparse trees on grass, away from chunk edges so the canopy fits.
+      if (ground >= kSeaLevel + 2 && lx >= 2 && lx < kChunkSize - 2 && lz >= 2 &&
+          lz < kChunkSize - 2 && column_hash(wx, wz, 7) < 0.008 &&
+          ground + 6 < kWorldHeight) {
+        const int trunk_h = 4;
+        for (int y = ground + 1; y <= ground + trunk_h; ++y) {
+          chunk.set_local(lx, y, lz, Block::Wood);
+        }
+        for (int dx = -2; dx <= 2; ++dx) {
+          for (int dz = -2; dz <= 2; ++dz) {
+            for (int dy = trunk_h - 1; dy <= trunk_h + 1; ++dy) {
+              if (dx == 0 && dz == 0 && dy <= trunk_h) continue;
+              if (std::abs(dx) + std::abs(dz) + std::abs(dy - trunk_h) > 3) continue;
+              chunk.set_local(lx + dx, ground + dy, lz + dz, Block::Leaves);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dyconits::world

@@ -1,0 +1,36 @@
+// Procedural terrain: layered value noise produces a heightmap, which is
+// materialized as bedrock/stone/dirt/grass columns with water filling up to
+// sea level, sand shores, and occasional trees. Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+
+#include "world/chunk.h"
+#include "world/geometry.h"
+
+namespace dyconits::world {
+
+class TerrainGenerator {
+ public:
+  explicit TerrainGenerator(std::uint64_t seed);
+
+  /// Ground height (top solid block y) at world column (x, z).
+  int height_at(std::int32_t x, std::int32_t z) const;
+
+  /// Fills `chunk` with generated terrain (overwrites all blocks).
+  void generate(Chunk& chunk) const;
+
+  static constexpr int kSeaLevel = 20;
+
+ private:
+  /// Deterministic lattice noise value in [0,1) at integer (x,z).
+  double lattice(std::int32_t x, std::int32_t z, std::uint64_t salt) const;
+  /// Bilinear value noise at scale `period`.
+  double value_noise(double x, double z, int period, std::uint64_t salt) const;
+  /// Deterministic per-column hash in [0,1) for feature placement.
+  double column_hash(std::int32_t x, std::int32_t z, std::uint64_t salt) const;
+
+  std::uint64_t seed_;
+};
+
+}  // namespace dyconits::world

@@ -1,0 +1,88 @@
+#include "world/world.h"
+
+namespace dyconits::world {
+
+World::World(std::unique_ptr<TerrainGenerator> generator)
+    : generator_(std::move(generator)) {}
+
+Chunk& World::chunk_at(ChunkPos pos) {
+  auto it = chunks_.find(pos);
+  if (it != chunks_.end()) return *it->second;
+  auto chunk = std::make_unique<Chunk>(pos);
+  if (generator_) {
+    generator_->generate(*chunk);
+  } else {
+    for (int x = 0; x < kChunkSize; ++x) {
+      for (int z = 0; z < kChunkSize; ++z) chunk->set_local(x, 0, z, Block::Bedrock);
+    }
+  }
+  auto [ins, _] = chunks_.emplace(pos, std::move(chunk));
+  return *ins->second;
+}
+
+const Chunk* World::find_chunk(ChunkPos pos) const {
+  const auto it = chunks_.find(pos);
+  return it == chunks_.end() ? nullptr : it->second.get();
+}
+
+Chunk* World::find_chunk(ChunkPos pos) {
+  const auto it = chunks_.find(pos);
+  return it == chunks_.end() ? nullptr : it->second.get();
+}
+
+Block World::block_at(BlockPos pos) {
+  if (pos.y < 0 || pos.y >= kWorldHeight) return Block::Air;
+  Chunk& c = chunk_at(ChunkPos::of_block(pos));
+  return c.get_local(floor_mod(pos.x, kChunkSize), pos.y, floor_mod(pos.z, kChunkSize));
+}
+
+std::optional<Block> World::block_if_loaded(BlockPos pos) const {
+  if (pos.y < 0 || pos.y >= kWorldHeight) return Block::Air;
+  const Chunk* c = find_chunk(ChunkPos::of_block(pos));
+  if (c == nullptr) return std::nullopt;
+  return c->get_local(floor_mod(pos.x, kChunkSize), pos.y, floor_mod(pos.z, kChunkSize));
+}
+
+bool World::set_block(BlockPos pos, Block b) {
+  if (pos.y < 0 || pos.y >= kWorldHeight) return false;
+  Chunk& c = chunk_at(ChunkPos::of_block(pos));
+  const int lx = floor_mod(pos.x, kChunkSize);
+  const int lz = floor_mod(pos.z, kChunkSize);
+  const Block old = c.get_local(lx, pos.y, lz);
+  if (old == b) return true;
+  c.set_local(lx, pos.y, lz, b);
+  const BlockChange change{pos, old, b};
+  for (const auto& [token, obs] : observers_) obs(change);
+  return true;
+}
+
+void World::for_each_chunk(const std::function<void(const Chunk&)>& fn) const {
+  for (const auto& [pos, chunk] : chunks_) fn(*chunk);
+}
+
+int World::add_block_observer(BlockObserver obs) {
+  const int token = next_observer_token_++;
+  observers_.emplace_back(token, std::move(obs));
+  return token;
+}
+
+void World::remove_block_observer(int token) {
+  for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+    if (it->first == token) {
+      observers_.erase(it);
+      return;
+    }
+  }
+}
+
+int World::surface_height(std::int32_t x, std::int32_t z) {
+  Chunk& c = chunk_at(ChunkPos::of_block({x, 0, z}));
+  return c.height_at(floor_mod(x, kChunkSize), floor_mod(z, kChunkSize));
+}
+
+Vec3 World::spawn_position(std::int32_t x, std::int32_t z) {
+  const int h = surface_height(x, z);
+  return {x + 0.5, static_cast<double>(h + 1), z + 0.5};
+}
+
+}  // namespace dyconits::world

@@ -1,0 +1,81 @@
+// The server-side world: an on-demand-generated map of chunks with block
+// get/set and a block-change observer hook (the server wires this into its
+// update dispatch path — vanilla broadcast or dyconit middleware).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "world/block.h"
+#include "world/chunk.h"
+#include "world/geometry.h"
+#include "world/terrain.h"
+
+namespace dyconits::world {
+
+struct BlockChange {
+  BlockPos pos;
+  Block old_block;
+  Block new_block;
+};
+
+class World {
+ public:
+  /// `generator == nullptr` creates a flat empty world (all air, bedrock
+  /// floor at y=0) — convenient for tests.
+  explicit World(std::unique_ptr<TerrainGenerator> generator = nullptr);
+
+  /// Returns the chunk, generating it if absent.
+  Chunk& chunk_at(ChunkPos pos);
+
+  /// Returns the chunk only if already loaded.
+  const Chunk* find_chunk(ChunkPos pos) const;
+  Chunk* find_chunk(ChunkPos pos);
+
+  /// Drops a loaded chunk (client replicas evict on UnloadChunk). False if
+  /// the chunk was not loaded.
+  bool unload_chunk(ChunkPos pos) { return chunks_.erase(pos) > 0; }
+
+  bool is_loaded(ChunkPos pos) const { return chunks_.count(pos) > 0; }
+  std::size_t loaded_chunk_count() const { return chunks_.size(); }
+
+  /// Out-of-range y returns Air.
+  Block block_at(BlockPos pos);
+  /// Reads without generating; nullopt if the chunk is not loaded.
+  std::optional<Block> block_if_loaded(BlockPos pos) const;
+
+  /// Sets a block (generating the chunk if needed) and notifies the
+  /// observer iff the block actually changed. Returns false for invalid y.
+  bool set_block(BlockPos pos, Block b);
+
+  /// Top solid y at (x,z), generating the chunk if needed.
+  int surface_height(std::int32_t x, std::int32_t z);
+
+  /// A spawn-safe position: one block above ground at (x,z).
+  Vec3 spawn_position(std::int32_t x, std::int32_t z);
+
+  /// Block-change observers. Multiple observers may coexist (the game
+  /// server's dispatch hook plus instrumentation); each add returns a token
+  /// for removal. Observers run synchronously inside set_block, in
+  /// registration order.
+  using BlockObserver = std::function<void(const BlockChange&)>;
+  int add_block_observer(BlockObserver obs);
+  void remove_block_observer(int token);
+
+  /// Visits every loaded chunk (unspecified order).
+  void for_each_chunk(const std::function<void(const Chunk&)>& fn) const;
+
+  const TerrainGenerator* generator() const { return generator_.get(); }
+
+ private:
+  std::unique_ptr<TerrainGenerator> generator_;
+  std::unordered_map<ChunkPos, std::unique_ptr<Chunk>> chunks_;
+  std::vector<std::pair<int, BlockObserver>> observers_;
+  int next_observer_token_ = 1;
+};
+
+}  // namespace dyconits::world

@@ -1,0 +1,272 @@
+// Unit tests for the bot client: joining, replica maintenance, behaviors,
+// and measurement taps.
+#include <gtest/gtest.h>
+
+#include "bots/bot.h"
+#include "bots/workload.h"
+#include "dyconit/policies/factory.h"
+#include "server/game_server.h"
+
+namespace dyconits::bots {
+namespace {
+
+using world::Vec3;
+
+class BotTest : public ::testing::Test {
+ protected:
+  void build(const std::string& policy, BotConfig cfg = {}, Vec3 spawn = {8.5, 1, 8.5}) {
+    server::ServerConfig scfg;
+    scfg.view_distance = 2;
+    scfg.max_chunk_sends_per_tick = 100;
+    scfg.use_dyconits = policy != "vanilla";
+    scfg.net_cost_per_frame = SimDuration::micros(0);
+    scfg.net_cost_per_byte_ns = 0.0;
+    scfg.spawn_provider = [spawn](const std::string&) { return spawn; };
+    std::unique_ptr<dyconit::Policy> p;
+    if (scfg.use_dyconits) p = dyconit::make_policy(policy);
+    server_ = std::make_unique<server::GameServer>(clock_, net_, world_, std::move(p),
+                                                   std::move(scfg));
+    cfg.keep_chunk_replica = true;
+    bot_ = std::make_unique<BotClient>(clock_, net_, world_, server_->endpoint(), "bot-0",
+                                       7, cfg);
+    net_.connect(bot_->endpoint(), server_->endpoint(), {SimDuration::millis(0), 0.0});
+  }
+
+  void step(int ticks = 1) {
+    for (int i = 0; i < ticks; ++i) {
+      clock_.advance(SimDuration::millis(50));
+      bot_->tick();
+      if (other_) other_->tick();
+      server_->tick();
+    }
+  }
+
+  SimClock clock_;
+  net::SimNetwork net_{clock_};
+  world::World world_;
+  std::unique_ptr<server::GameServer> server_;
+  std::unique_ptr<BotClient> bot_;
+  std::unique_ptr<BotClient> other_;
+};
+
+TEST_F(BotTest, JoinsAndLoadsChunks) {
+  build("vanilla");
+  bot_->connect();
+  step(3);
+  EXPECT_TRUE(bot_->joined());
+  EXPECT_NE(bot_->self(), entity::kInvalidEntity);
+  EXPECT_EQ(bot_->loaded_chunk_count(), 25u);
+  EXPECT_EQ(bot_->decode_failures(), 0u);
+}
+
+TEST_F(BotTest, ChunkReplicaMatchesTruthAtSnapshot) {
+  world_.set_block({5, 1, 5}, world::Block::Planks);
+  build("vanilla");
+  bot_->connect();
+  step(3);
+  ASSERT_NE(bot_->replica_world(), nullptr);
+  EXPECT_EQ(bot_->replica_block({5, 1, 5}), world::Block::Planks);
+  EXPECT_EQ(bot_->replica_block({5, 0, 5}), world::Block::Bedrock);
+}
+
+TEST_F(BotTest, WalkingBotSendsMovesAndArrives) {
+  BotConfig cfg;
+  cfg.kind = BehaviorKind::Walk;
+  cfg.wander_radius = 20.0;
+  build("vanilla", cfg);
+  bot_->connect();
+  const Vec3 start{8.5, 1, 8.5};
+  step(200);
+  // The bot walked somewhere and the server's entity followed it.
+  const entity::Entity* e = server_->entities().find(bot_->self());
+  ASSERT_NE(e, nullptr);
+  EXPECT_GT(world::distance(e->pos, start), 1.0);
+  // Matches the bot's own belief up to f32 wire quantization.
+  EXPECT_LT(world::distance(e->pos, bot_->pos()), 0.001);
+}
+
+TEST_F(BotTest, IdleBotDoesNotMove) {
+  BotConfig cfg;
+  cfg.kind = BehaviorKind::Idle;
+  build("vanilla", cfg);
+  bot_->connect();
+  step(100);
+  EXPECT_EQ(bot_->pos(), (Vec3{8.5, 1, 8.5}));
+}
+
+TEST_F(BotTest, BuilderChangesTheWorld) {
+  BotConfig cfg;
+  cfg.kind = BehaviorKind::Build;
+  cfg.wander_radius = 5.0;
+  cfg.action_interval = SimDuration::millis(100);
+  build("vanilla", cfg);
+  bot_->connect();
+  std::size_t changes = 0;
+  world_.add_block_observer([&](const world::BlockChange&) { ++changes; });
+  step(400);
+  EXPECT_GT(changes, 0u);
+}
+
+TEST_F(BotTest, MinerDigsStaircase) {
+  world::World hill;  // build a small stone plateau to dig into
+  for (int x = 0; x < 32; ++x) {
+    for (int z = 0; z < 32; ++z) {
+      hill.set_block({x, 1, z}, world::Block::Stone);
+    }
+  }
+  // Swap our flat world for the hill (rebuild the fixture pieces manually).
+  BotConfig cfg;
+  cfg.kind = BehaviorKind::Mine;
+  cfg.action_interval = SimDuration::millis(100);
+  server::ServerConfig scfg;
+  scfg.view_distance = 2;
+  scfg.max_chunk_sends_per_tick = 100;
+  scfg.use_dyconits = false;
+  scfg.net_cost_per_frame = SimDuration::micros(0);
+  scfg.net_cost_per_byte_ns = 0.0;
+  scfg.spawn_provider = [](const std::string&) { return Vec3{8.5, 2, 8.5}; };
+  server::GameServer srv(clock_, net_, hill, nullptr, std::move(scfg));
+  BotClient bot(clock_, net_, hill, srv.endpoint(), "miner", 3, cfg);
+  net_.connect(bot.endpoint(), srv.endpoint(), {SimDuration::millis(0), 0.0});
+  bot.connect();
+  std::uint64_t digs = 0;
+  hill.add_block_observer([&](const world::BlockChange& bc) {
+    if (bc.new_block == world::Block::Air) ++digs;
+  });
+  for (int i = 0; i < 400; ++i) {
+    clock_.advance(SimDuration::millis(50));
+    bot.tick();
+    srv.tick();
+  }
+  EXPECT_GT(digs, 0u);
+}
+
+TEST_F(BotTest, ReplicaTracksOtherEntity) {
+  build("vanilla");
+  BotConfig walker;
+  walker.kind = BehaviorKind::Walk;
+  walker.wander_radius = 10.0;
+  other_ = std::make_unique<BotClient>(clock_, net_, world_, server_->endpoint(), "bot-1",
+                                       11, walker);
+  net_.connect(other_->endpoint(), server_->endpoint(), {SimDuration::millis(0), 0.0});
+  bot_->connect();
+  other_->connect();
+  step(100);
+
+  ASSERT_EQ(bot_->replica_entities().size(), 1u);
+  const auto& [id, rep] = *bot_->replica_entities().begin();
+  EXPECT_EQ(id, other_->self());
+  const entity::Entity* truth = server_->entities().find(id);
+  ASSERT_NE(truth, nullptr);
+  // Vanilla path: replica lags at most one in-flight tick; with zero link
+  // latency it is exact after each round.
+  EXPECT_LT(world::distance(rep.pos, truth->pos), 0.5);
+  EXPECT_EQ(rep.name, "bot-1");
+}
+
+TEST_F(BotTest, BlockDeltaReplicaWithoutFullChunks) {
+  BotConfig cfg;
+  cfg.kind = BehaviorKind::Idle;
+  build("vanilla", cfg);
+  bot_ = std::make_unique<BotClient>(clock_, net_, world_, server_->endpoint(), "lite", 5,
+                                     cfg);  // keep_chunk_replica defaults to false
+  net_.connect(bot_->endpoint(), server_->endpoint(), {SimDuration::millis(0), 0.0});
+  bot_->connect();
+  step(3);
+  EXPECT_EQ(bot_->replica_world(), nullptr);
+  EXPECT_FALSE(bot_->replica_block({9, 1, 9}).has_value());  // never told
+  world_.set_block({9, 1, 9}, world::Block::Sand);            // server observer fans out
+  step(2);
+  EXPECT_EQ(bot_->replica_block({9, 1, 9}), world::Block::Sand);
+}
+
+TEST_F(BotTest, KeepAliveAnswered) {
+  build("vanilla");
+  bot_->connect();
+  step(450);  // several keep-alive intervals
+  EXPECT_EQ(server_->sessions_timed_out(), 0u);
+  EXPECT_EQ(server_->player_count(), 1u);
+}
+
+TEST_F(BotTest, LatencySamplesRecorded) {
+  build("vanilla");
+  BotConfig walker;
+  walker.kind = BehaviorKind::Walk;
+  other_ = std::make_unique<BotClient>(clock_, net_, world_, server_->endpoint(), "bot-1",
+                                       11, walker);
+  net_.connect(other_->endpoint(), server_->endpoint(), {SimDuration::millis(0), 0.0});
+  bot_->connect();
+  other_->connect();
+  step(100);
+  EXPECT_GT(bot_->update_latency_ms().count(), 0u);
+  EXPECT_GT(bot_->near_update_latency_ms().count(), 0u);
+  // Zero link latency + vanilla: every update arrives within one tick.
+  EXPECT_LE(bot_->update_latency_ms().max(), 50.0 + 1e-9);
+}
+
+TEST_F(BotTest, SetHomeRedirectsBot) {
+  BotConfig cfg;
+  cfg.kind = BehaviorKind::Walk;
+  cfg.wander_radius = 5.0;
+  build("vanilla", cfg);
+  bot_->connect();
+  step(10);
+  bot_->set_home({200.5, 1, 200.5}, 5.0);
+  step(1200);
+  EXPECT_LT(world::horizontal_distance(bot_->pos(), {200.5, 1, 200.5}), 30.0);
+}
+
+// ---------------------------------------------------------------- workload
+
+TEST(WorkloadTest, PlansAreDeterministic) {
+  WorkloadConfig cfg;
+  cfg.kind = WorkloadKind::Village;
+  const auto a = plan_bots(cfg, 50, 9);
+  const auto b = plan_bots(cfg, 50, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].home, b[i].home);
+    EXPECT_EQ(a[i].config.kind, b[i].config.kind);
+  }
+}
+
+TEST(WorkloadTest, VillageIsDenserThanWalk) {
+  WorkloadConfig village;
+  village.kind = WorkloadKind::Village;
+  WorkloadConfig walk;
+  walk.kind = WorkloadKind::Walk;
+  const auto v = plan_bots(village, 100, 5);
+  const auto w = plan_bots(walk, 100, 5);
+
+  // Density at the interest-management scale: fraction of player pairs that
+  // land within two chunks of each other.
+  const auto close_pair_fraction = [](const std::vector<BotPlan>& plans) {
+    std::size_t close = 0, n = 0;
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      for (std::size_t j = i + 1; j < plans.size(); ++j) {
+        close += world::horizontal_distance(plans[i].home, plans[j].home) < 32.0 ? 1 : 0;
+        ++n;
+      }
+    }
+    return static_cast<double>(close) / static_cast<double>(n);
+  };
+  EXPECT_GT(close_pair_fraction(v), 4.0 * close_pair_fraction(w));
+}
+
+TEST(WorkloadTest, MixedAlternates) {
+  WorkloadConfig cfg;
+  cfg.kind = WorkloadKind::Mixed;
+  const auto plans = plan_bots(cfg, 10, 1);
+  EXPECT_NE(plans[0].name.substr(0, 4), plans[1].name.substr(0, 4));
+}
+
+TEST(WorkloadTest, ParseNames) {
+  EXPECT_EQ(parse_workload("village"), WorkloadKind::Village);
+  EXPECT_EQ(parse_workload("walk"), WorkloadKind::Walk);
+  EXPECT_EQ(parse_workload("nonsense"), WorkloadKind::Walk);
+  EXPECT_STREQ(workload_name(WorkloadKind::Build), "build");
+}
+
+}  // namespace
+}  // namespace dyconits::bots

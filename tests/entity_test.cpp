@@ -1,0 +1,202 @@
+// Unit tests for src/entity: registry, spatial index, walking kinematics.
+#include <gtest/gtest.h>
+
+#include "entity/movement.h"
+#include "entity/registry.h"
+#include "world/terrain.h"
+#include "world/world.h"
+
+namespace dyconits::entity {
+namespace {
+
+using world::BlockPos;
+using world::ChunkPos;
+using world::Vec3;
+
+// ---------------------------------------------------------------- registry
+
+TEST(RegistryTest, CreateAssignsUniqueNonZeroIds) {
+  EntityRegistry r;
+  const Entity& a = r.create(EntityKind::Player, {0, 1, 0});
+  const Entity& b = r.create(EntityKind::Mob, {5, 1, 5});
+  EXPECT_NE(a.id, kInvalidEntity);
+  EXPECT_NE(a.id, b.id);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(b.kind, EntityKind::Mob);
+}
+
+TEST(RegistryTest, FindAndRemove) {
+  EntityRegistry r;
+  const EntityId id = r.create(EntityKind::Player, {0, 1, 0}).id;
+  EXPECT_NE(r.find(id), nullptr);
+  EXPECT_TRUE(r.remove(id));
+  EXPECT_EQ(r.find(id), nullptr);
+  EXPECT_FALSE(r.remove(id));
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(RegistryTest, ReferencesStableAcrossInserts) {
+  EntityRegistry r;
+  Entity& first = r.create(EntityKind::Player, {1, 1, 1});
+  const EntityId id = first.id;
+  for (int i = 0; i < 100; ++i) r.create(EntityKind::Mob, {0, 1, 0});
+  EXPECT_EQ(&first, r.find(id));  // unique_ptr storage: no reallocation moves
+}
+
+TEST(RegistryTest, MoveUpdatesSpatialIndex) {
+  EntityRegistry r;
+  Entity& e = r.create(EntityKind::Player, {1, 1, 1});
+  EXPECT_NE(r.entities_in_chunk({0, 0}), nullptr);
+  r.move(e, {100, 1, 100});
+  EXPECT_EQ(r.entities_in_chunk({0, 0}), nullptr);  // bucket cleaned up
+  const auto* bucket = r.entities_in_chunk(ChunkPos::of_block({100, 1, 100}));
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->count(e.id), 1u);
+}
+
+TEST(RegistryTest, MoveBumpsRevision) {
+  EntityRegistry r;
+  Entity& e = r.create(EntityKind::Player, {1, 1, 1});
+  const auto rev = e.revision;
+  r.move(e, {2, 1, 2});
+  EXPECT_GT(e.revision, rev);
+}
+
+TEST(RegistryTest, MoveWithinChunkKeepsBucket) {
+  EntityRegistry r;
+  Entity& e = r.create(EntityKind::Player, {1, 1, 1});
+  r.move(e, {2.5, 1, 3.5});
+  const auto* bucket = r.entities_in_chunk({0, 0});
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->count(e.id), 1u);
+}
+
+TEST(RegistryTest, QueryChunkRadius) {
+  EntityRegistry r;
+  const EntityId near_id = r.create(EntityKind::Player, {8, 1, 8}).id;        // chunk 0,0
+  const EntityId edge_id = r.create(EntityKind::Player, {8 + 32, 1, 8}).id;   // chunk 2,0
+  const EntityId far_id = r.create(EntityKind::Player, {8 + 160, 1, 8}).id;   // chunk 10,0
+
+  const auto within2 = r.query_chunk_radius({0, 0}, 2);
+  EXPECT_EQ(within2.size(), 2u);
+  EXPECT_TRUE(std::count(within2.begin(), within2.end(), near_id) == 1);
+  EXPECT_TRUE(std::count(within2.begin(), within2.end(), edge_id) == 1);
+  EXPECT_TRUE(std::count(within2.begin(), within2.end(), far_id) == 0);
+
+  const auto within0 = r.query_chunk_radius({0, 0}, 0);
+  EXPECT_EQ(within0.size(), 1u);
+}
+
+TEST(RegistryTest, ForEachVisitsAll) {
+  EntityRegistry r;
+  for (int i = 0; i < 10; ++i) r.create(EntityKind::Player, {static_cast<double>(i), 1, 0});
+  int count = 0;
+  r.for_each([&](Entity&) { ++count; });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(RegistryTest, RemoveCleansIndex) {
+  EntityRegistry r;
+  const EntityId id = r.create(EntityKind::Player, {1, 1, 1}).id;
+  EXPECT_TRUE(r.remove(id));
+  EXPECT_EQ(r.entities_in_chunk({0, 0}), nullptr);
+  EXPECT_TRUE(r.query_chunk_radius({0, 0}, 1).empty());
+}
+
+// ---------------------------------------------------------------- movement
+
+class MovementTest : public ::testing::Test {
+ protected:
+  /// Flat world: bedrock at y=0, stand at y=1.
+  world::World flat_;
+};
+
+TEST_F(MovementTest, StepMovesTowardTarget) {
+  Vec3 out;
+  const auto res = step_toward(flat_, {0.5, 1, 0.5}, {10.5, 0, 0.5}, 4.0, 0.05, out);
+  EXPECT_TRUE(res.moved);
+  EXPECT_FALSE(res.blocked);
+  EXPECT_NEAR(out.x, 0.5 + 0.2, 1e-9);
+  EXPECT_DOUBLE_EQ(out.z, 0.5);
+  EXPECT_DOUBLE_EQ(out.y, 1.0);  // stands on bedrock
+}
+
+TEST_F(MovementTest, DoesNotOvershoot) {
+  Vec3 out;
+  step_toward(flat_, {0.5, 1, 0.5}, {0.6, 0, 0.5}, 4.0, 1.0, out);
+  EXPECT_NEAR(out.x, 0.6, 1e-9);
+}
+
+TEST_F(MovementTest, ZeroDistanceNoMove) {
+  Vec3 out;
+  const auto res = step_toward(flat_, {1, 1, 1}, {1, 0, 1}, 4.0, 0.05, out);
+  EXPECT_FALSE(res.moved);
+  EXPECT_EQ(out, (Vec3{1, 1, 1}));
+}
+
+TEST_F(MovementTest, StepsUpSingleBlock) {
+  flat_.set_block({2, 1, 0}, world::Block::Stone);  // one-block ledge ahead
+  Vec3 out;
+  const auto res = step_toward(flat_, {1.5, 1, 0.5}, {2.5, 0, 0.5}, 20.0, 0.05, out);
+  EXPECT_TRUE(res.moved);
+  EXPECT_DOUBLE_EQ(out.y, 2.0);
+}
+
+TEST_F(MovementTest, BlockedByTwoBlockWall) {
+  flat_.set_block({2, 1, 0}, world::Block::Stone);
+  flat_.set_block({2, 2, 0}, world::Block::Stone);
+  Vec3 out;
+  const auto res = step_toward(flat_, {1.5, 1, 0.5}, {2.5, 0, 0.5}, 20.0, 0.05, out);
+  EXPECT_TRUE(res.blocked);
+  EXPECT_LT(out.x, 2.0);  // did not pass the wall
+}
+
+TEST_F(MovementTest, FallsWhenGroundRemoved) {
+  flat_.set_block({0, 1, 0}, world::Block::Stone);
+  Vec3 out;
+  // Standing on the stone at y=2; stone is gone in the *target* column too
+  // (same column): step settles to the new ground.
+  flat_.set_block({0, 1, 0}, world::Block::Air);
+  step_toward(flat_, {0.5, 2, 0.5}, {0.5, 0, 10.5}, 4.0, 0.05, out);
+  EXPECT_DOUBLE_EQ(out.y, 1.0);
+}
+
+TEST_F(MovementTest, SpeedScalesStep) {
+  Vec3 slow, fast;
+  step_toward(flat_, {0.5, 1, 0.5}, {50.5, 0, 0.5}, 2.0, 0.05, slow);
+  step_toward(flat_, {0.5, 1, 0.5}, {50.5, 0, 0.5}, 8.0, 0.05, fast);
+  EXPECT_NEAR((fast.x - 0.5) / (slow.x - 0.5), 4.0, 1e-6);
+}
+
+TEST_F(MovementTest, DiagonalStepLengthRespectsSpeed) {
+  Vec3 out;
+  step_toward(flat_, {0.5, 1, 0.5}, {10.5, 0, 10.5}, 4.0, 0.05, out);
+  EXPECT_NEAR(world::horizontal_distance(out, {0.5, 1, 0.5}), 0.2, 1e-9);
+}
+
+TEST_F(MovementTest, CanStandAt) {
+  EXPECT_TRUE(can_stand_at(flat_, {0.5, 1, 0.5}));       // on bedrock
+  EXPECT_FALSE(can_stand_at(flat_, {0.5, 5, 0.5}));      // floating
+  flat_.set_block({3, 1, 3}, world::Block::Stone);
+  EXPECT_FALSE(can_stand_at(flat_, {3.5, 1, 3.5}));      // inside a block
+  EXPECT_TRUE(can_stand_at(flat_, {3.5, 2, 3.5}));       // on the block
+}
+
+TEST_F(MovementTest, WalksOnGeneratedTerrain) {
+  world::World w(std::make_unique<world::TerrainGenerator>(7));
+  Vec3 pos = w.spawn_position(0, 0);
+  for (int i = 0; i < 200; ++i) {
+    Vec3 next;
+    const auto res = step_toward(w, pos, {100.5, 0, 0.5}, 4.3, 0.05, next);
+    if (res.blocked) break;
+    pos = next;
+    // Invariant: we always stand on the surface.
+    const int ground = w.surface_height(static_cast<std::int32_t>(std::floor(pos.x)),
+                                        static_cast<std::int32_t>(std::floor(pos.z)));
+    ASSERT_DOUBLE_EQ(pos.y, ground + 1);
+  }
+  EXPECT_GT(pos.x, 5.0);  // made progress
+}
+
+}  // namespace
+}  // namespace dyconits::entity

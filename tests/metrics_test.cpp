@@ -1,0 +1,76 @@
+// Unit tests for src/metrics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/metrics.h"
+
+namespace dyconits::metrics {
+namespace {
+
+TEST(TimeSeriesTest, AddAndAggregate) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  ts.add(SimTime(1'000'000), 10.0);
+  ts.add(SimTime(2'000'000), 20.0);
+  ts.add(SimTime(3'000'000), 60.0);
+  EXPECT_DOUBLE_EQ(ts.mean(), 30.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 60.0);
+  EXPECT_EQ(ts.points().size(), 3u);
+}
+
+TEST(TimeSeriesTest, MeanAfterSkipsWarmup) {
+  TimeSeries ts;
+  ts.add(SimTime(1'000'000), 1000.0);  // warmup spike
+  ts.add(SimTime(5'000'000), 10.0);
+  ts.add(SimTime(6'000'000), 20.0);
+  EXPECT_DOUBLE_EQ(ts.mean_after(SimTime(5'000'000)), 15.0);
+  EXPECT_DOUBLE_EQ(ts.mean_after(SimTime(100'000'000)), 0.0);
+}
+
+TEST(TimeSeriesTest, EmptyAggregatesAreZero) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 0.0);
+}
+
+TEST(RegistryTest, CountersAccumulate) {
+  MetricRegistry reg;
+  reg.counter("frames") += 5;
+  reg.counter("frames") += 3;
+  EXPECT_EQ(reg.counters().at("frames"), 8u);
+}
+
+TEST(RegistryTest, CsvFormat) {
+  MetricRegistry reg;
+  reg.counter("n") = 2;
+  reg.series("rate").add(SimTime(1'500'000), 7.5);
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("kind,name,t_seconds,value"), std::string::npos);
+  EXPECT_NE(csv.find("counter,n,-1,2"), std::string::npos);
+  EXPECT_NE(csv.find("series,rate,1.5,7.5"), std::string::npos);
+}
+
+TEST(RateSamplerTest, FirstSampleIsZero) {
+  RateSampler rs;
+  EXPECT_DOUBLE_EQ(rs.sample(1000, 1.0), 0.0);  // priming
+  EXPECT_DOUBLE_EQ(rs.sample(1500, 1.0), 500.0);
+  EXPECT_DOUBLE_EQ(rs.sample(1500, 1.0), 0.0);
+}
+
+TEST(RateSamplerTest, ScalesByInterval) {
+  RateSampler rs;
+  rs.sample(0, 1.0);
+  EXPECT_DOUBLE_EQ(rs.sample(100, 2.0), 50.0);
+}
+
+TEST(RateSamplerTest, ZeroDtIsSafe) {
+  RateSampler rs;
+  rs.sample(0, 1.0);
+  EXPECT_DOUBLE_EQ(rs.sample(100, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace dyconits::metrics

@@ -1,0 +1,330 @@
+// Unit tests for src/net: wire codec and the simulated network.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "net/bytes.h"
+#include "net/sim_network.h"
+
+namespace dyconits::net {
+namespace {
+
+// ------------------------------------------------------------------- bytes
+
+TEST(BytesTest, FixedWidthRoundtrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.f32(3.5f);
+  w.f64(-2.25);
+
+  ByteReader r(w.bytes());
+  std::uint8_t a;
+  std::uint16_t b;
+  std::uint32_t c;
+  std::uint64_t d;
+  float e;
+  double f;
+  ASSERT_TRUE(r.u8(a) && r.u16(b) && r.u32(c) && r.u64(d) && r.f32(e) && r.f64(f));
+  EXPECT_EQ(a, 0xAB);
+  EXPECT_EQ(b, 0xBEEF);
+  EXPECT_EQ(c, 0xDEADBEEFu);
+  EXPECT_EQ(d, 0x0123456789ABCDEFull);
+  EXPECT_EQ(e, 3.5f);
+  EXPECT_EQ(f, -2.25);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BytesTest, VarintEdgeValues) {
+  const std::uint64_t values[] = {0,      1,      127,        128,
+                                  16383,  16384,  0xFFFFFFFF, 1ull << 62,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (const auto v : values) {
+    ByteWriter w;
+    w.varint(v);
+    EXPECT_EQ(w.size(), varint_size(v));
+    ByteReader r(w.bytes());
+    std::uint64_t out;
+    ASSERT_TRUE(r.varint(out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(BytesTest, VarintSizes) {
+  EXPECT_EQ(varint_size(0), 1u);
+  EXPECT_EQ(varint_size(127), 1u);
+  EXPECT_EQ(varint_size(128), 2u);
+  EXPECT_EQ(varint_size(16383), 2u);
+  EXPECT_EQ(varint_size(16384), 3u);
+  EXPECT_EQ(varint_size(std::numeric_limits<std::uint64_t>::max()), 10u);
+}
+
+TEST(BytesTest, SvarintRoundtrip) {
+  const std::int64_t values[] = {0,  -1, 1,  -64, 64, -65,
+                                 -1000000, 1000000,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (const auto v : values) {
+    ByteWriter w;
+    w.svarint(v);
+    ByteReader r(w.bytes());
+    std::int64_t out;
+    ASSERT_TRUE(r.svarint(out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(BytesTest, SmallSignedValuesAreOneByte) {
+  ByteWriter w;
+  w.svarint(-5);
+  EXPECT_EQ(w.size(), 1u);  // zigzag keeps small magnitudes small
+}
+
+TEST(BytesTest, StringAndBlobRoundtrip) {
+  ByteWriter w;
+  w.str("hello world");
+  w.str("");
+  const std::vector<std::uint8_t> blob = {1, 2, 3, 255};
+  w.blob(blob);
+
+  ByteReader r(w.bytes());
+  std::string s1, s2;
+  std::vector<std::uint8_t> b;
+  ASSERT_TRUE(r.str(s1) && r.str(s2) && r.blob(b));
+  EXPECT_EQ(s1, "hello world");
+  EXPECT_EQ(s2, "");
+  EXPECT_EQ(b, blob);
+}
+
+TEST(BytesTest, UnderflowFailsAndPoisons) {
+  ByteWriter w;
+  w.u8(1);
+  ByteReader r(w.bytes());
+  std::uint32_t v;
+  EXPECT_FALSE(r.u32(v));
+  EXPECT_FALSE(r.ok());
+  std::uint8_t b;
+  EXPECT_FALSE(r.u8(b));  // poisoned: even a fitting read fails
+}
+
+TEST(BytesTest, TruncatedVarintFails) {
+  const std::uint8_t data[] = {0x80, 0x80};  // continuation bits, no end
+  ByteReader r(data, sizeof(data));
+  std::uint64_t v;
+  EXPECT_FALSE(r.varint(v));
+}
+
+TEST(BytesTest, OverlongVarintFails) {
+  // 11 bytes of continuation would exceed 64 bits.
+  const std::uint8_t data[] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                               0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+  ByteReader r(data, sizeof(data));
+  std::uint64_t v;
+  EXPECT_FALSE(r.varint(v));
+}
+
+TEST(BytesTest, BlobLengthBeyondBufferFails) {
+  ByteWriter w;
+  w.varint(100);  // claims 100 bytes, provides none
+  ByteReader r(w.bytes());
+  std::vector<std::uint8_t> b;
+  EXPECT_FALSE(r.blob(b));
+}
+
+// ------------------------------------------------------------- sim network
+
+class SimNetworkTest : public ::testing::Test {
+ protected:
+  SimNetworkTest() : net_(clock_) {
+    a_ = net_.create_endpoint("a");
+    b_ = net_.create_endpoint("b");
+    net_.connect(a_, b_, {SimDuration::millis(25), 0.0});
+  }
+
+  static Frame frame(std::uint8_t tag, std::size_t payload_size) {
+    Frame f;
+    f.tag = tag;
+    f.payload.assign(payload_size, 0x42);
+    return f;
+  }
+
+  SimClock clock_;
+  SimNetwork net_;
+  EndpointId a_ = 0, b_ = 0;
+};
+
+TEST_F(SimNetworkTest, DeliversAfterLatency) {
+  ASSERT_TRUE(net_.send(a_, b_, frame(1, 10)));
+  EXPECT_TRUE(net_.poll(b_).empty());  // not yet
+  clock_.advance(SimDuration::millis(24));
+  EXPECT_TRUE(net_.poll(b_).empty());
+  clock_.advance(SimDuration::millis(1));
+  const auto got = net_.poll(b_);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].from, a_);
+  EXPECT_EQ(got[0].frame.tag, 1);
+  EXPECT_EQ((got[0].arrival - got[0].sent).count_millis(), 25);
+}
+
+TEST_F(SimNetworkTest, PollIsDestructive) {
+  net_.send(a_, b_, frame(1, 1));
+  clock_.advance(SimDuration::millis(30));
+  EXPECT_EQ(net_.poll(b_).size(), 1u);
+  EXPECT_TRUE(net_.poll(b_).empty());
+}
+
+TEST_F(SimNetworkTest, SendWithoutLinkFailsUncounted) {
+  const EndpointId c = net_.create_endpoint("c");
+  EXPECT_FALSE(net_.send(a_, c, frame(1, 10)));
+  EXPECT_EQ(net_.egress_bytes(a_), 0u);
+  EXPECT_EQ(net_.total_frames(), 0u);
+}
+
+TEST_F(SimNetworkTest, DisconnectStopsTraffic) {
+  net_.disconnect(a_, b_);
+  EXPECT_FALSE(net_.connected(a_, b_));
+  EXPECT_FALSE(net_.send(a_, b_, frame(1, 1)));
+}
+
+TEST_F(SimNetworkTest, FifoPerPair) {
+  for (int i = 0; i < 10; ++i) {
+    Frame f = frame(1, 1);
+    f.payload[0] = static_cast<std::uint8_t>(i);
+    net_.send(a_, b_, std::move(f));
+    clock_.advance(SimDuration::millis(1));
+  }
+  clock_.advance(SimDuration::seconds(1));
+  const auto got = net_.poll(b_);
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[i].frame.payload[0], i);
+}
+
+TEST_F(SimNetworkTest, FifoHoldsUnderJitter) {
+  net_.connect(a_, b_, {SimDuration::millis(25), 0.9});
+  SimTime prev = SimTime::zero();
+  for (int i = 0; i < 200; ++i) {
+    net_.send(a_, b_, frame(1, 1));
+    clock_.advance(SimDuration::millis(1));
+  }
+  clock_.advance(SimDuration::seconds(2));
+  const auto got = net_.poll(b_);
+  ASSERT_EQ(got.size(), 200u);
+  for (const auto& d : got) {
+    EXPECT_GE(d.arrival, prev);  // non-decreasing despite jitter
+    prev = d.arrival;
+  }
+}
+
+TEST_F(SimNetworkTest, JitterStaysWithinBounds) {
+  net_.connect(a_, b_, {SimDuration::millis(100), 0.2});
+  for (int i = 0; i < 100; ++i) {
+    net_.send(a_, b_, frame(1, 1));
+    clock_.advance(SimDuration::seconds(1));  // spaced out: no FIFO clamping
+  }
+  clock_.advance(SimDuration::seconds(2));
+  for (const auto& d : net_.poll(b_)) {
+    const auto lat = (d.arrival - d.sent).count_millis();
+    EXPECT_GE(lat, 80);
+    EXPECT_LE(lat, 120);
+  }
+}
+
+TEST_F(SimNetworkTest, NonFifoLinksCanReorder) {
+  net_.connect(a_, b_, {SimDuration::millis(50), 0.8, /*fifo=*/false});
+  for (int i = 0; i < 300; ++i) {
+    Frame f = frame(1, 2);
+    f.payload[0] = static_cast<std::uint8_t>(i & 0xFF);
+    f.payload[1] = static_cast<std::uint8_t>(i >> 8);
+    net_.send(a_, b_, std::move(f));
+    clock_.advance(SimDuration::millis(5));
+  }
+  clock_.advance(SimDuration::seconds(2));
+  const auto got = net_.poll(b_);
+  ASSERT_EQ(got.size(), 300u);
+  int inversions = 0;
+  int prev = -1;
+  for (const auto& d : got) {
+    const int seq = d.frame.payload[0] | (d.frame.payload[1] << 8);
+    if (seq < prev) ++inversions;
+    prev = std::max(prev, seq);
+  }
+  EXPECT_GT(inversions, 0);  // jitter actually reordered something
+}
+
+TEST_F(SimNetworkTest, WireSizeAndAccounting) {
+  Frame f = frame(3, 100);
+  const std::size_t expected = 1 + 1 + 100;  // tag + 1-byte varint + payload
+  EXPECT_EQ(f.wire_size(), expected);
+  net_.send(a_, b_, std::move(f));
+  EXPECT_EQ(net_.egress_bytes(a_), expected);
+  EXPECT_EQ(net_.ingress_bytes(b_), expected);
+  EXPECT_EQ(net_.egress_frames(a_), 1u);
+  EXPECT_EQ(net_.egress_bytes_by_tag(a_, 3), expected);
+  EXPECT_EQ(net_.egress_bytes_by_tag(a_, 4), 0u);
+  EXPECT_EQ(net_.total_bytes(), expected);
+}
+
+TEST_F(SimNetworkTest, LargePayloadVarintHeader) {
+  Frame f = frame(1, 300);
+  EXPECT_EQ(f.wire_size(), 1 + 2 + 300u);  // 300 needs a 2-byte varint
+}
+
+TEST_F(SimNetworkTest, RateLimitAddsQueueingDelay) {
+  net_.set_egress_rate(a_, 1000);  // 1000 B/s
+  // Two 102-byte frames: the second waits for the first's serialization.
+  net_.send(a_, b_, frame(1, 100));
+  net_.send(a_, b_, frame(1, 100));
+  clock_.advance(SimDuration::seconds(5));
+  const auto got = net_.poll(b_);
+  ASSERT_EQ(got.size(), 2u);
+  const auto lat0 = (got[0].arrival - got[0].sent).count_millis();
+  const auto lat1 = (got[1].arrival - got[1].sent).count_millis();
+  EXPECT_NEAR(static_cast<double>(lat0), 25 + 102, 2);       // tx time + latency
+  EXPECT_NEAR(static_cast<double>(lat1), 25 + 2 * 102, 2);   // queued behind first
+}
+
+TEST_F(SimNetworkTest, UnlimitedRateNoQueueing) {
+  net_.send(a_, b_, frame(1, 100000));
+  clock_.advance(SimDuration::millis(25));
+  EXPECT_EQ(net_.poll(b_).size(), 1u);
+}
+
+TEST_F(SimNetworkTest, PendingCount) {
+  net_.send(a_, b_, frame(1, 1));
+  net_.send(a_, b_, frame(1, 1));
+  EXPECT_EQ(net_.pending_count(b_), 2u);
+  clock_.advance(SimDuration::seconds(1));
+  net_.poll(b_);
+  EXPECT_EQ(net_.pending_count(b_), 0u);
+}
+
+TEST_F(SimNetworkTest, BidirectionalLink) {
+  net_.send(b_, a_, frame(2, 5));
+  clock_.advance(SimDuration::millis(25));
+  const auto got = net_.poll(a_);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].from, b_);
+}
+
+TEST_F(SimNetworkTest, EndpointNames) {
+  EXPECT_EQ(net_.endpoint_name(a_), "a");
+  EXPECT_EQ(net_.endpoint_name(b_), "b");
+}
+
+TEST_F(SimNetworkTest, InterleavedSourcesOrderedByArrival) {
+  const EndpointId c = net_.create_endpoint("c");
+  net_.connect(c, b_, {SimDuration::millis(5), 0.0});
+  net_.send(a_, b_, frame(1, 1));  // arrives t+25
+  net_.send(c, b_, frame(2, 1));   // arrives t+5
+  clock_.advance(SimDuration::millis(30));
+  const auto got = net_.poll(b_);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].frame.tag, 2);  // c's frame first
+  EXPECT_EQ(got[1].frame.tag, 1);
+}
+
+}  // namespace
+}  // namespace dyconits::net

@@ -1,0 +1,351 @@
+// Unit tests for the policy layer: factory, bounds shapes, granularity
+// mapping, and the Director's adaptation loop.
+#include <gtest/gtest.h>
+
+#include "dyconit/policies/adaptive.h"
+#include "dyconit/policies/basic.h"
+#include "dyconit/policies/director.h"
+#include "dyconit/policies/factory.h"
+
+namespace dyconits::dyconit {
+namespace {
+
+using world::ChunkPos;
+using world::Vec3;
+
+// ----------------------------------------------------------------- factory
+
+TEST(FactoryTest, KnownSpecs) {
+  for (const char* spec : {"zero", "infinite", "static", "static:100:2", "aoi",
+                           "director", "adaptive", "aoi@region", "director@global",
+                           "zero@chunk"}) {
+    EXPECT_NE(make_policy(spec), nullptr) << spec;
+  }
+}
+
+TEST(FactoryTest, UnknownSpecsRejected) {
+  EXPECT_EQ(make_policy("bogus"), nullptr);
+  EXPECT_EQ(make_policy("aoi@planet"), nullptr);
+  EXPECT_EQ(make_policy(""), nullptr);
+}
+
+TEST(FactoryTest, NamesRoundTrip) {
+  EXPECT_EQ(make_policy("zero")->name(), "zero");
+  EXPECT_EQ(make_policy("director")->name(), "director");
+  EXPECT_EQ(make_policy("aoi@region")->name(), "aoi@region");
+  EXPECT_EQ(make_policy("static:50:1")->name(), "static-conit");
+}
+
+TEST(FactoryTest, StaticParametersApplied) {
+  const auto p = make_policy("static:300:7");
+  const Bounds b = p->bounds_for(DyconitId::chunk_blocks({0, 0}), {0, 0, 0});
+  EXPECT_EQ(b.staleness.count_millis(), 300);
+  EXPECT_DOUBLE_EQ(b.numerical, 7.0);
+}
+
+// ----------------------------------------------------------- basic policies
+
+TEST(BasicPoliciesTest, ZeroAlwaysZero) {
+  ZeroPolicy p;
+  EXPECT_TRUE(p.bounds_for(DyconitId::chunk_blocks({9, 9}), {1000, 0, 1000}).is_zero());
+  EXPECT_TRUE(p.bounds_for(DyconitId::global_entities(), {0, 0, 0}).is_zero());
+}
+
+TEST(BasicPoliciesTest, InfiniteNeverTrips) {
+  InfinitePolicy p;
+  const Bounds b = p.bounds_for(DyconitId::chunk_blocks({0, 0}), {0, 0, 0});
+  EXPECT_EQ(b.staleness, SimDuration::infinite());
+  EXPECT_GT(b.numerical, 1e17);
+}
+
+TEST(BasicPoliciesTest, StaticIgnoresDistance) {
+  StaticConitPolicy p(SimDuration::millis(100), 3.0);
+  const Bounds near = p.bounds_for(DyconitId::chunk_blocks({0, 0}), {0, 0, 0});
+  const Bounds far = p.bounds_for(DyconitId::chunk_blocks({100, 100}), {0, 0, 0});
+  EXPECT_EQ(near, far);
+}
+
+TEST(BasicPoliciesTest, DefaultUnitMappingIsPerChunk) {
+  ZeroPolicy p;
+  EXPECT_EQ(p.block_unit_for({3, 4}), DyconitId::chunk_blocks({3, 4}));
+  EXPECT_EQ(p.entity_unit_for({3, 4}), DyconitId::chunk_entities({3, 4}));
+}
+
+// -------------------------------------------------------------------- AOI
+
+class AoiTest : public ::testing::Test {
+ protected:
+  AoiPolicy p_;
+  const Vec3 player_{8, 20, 8};  // center of chunk (0,0)
+};
+
+TEST_F(AoiTest, NearUnitsGetZeroBounds) {
+  EXPECT_TRUE(p_.bounds_for(DyconitId::chunk_entities({0, 0}), player_).is_zero());
+  EXPECT_TRUE(p_.bounds_for(DyconitId::chunk_entities({2, 0}), player_).is_zero());
+  EXPECT_TRUE(p_.bounds_for(DyconitId::chunk_blocks({1, -1}), player_).is_zero());
+}
+
+TEST_F(AoiTest, BoundsGrowWithDistance) {
+  const Bounds d4 = p_.bounds_for(DyconitId::chunk_entities({4, 0}), player_);
+  const Bounds d8 = p_.bounds_for(DyconitId::chunk_entities({8, 0}), player_);
+  EXPECT_FALSE(d4.is_zero());
+  EXPECT_GT(d8.staleness, d4.staleness);
+  EXPECT_GT(d8.numerical, d4.numerical);
+}
+
+TEST_F(AoiTest, StalenessIsCapped) {
+  const Bounds far = p_.bounds_for(DyconitId::chunk_entities({1000, 0}), player_);
+  EXPECT_LE(far.staleness, p_.params().max_staleness);
+  EXPECT_LE(far.numerical, p_.params().max_entity_numerical);
+}
+
+TEST_F(AoiTest, BlockAndEntityDomainsUseOwnScales) {
+  const Bounds ent = p_.bounds_for(DyconitId::chunk_entities({6, 0}), player_);
+  const Bounds blk = p_.bounds_for(DyconitId::chunk_blocks({6, 0}), player_);
+  EXPECT_EQ(ent.staleness, blk.staleness);
+  EXPECT_NE(ent.numerical, blk.numerical);
+}
+
+TEST_F(AoiTest, GlobalUnitTreatedAsFar) {
+  const Bounds b = p_.bounds_for(DyconitId::global_entities(), player_);
+  EXPECT_EQ(b.staleness, p_.params().max_staleness);
+}
+
+TEST_F(AoiTest, ChebyshevNotEuclidean) {
+  // Diagonal chunk (3,3) is Chebyshev distance ~3 from (0,0).
+  const Bounds diag = p_.bounds_for(DyconitId::chunk_entities({3, 3}), player_);
+  const Bounds straight = p_.bounds_for(DyconitId::chunk_entities({3, 0}), player_);
+  EXPECT_EQ(diag.staleness, straight.staleness);
+}
+
+// ------------------------------------------------------------- granularity
+
+TEST(GranularityTest, RegionWrapping) {
+  const auto p = make_policy("aoi@region");
+  EXPECT_EQ(p->block_unit_for({0, 0}), DyconitId::region_blocks({0, 0}));
+  EXPECT_EQ(p->block_unit_for({3, 3}), p->block_unit_for({0, 0}));
+  EXPECT_NE(p->block_unit_for({4, 0}), p->block_unit_for({0, 0}));
+  EXPECT_EQ(p->entity_unit_for({5, 5}).domain, Domain::RegionEntities);
+}
+
+TEST(GranularityTest, GlobalWrapping) {
+  const auto p = make_policy("zero@global");
+  EXPECT_EQ(p->block_unit_for({100, -100}), DyconitId::global_blocks());
+  EXPECT_EQ(p->entity_unit_for({100, -100}), DyconitId::global_entities());
+}
+
+TEST(GranularityTest, DelegatesBounds) {
+  const auto p = make_policy("static:123:9@region");
+  const Bounds b = p->bounds_for(DyconitId::region_blocks({0, 0}), {0, 0, 0});
+  EXPECT_EQ(b.staleness.count_millis(), 123);
+}
+
+// ---------------------------------------------------------------- Director
+
+class DirectorTest : public ::testing::Test {
+ protected:
+  DirectorTest() : sys_(clock_) {}
+
+  LoadSample load(double tick_fraction) {
+    LoadSample l;
+    l.now = clock_.now();
+    l.tick_budget = SimDuration::millis(50);
+    l.tick_duration = SimDuration::micros(
+        static_cast<std::int64_t>(tick_fraction * 50000.0));
+    l.players = players_.size();
+    return l;
+  }
+
+  void tick_policy(DirectorPolicy& p, double tick_fraction) {
+    clock_.advance(SimDuration::seconds(2));  // beyond adjust_interval
+    LoadSample l = load(tick_fraction);
+    PolicyContext ctx(sys_, players_, l);
+    p.on_tick(ctx);
+  }
+
+  SimClock clock_;
+  DyconitSystem sys_;
+  std::vector<PlayerView> players_;
+};
+
+TEST_F(DirectorTest, StartsAtMinScale) {
+  DirectorPolicy p;
+  EXPECT_DOUBLE_EQ(p.scale(), 1.0);
+}
+
+TEST_F(DirectorTest, ScalesUpUnderTickPressure) {
+  DirectorPolicy p;
+  tick_policy(p, 0.9);
+  EXPECT_GT(p.scale(), 1.0);
+  const double s1 = p.scale();
+  tick_policy(p, 0.9);
+  EXPECT_GT(p.scale(), s1);  // keeps climbing while pressured
+}
+
+TEST_F(DirectorTest, ScaleIsClamped) {
+  DirectorParams params;
+  params.max_scale = 4.0;
+  DirectorPolicy p(params);
+  for (int i = 0; i < 50; ++i) tick_policy(p, 1.5);
+  EXPECT_DOUBLE_EQ(p.scale(), 4.0);
+}
+
+TEST_F(DirectorTest, RelaxesWhenIdle) {
+  DirectorPolicy p;
+  for (int i = 0; i < 10; ++i) tick_policy(p, 0.9);
+  const double high = p.scale();
+  for (int i = 0; i < 100; ++i) tick_policy(p, 0.1);
+  EXPECT_LT(p.scale(), high);
+  EXPECT_DOUBLE_EQ(p.scale(), 1.0);  // returns to tightest
+}
+
+TEST_F(DirectorTest, DeadBandHolds) {
+  DirectorPolicy p;
+  tick_policy(p, 0.9);
+  const double s = p.scale();
+  tick_policy(p, 0.6);  // between low and high thresholds
+  EXPECT_DOUBLE_EQ(p.scale(), s);
+}
+
+TEST_F(DirectorTest, RespectsAdjustInterval) {
+  DirectorPolicy p;
+  // Two calls within the same interval: only the first adjusts.
+  clock_.advance(SimDuration::seconds(2));
+  LoadSample l = load(0.9);
+  PolicyContext ctx(sys_, players_, l);
+  p.on_tick(ctx);
+  const double s = p.scale();
+  clock_.advance(SimDuration::millis(100));
+  LoadSample l2 = load(0.9);
+  PolicyContext ctx2(sys_, players_, l2);
+  p.on_tick(ctx2);
+  EXPECT_DOUBLE_EQ(p.scale(), s);
+}
+
+TEST_F(DirectorTest, BandwidthBudgetPressure) {
+  DirectorPolicy p;
+  clock_.advance(SimDuration::seconds(2));
+  LoadSample l = load(0.1);  // CPU idle
+  l.bandwidth_budget_bps = 1e6;
+  l.egress_bytes_per_sec = 1e6;  // 8 Mbit/s over a 1 Mbit budget
+  PolicyContext ctx(sys_, players_, l);
+  p.on_tick(ctx);
+  EXPECT_GT(p.scale(), 1.0);
+}
+
+TEST_F(DirectorTest, NearBoundsStayZeroBelowPressureThreshold) {
+  DirectorParams params;
+  params.near_pressure_scale = 4.0;
+  DirectorPolicy p(params);
+  while (p.scale() < 3.0) tick_policy(p, 1.5);
+  ASSERT_LE(p.scale(), 4.0);  // 1.3x steps from 1.0 cannot skip past 4.0 from <3.08
+  EXPECT_TRUE(p.bounds_for(DyconitId::chunk_entities({0, 0}), {8, 0, 8}).is_zero());
+  EXPECT_TRUE(p.bounds_for(DyconitId::chunk_entities({2, 0}), {8, 0, 8}).is_zero());
+}
+
+TEST_F(DirectorTest, NearBoundsEngageCappedUnderSustainedOverload) {
+  DirectorPolicy p;
+  for (int i = 0; i < 30; ++i) tick_policy(p, 1.5);
+  EXPECT_DOUBLE_EQ(p.scale(), DirectorParams{}.max_scale);
+  const Bounds near = p.bounds_for(DyconitId::chunk_entities({0, 0}), {8, 0, 8});
+  EXPECT_FALSE(near.is_zero());
+  // Staleness capped at a perceptually minor value even at max overload;
+  // (the near stage is staleness-driven — see DirectorParams).
+  EXPECT_LE(near.staleness, DirectorParams{}.near_staleness_cap);
+  EXPECT_GT(near.staleness, SimDuration::millis(0));
+  const Bounds near_blocks = p.bounds_for(DyconitId::chunk_blocks({0, 0}), {8, 0, 8});
+  EXPECT_LE(near_blocks.staleness, DirectorParams{}.near_staleness_cap);
+}
+
+TEST_F(DirectorTest, FarBoundsScaleWithMultiplier) {
+  DirectorPolicy p;
+  const Bounds before = p.bounds_for(DyconitId::chunk_entities({6, 0}), {8, 0, 8});
+  for (int i = 0; i < 5; ++i) tick_policy(p, 1.5);
+  const Bounds after = p.bounds_for(DyconitId::chunk_entities({6, 0}), {8, 0, 8});
+  EXPECT_GT(after.staleness, before.staleness);
+  EXPECT_GT(after.numerical, before.numerical);
+}
+
+TEST_F(DirectorTest, RetunesExistingSubscriptionsWithinSliceWindow) {
+  DirectorPolicy p;
+  players_.push_back({1, 10, {8, 0, 8}});
+  const auto unit = DyconitId::chunk_entities({6, 0});
+  sys_.subscribe(unit, 1, p.bounds_for(unit, {8, 0, 8}));
+  const Bounds before = sys_.find(unit)->bounds_of(1);
+  tick_policy(p, 1.5);  // scale changes; reshape is amortized over slices
+  // Drain the slice window with dead-band ticks (no further adjustment).
+  for (std::size_t i = 0; i < DirectorPolicy::kRetuneSlices; ++i) {
+    clock_.advance(SimDuration::millis(50));
+    LoadSample l = load(0.6);
+    PolicyContext ctx(sys_, players_, l);
+    p.on_tick(ctx);
+  }
+  const Bounds after = sys_.find(unit)->bounds_of(1);
+  EXPECT_GT(after.staleness, before.staleness);
+}
+
+// ---------------------------------------------------- adaptive granularity
+
+class AdaptiveTest : public DirectorTest {};
+
+TEST_F(AdaptiveTest, StartsAtChunkGranularity) {
+  AdaptiveGranularityPolicy p;
+  EXPECT_FALSE(p.coarse());
+  EXPECT_EQ(p.block_unit_for({3, 3}).domain, Domain::ChunkBlocks);
+}
+
+TEST_F(AdaptiveTest, CoarsensUnderLoadThenRefines) {
+  AdaptiveGranularityPolicy p;
+  // Scale up past coarsen_at (6.0): 1.3^8 > 8.
+  bool requested_coarsen = false;
+  for (int i = 0; i < 10 && !p.coarse(); ++i) {
+    clock_.advance(SimDuration::seconds(2));
+    LoadSample l = load(1.5);
+    PolicyContext ctx(sys_, players_, l);
+    p.on_tick(ctx);
+    requested_coarsen |= ctx.resubscribe_requested();
+  }
+  EXPECT_TRUE(p.coarse());
+  EXPECT_TRUE(requested_coarsen);
+  EXPECT_EQ(p.block_unit_for({3, 3}).domain, Domain::RegionBlocks);
+  EXPECT_EQ(p.entity_unit_for({9, 1}).domain, Domain::RegionEntities);
+
+  // Relax until scale falls to refine_at (2.0).
+  bool requested_refine = false;
+  for (int i = 0; i < 60 && p.coarse(); ++i) {
+    clock_.advance(SimDuration::seconds(2));
+    LoadSample l = load(0.05);
+    PolicyContext ctx(sys_, players_, l);
+    p.on_tick(ctx);
+    requested_refine |= ctx.resubscribe_requested();
+  }
+  EXPECT_FALSE(p.coarse());
+  EXPECT_TRUE(requested_refine);
+  EXPECT_EQ(p.block_unit_for({3, 3}).domain, Domain::ChunkBlocks);
+}
+
+TEST_F(AdaptiveTest, HysteresisPreventsFlapping) {
+  AdaptiveGranularityParams params;
+  AdaptiveGranularityPolicy p(params);
+  while (!p.coarse()) tick_policy(p, 1.5);
+  const double at_coarsen = p.scale();
+  // Dropping just below coarsen_at must NOT refine (refine_at is lower).
+  while (p.scale() > params.coarsen_at * 0.8) tick_policy(p, 0.1);
+  EXPECT_TRUE(p.coarse());
+  EXPECT_LT(p.scale(), at_coarsen);
+}
+
+TEST_F(DirectorTest, RetuneAllBoundsSkipsUnknownSubscribers) {
+  ZeroPolicy zero;
+  players_.push_back({1, 10, {0, 0, 0}});
+  const auto unit = DyconitId::chunk_entities({0, 0});
+  sys_.subscribe(unit, 99, Bounds::infinite());  // subscriber with no player view
+  LoadSample l;
+  l.now = clock_.now();
+  PolicyContext ctx(sys_, players_, l);
+  retune_all_bounds(zero, ctx);
+  EXPECT_EQ(sys_.find(unit)->bounds_of(99), Bounds::infinite());
+}
+
+}  // namespace
+}  // namespace dyconits::dyconit

@@ -1,0 +1,303 @@
+// Property-based tests of the middleware invariants (DESIGN.md §7), swept
+// over bound configurations and random update streams with TEST_P.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "dyconit/system.h"
+#include "util/rng.h"
+
+namespace dyconits::dyconit {
+namespace {
+
+using protocol::EntityMove;
+
+constexpr SimDuration kTick = SimDuration::millis(50);
+
+struct CollectingSink : FlushSink {
+  struct Rec {
+    SubscriberId to;
+    EntityMove mv;
+    SimTime created;
+    SimTime flushed;
+    double weight;
+  };
+  explicit CollectingSink(const SimClock& clock) : clock(clock) {}
+
+  void deliver(SubscriberId to, const std::vector<FlushedUpdate>& updates) override {
+    for (const auto& u : updates) {
+      recs.push_back(
+          {to, std::get<EntityMove>(*u.msg), u.created, clock.now(), u.weight});
+    }
+  }
+
+  const SimClock& clock;
+  std::vector<Rec> recs;
+};
+
+/// Drives a random but seed-deterministic stream of entity-move updates
+/// into one dyconit and ticks the system.
+struct StreamDriver {
+  StreamDriver(std::uint64_t seed, Bounds bounds)
+      : rng(seed), sys(clock), sink(clock), bounds(bounds) {
+    sys.subscribe(unit, 1, bounds);
+  }
+
+  void run(int ticks, int updates_per_tick) {
+    for (int t = 0; t < ticks; ++t) {
+      clock.advance(kTick);
+      for (int i = 0; i < updates_per_tick; ++i) {
+        const auto entity = static_cast<std::uint32_t>(rng.next_below(8) + 1);
+        const double x = rng.next_double_in(-100, 100);
+        Update u;
+        u.msg = EntityMove{entity, {x, 0, 0}, 0, 0};
+        u.weight = rng.next_double_in(0.05, 1.0);
+        u.created = clock.now();
+        u.coalesce_key = coalesce_key_entity(entity);
+        sys.update(unit, std::move(u));
+        ground_truth[entity] = x;
+      }
+      sys.tick(sink);
+      check_invariants();
+    }
+  }
+
+  void check_invariants() {
+    const Dyconit* d = sys.find(unit);
+    if (d == nullptr) return;
+    const_cast<Dyconit*>(d)->for_each_subscriber(
+        [&](SubscriberId, Bounds& b, const SubscriberQueue& q) {
+          if (q.empty()) return;
+          // Post-tick: the queue respects both bounds.
+          EXPECT_LT(clock.now() - q.oldest_created(), b.staleness)
+              << "staleness invariant violated after tick";
+          EXPECT_LE(q.total_weight(), b.numerical)
+              << "numerical invariant violated after tick";
+        });
+  }
+
+  SimClock clock;
+  Rng rng;
+  DyconitSystem sys;
+  CollectingSink sink;
+  Bounds bounds;
+  DyconitId unit = DyconitId::chunk_entities({0, 0});
+  std::map<std::uint32_t, double> ground_truth;
+};
+
+// -------------------------------------------------- bound-holding property
+
+class BoundsSweep
+    : public ::testing::TestWithParam<std::tuple<int /*θ ms*/, double /*δ*/>> {};
+
+TEST_P(BoundsSweep, QueuesRespectBoundsAfterEveryTick) {
+  const auto [theta_ms, delta] = GetParam();
+  StreamDriver d(0xBEE5 + theta_ms, {SimDuration::millis(theta_ms), delta});
+  d.run(200, 6);
+  EXPECT_GT(d.sink.recs.size(), 0u);
+}
+
+TEST_P(BoundsSweep, DeliveredStalenessBoundedByThetaPlusTick) {
+  const auto [theta_ms, delta] = GetParam();
+  StreamDriver d(0xF00D + theta_ms, {SimDuration::millis(theta_ms), delta});
+  d.run(200, 6);
+  for (const auto& r : d.sink.recs) {
+    EXPECT_LE((r.flushed - r.created).count_millis(), theta_ms + kTick.count_millis());
+  }
+}
+
+TEST_P(BoundsSweep, LastWriteWinsAfterForcedFlush) {
+  const auto [theta_ms, delta] = GetParam();
+  StreamDriver d(0xCAFE + theta_ms, {SimDuration::millis(theta_ms), delta});
+  d.run(150, 6);
+  d.sys.flush_all(d.sink);
+  // Replaying every delivered update in order must reproduce ground truth.
+  std::map<std::uint32_t, double> replica;
+  for (const auto& r : d.sink.recs) replica[r.mv.id] = r.mv.pos.x;
+  ASSERT_EQ(replica.size(), d.ground_truth.size());
+  for (const auto& [id, x] : d.ground_truth) {
+    EXPECT_NEAR(replica[id], x, 1e-6) << "entity " << id;
+  }
+}
+
+TEST_P(BoundsSweep, WeightIsConserved) {
+  const auto [theta_ms, delta] = GetParam();
+  StreamDriver d(0xAB + theta_ms, {SimDuration::millis(theta_ms), delta});
+  d.run(100, 4);
+  d.sys.flush_all(d.sink);
+  // Every enqueued unit of weight is either delivered or was dropped with a
+  // counted reason; with one stable subscriber nothing is dropped.
+  double delivered = 0;
+  for (const auto& r : d.sink.recs) delivered += r.weight;
+  EXPECT_NEAR(delivered, d.sys.stats().weight_delivered, 1e-9);
+  EXPECT_EQ(d.sys.stats().dropped_unsubscribe, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bounds, BoundsSweep,
+    ::testing::Combine(::testing::Values(0, 50, 100, 250, 1000),
+                       ::testing::Values(0.0, 0.5, 2.0, 10.0, 1e9)),
+    [](const auto& info) {
+      return "theta" + std::to_string(std::get<0>(info.param)) + "_delta10x" +
+             std::to_string(static_cast<int>(std::min(std::get<1>(info.param), 1e6) * 10));
+    });
+
+// ------------------------------------------------------------ monotonicity
+
+TEST(MonotonicityProperty, LooserBoundsNeverDeliverMore) {
+  // Deliveries (and delivered messages) must be monotonically non-
+  // increasing as bounds loosen, for an identical update stream.
+  const std::pair<int, double> configs[] = {
+      {0, 0.0}, {50, 0.5}, {100, 1.0}, {250, 2.0}, {500, 4.0}, {2000, 16.0}};
+  std::size_t prev = SIZE_MAX;
+  for (const auto& [theta, delta] : configs) {
+    StreamDriver d(0x5EED, {SimDuration::millis(theta), delta});  // same seed!
+    d.run(200, 6);
+    const std::size_t delivered = d.sink.recs.size();
+    EXPECT_LE(delivered, prev) << "θ=" << theta << " δ=" << delta;
+    prev = delivered;
+  }
+}
+
+TEST(MonotonicityProperty, ZeroBoundsDeliverEveryTick) {
+  StreamDriver d(0x111, Bounds::zero());
+  d.run(100, 5);
+  // Same-entity updates within one tick may coalesce (a real server also
+  // sends one position per entity per tick), but nothing survives a tick:
+  EXPECT_EQ(d.sys.total_queued(), 0u);
+  EXPECT_EQ(d.sink.recs.size(), d.sys.stats().enqueued - d.sys.stats().coalesced);
+  for (const auto& r : d.sink.recs) {
+    EXPECT_EQ(r.flushed, r.created);  // delivered on the tick it was made
+  }
+}
+
+TEST(MonotonicityProperty, InfiniteBoundsDeliverNothingUntilForced) {
+  StreamDriver d(0x222, Bounds::infinite());
+  d.run(100, 5);
+  EXPECT_TRUE(d.sink.recs.empty());
+  d.sys.flush_all(d.sink);
+  // All 8 possible entities coalesced to one update each.
+  EXPECT_LE(d.sink.recs.size(), 8u);
+  EXPECT_GT(d.sink.recs.size(), 0u);
+}
+
+// ----------------------------------------------------------- ordering
+
+TEST(OrderingProperty, DeliveryPreservesEnqueueOrderPerFlush) {
+  // Updates to distinct entities (no coalescing interference) must come out
+  // in enqueue order within each flush.
+  SimClock clock;
+  DyconitSystem sys(clock);
+  CollectingSink sink(clock);
+  const auto unit = DyconitId::chunk_entities({0, 0});
+  sys.subscribe(unit, 1, Bounds{SimDuration::millis(500), 1e9});
+
+  Rng rng(0x333);
+  std::vector<std::uint32_t> enqueue_order;
+  for (int t = 0; t < 9; ++t) {
+    clock.advance(kTick);
+    const auto entity = static_cast<std::uint32_t>(t + 1);
+    Update u;
+    u.msg = EntityMove{entity, {static_cast<double>(t), 0, 0}, 0, 0};
+    u.created = clock.now();
+    u.coalesce_key = coalesce_key_entity(entity);
+    sys.update(unit, std::move(u));
+    enqueue_order.push_back(entity);
+    sys.tick(sink);
+  }
+  sys.flush_all(sink);
+  ASSERT_EQ(sink.recs.size(), enqueue_order.size());
+  for (std::size_t i = 0; i < sink.recs.size(); ++i) {
+    EXPECT_EQ(sink.recs[i].mv.id, enqueue_order[i]);
+  }
+}
+
+// ------------------------------------------ multi-subscriber independence
+
+class FanoutSweep : public ::testing::TestWithParam<int /*subscribers*/> {};
+
+TEST_P(FanoutSweep, EachSubscriberGetsTheFullStream) {
+  const int subs = GetParam();
+  SimClock clock;
+  DyconitSystem sys(clock);
+  CollectingSink sink(clock);
+  const auto unit = DyconitId::chunk_entities({0, 0});
+  for (int s = 1; s <= subs; ++s) {
+    // Mixed bounds: odd subscribers immediate, even ones loose.
+    sys.subscribe(unit, static_cast<SubscriberId>(s),
+                  s % 2 == 1 ? Bounds::zero() : Bounds{SimDuration::millis(300), 5.0});
+  }
+  Rng rng(42);
+  std::map<std::uint32_t, double> truth;
+  for (int t = 0; t < 100; ++t) {
+    clock.advance(kTick);
+    const auto entity = static_cast<std::uint32_t>(rng.next_below(4) + 1);
+    const double x = rng.next_double_in(-10, 10);
+    Update u;
+    u.msg = EntityMove{entity, {x, 0, 0}, 0, 0};
+    u.created = clock.now();
+    u.coalesce_key = coalesce_key_entity(entity);
+    sys.update(unit, std::move(u));
+    truth[entity] = x;
+    sys.tick(sink);
+  }
+  sys.flush_all(sink);
+
+  // Per subscriber, the final replayed state equals ground truth.
+  for (int s = 1; s <= subs; ++s) {
+    std::map<std::uint32_t, double> replica;
+    for (const auto& r : sink.recs) {
+      if (r.to == static_cast<SubscriberId>(s)) replica[r.mv.id] = r.mv.pos.x;
+    }
+    ASSERT_EQ(replica.size(), truth.size()) << "subscriber " << s;
+    for (const auto& [id, x] : truth) EXPECT_NEAR(replica[id], x, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Subscribers, FanoutSweep, ::testing::Values(1, 2, 5, 16),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+// ------------------------------------------------ coalescing effectiveness
+
+TEST(CoalescingProperty, HighRateSameKeyCollapsesToQueueOfOne) {
+  SimClock clock;
+  DyconitSystem sys(clock);
+  CollectingSink sink(clock);
+  const auto unit = DyconitId::chunk_entities({0, 0});
+  sys.subscribe(unit, 1, Bounds{SimDuration::millis(1000), 1e9});
+  for (int t = 0; t < 19; ++t) {  // just under the staleness bound
+    clock.advance(kTick);
+    Update u;
+    u.msg = EntityMove{1, {static_cast<double>(t), 0, 0}, 0, 0};
+    u.weight = 0.1;
+    u.created = clock.now();
+    u.coalesce_key = coalesce_key_entity(1);
+    sys.update(unit, std::move(u));
+    sys.tick(sink);
+  }
+  EXPECT_TRUE(sink.recs.empty());
+  EXPECT_EQ(sys.total_queued(), 1u);
+  EXPECT_EQ(sys.stats().coalesced, 18u);
+  sys.flush_all(sink);
+  ASSERT_EQ(sink.recs.size(), 1u);
+  EXPECT_DOUBLE_EQ(sink.recs[0].mv.pos.x, 18.0);       // newest payload
+  EXPECT_NEAR(sink.recs[0].weight, 1.9, 1e-9);         // accumulated weight
+}
+
+TEST(CoalescingProperty, SavingsGrowWithUpdateRate) {
+  // For a fixed staleness bound, doubling the update rate roughly doubles
+  // the absolute number of coalesced (never-sent) updates.
+  std::uint64_t prev_coalesced = 0;
+  for (const int rate : {2, 4, 8}) {
+    StreamDriver d(0x777, {SimDuration::millis(500), 1e9});
+    d.run(100, rate);
+    EXPECT_GT(d.sys.stats().coalesced, prev_coalesced);
+    prev_coalesced = d.sys.stats().coalesced;
+  }
+}
+
+}  // namespace
+}  // namespace dyconits::dyconit

@@ -1,0 +1,273 @@
+// Unit tests for src/protocol: every message type roundtrips; malformed
+// input is rejected memory-safely.
+#include <gtest/gtest.h>
+
+#include "protocol/codec.h"
+#include "util/rng.h"
+#include "world/chunk.h"
+
+namespace dyconits::protocol {
+namespace {
+
+using world::Block;
+using world::BlockPos;
+using world::ChunkPos;
+using world::Vec3;
+
+template <typename T>
+T roundtrip(const T& msg) {
+  const net::Frame f = encode(AnyMessage{msg});
+  const auto decoded = decode(f);
+  EXPECT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::holds_alternative<T>(*decoded));
+  return std::get<T>(*decoded);
+}
+
+TEST(CodecTest, JoinRequest) {
+  const auto m = roundtrip(JoinRequest{"steve-42"});
+  EXPECT_EQ(m.name, "steve-42");
+}
+
+TEST(CodecTest, PlayerMoveQuantizesAngles) {
+  const auto m = roundtrip(PlayerMove{{1.5, 33.0, -7.25}, 91.0f, -10.0f});
+  EXPECT_EQ(m.pos, (Vec3{1.5, 33.0, -7.25}));
+  EXPECT_NEAR(m.yaw, 91.0f, 360.0f / 256.0f);
+  // Negative pitch wraps through the byte encoding; compare modulo 360.
+  EXPECT_NEAR(std::fmod(m.pitch + 360.0f, 360.0f), 350.0f, 360.0f / 256.0f);
+}
+
+TEST(CodecTest, PlayerDigNegativeCoords) {
+  const auto m = roundtrip(PlayerDig{{-1000000, 63, 1000000}});
+  EXPECT_EQ(m.pos, (BlockPos{-1000000, 63, 1000000}));
+}
+
+TEST(CodecTest, PlayerPlace) {
+  const auto m = roundtrip(PlayerPlace{{5, 10, 5}, Block::Planks});
+  EXPECT_EQ(m.block, Block::Planks);
+}
+
+TEST(CodecTest, KeepAlivePair) {
+  EXPECT_EQ(roundtrip(KeepAlive{0xCAFEBABE}).nonce, 0xCAFEBABEu);
+  EXPECT_EQ(roundtrip(KeepAliveReply{77}).nonce, 77u);
+}
+
+TEST(CodecTest, Chat) {
+  EXPECT_EQ(roundtrip(ChatSend{"hi"}).text, "hi");
+  const auto m = roundtrip(ChatBroadcast{42, "yo"});
+  EXPECT_EQ(m.from, 42u);
+  EXPECT_EQ(m.text, "yo");
+}
+
+TEST(CodecTest, JoinAck) {
+  const auto m = roundtrip(JoinAck{9, {1, 2, 3}, 8});
+  EXPECT_EQ(m.self_id, 9u);
+  EXPECT_EQ(m.spawn, (Vec3{1, 2, 3}));
+  EXPECT_EQ(m.view_distance, 8);
+}
+
+TEST(CodecTest, ChunkDataCarriesRealChunk) {
+  world::Chunk chunk({-2, 7});
+  chunk.set_local(3, 20, 9, Block::Wood);
+  const auto m = roundtrip(ChunkData{{-2, 7}, chunk.encode_rle()});
+  EXPECT_EQ(m.pos, (ChunkPos{-2, 7}));
+  world::Chunk decoded({-2, 7});
+  ASSERT_TRUE(decoded.decode_rle(m.rle.data(), m.rle.size()));
+  EXPECT_EQ(decoded.get_local(3, 20, 9), Block::Wood);
+}
+
+TEST(CodecTest, UnloadChunk) {
+  EXPECT_EQ(roundtrip(UnloadChunk{{-9, 9}}).pos, (ChunkPos{-9, 9}));
+}
+
+TEST(CodecTest, BlockChange) {
+  const auto m = roundtrip(BlockChange{{100, 1, -100}, Block::Water});
+  EXPECT_EQ(m.pos, (BlockPos{100, 1, -100}));
+  EXPECT_EQ(m.block, Block::Water);
+}
+
+TEST(CodecTest, MultiBlockChangePacksLocalCoords) {
+  MultiBlockChange in;
+  in.chunk = {4, -4};
+  in.entries = {{15, 63, 15, Block::Stone}, {0, 0, 0, Block::Dirt}, {7, 31, 9, Block::Sand}};
+  const auto m = roundtrip(in);
+  ASSERT_EQ(m.entries.size(), 3u);
+  EXPECT_EQ(m.entries[0].x, 15);
+  EXPECT_EQ(m.entries[0].y, 63);
+  EXPECT_EQ(m.entries[0].z, 15);
+  EXPECT_EQ(m.entries[1].block, Block::Dirt);
+  EXPECT_EQ(m.entries[2].x, 7);
+  EXPECT_EQ(m.entries[2].z, 9);
+}
+
+TEST(CodecTest, EntitySpawnWithName) {
+  const auto m = roundtrip(
+      EntitySpawn{12, entity::EntityKind::Mob, {0.5, 20, 0.5}, 180.0f, 0.0f, "zombie"});
+  EXPECT_EQ(m.id, 12u);
+  EXPECT_EQ(m.kind, entity::EntityKind::Mob);
+  EXPECT_EQ(m.name, "zombie");
+  EXPECT_NEAR(m.yaw, 180.0f, 1.5f);
+  EXPECT_EQ(m.data, 0);
+}
+
+TEST(CodecTest, ItemEntitySpawnCarriesBlockId) {
+  const auto m = roundtrip(EntitySpawn{44, entity::EntityKind::Item, {1, 2, 3}, 0, 0, "",
+                                       static_cast<std::uint16_t>(Block::Cobblestone)});
+  EXPECT_EQ(m.kind, entity::EntityKind::Item);
+  EXPECT_EQ(static_cast<Block>(m.data), Block::Cobblestone);
+}
+
+TEST(CodecTest, InventoryUpdate) {
+  const auto m = roundtrip(InventoryUpdate{Block::Planks, 37});
+  EXPECT_EQ(m.item, Block::Planks);
+  EXPECT_EQ(m.count, 37u);
+}
+
+TEST(CodecTest, EntityDespawn) {
+  EXPECT_EQ(roundtrip(EntityDespawn{99}).id, 99u);
+}
+
+TEST(CodecTest, EntityMove) {
+  const auto m = roundtrip(EntityMove{7, {-3.5, 21, 8.25}, 45.0f, 0.0f});
+  EXPECT_EQ(m.id, 7u);
+  EXPECT_EQ(m.pos, (Vec3{-3.5, 21, 8.25}));
+}
+
+TEST(CodecTest, EntityMoveBatch) {
+  EntityMoveBatch in;
+  for (std::uint32_t i = 1; i <= 50; ++i) {
+    in.moves.push_back({i, {static_cast<double>(i), 20, 0}, 0, 0});
+  }
+  const auto m = roundtrip(in);
+  ASSERT_EQ(m.moves.size(), 50u);
+  EXPECT_EQ(m.moves[49].id, 50u);
+  EXPECT_EQ(m.moves[49].pos.x, 50.0);
+}
+
+TEST(CodecTest, BatchIsSmallerThanSingles) {
+  EntityMoveBatch batch;
+  std::size_t singles = 0;
+  for (std::uint32_t i = 1; i <= 20; ++i) {
+    const EntityMove mv{i, {1, 2, 3}, 0, 0};
+    batch.moves.push_back(mv);
+    singles += encode(AnyMessage{mv}).wire_size();
+  }
+  EXPECT_LT(encode(AnyMessage{batch}).wire_size(), singles);
+}
+
+// Documents the wire budget of the high-rate messages; a regression here
+// silently inflates every bandwidth result.
+TEST(CodecTest, WireSizeBudgetForHotMessages) {
+  const auto size = [](const AnyMessage& m) { return encode(m).wire_size(); };
+  // EntityMove: tag + len + varint id + 3x f32 + 2 angle bytes.
+  EXPECT_LE(size(EntityMove{100000, {100000.5, 63, -100000.5}, 359.0f, -89.0f}), 21u);
+  EXPECT_GE(size(EntityMove{1, {0, 0, 0}, 0, 0}), 17u);  // nothing shrinks below this
+  // BlockChange at +/-100k coordinates.
+  EXPECT_LE(size(BlockChange{{100000, 63, -100000}, Block::Stone}), 11u);
+  // MultiBlockChange amortizes to ~3-4 bytes per entry.
+  MultiBlockChange mbc;
+  mbc.chunk = {100, -100};
+  for (int i = 0; i < 64; ++i) {
+    mbc.entries.push_back({static_cast<std::uint8_t>(i % 16),
+                           static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(i / 16),
+                           Block::Planks});
+  }
+  EXPECT_LE(size(mbc), 64u * 4u + 10u);
+  // KeepAlive stays trivial.
+  EXPECT_LE(size(KeepAlive{0xFFFFFFFF}), 7u);
+}
+
+TEST(CodecTest, TypeOfMatchesTag) {
+  const AnyMessage msgs[] = {JoinRequest{}, PlayerMove{},   PlayerDig{},
+                             PlayerPlace{}, KeepAliveReply{}, ChatSend{},
+                             JoinAck{},     ChunkData{},    UnloadChunk{},
+                             BlockChange{}, MultiBlockChange{}, EntitySpawn{},
+                             EntityDespawn{}, EntityMove{}, EntityMoveBatch{},
+                             KeepAlive{},   ChatBroadcast{}, InventoryUpdate{}};
+  for (const auto& m : msgs) {
+    EXPECT_EQ(encode(m).tag, static_cast<std::uint8_t>(type_of(m)));
+    EXPECT_STRNE(message_type_name(type_of(m)), "Unknown");
+  }
+}
+
+TEST(CodecTest, UnknownTagRejected) {
+  net::Frame f;
+  f.tag = 0;
+  EXPECT_FALSE(decode(f).has_value());
+  f.tag = 99;
+  EXPECT_FALSE(decode(f).has_value());
+}
+
+TEST(CodecTest, TrailingBytesRejected) {
+  net::Frame f = encode(AnyMessage{KeepAlive{1}});
+  f.payload.push_back(0x00);
+  EXPECT_FALSE(decode(f).has_value());
+}
+
+TEST(CodecTest, TruncatedPayloadRejected) {
+  net::Frame f = encode(AnyMessage{EntityMove{7, {1, 2, 3}, 0, 0}});
+  f.payload.pop_back();
+  EXPECT_FALSE(decode(f).has_value());
+}
+
+TEST(CodecTest, HugeBatchCountRejected) {
+  net::Frame f;
+  f.tag = static_cast<std::uint8_t>(MessageType::EntityMoveBatch);
+  net::ByteWriter w;
+  w.varint(50'000'000);  // absurd count, no data
+  f.payload = w.take();
+  EXPECT_FALSE(decode(f).has_value());
+}
+
+TEST(CodecTest, InvalidBlockIdRejected) {
+  net::Frame f;
+  f.tag = static_cast<std::uint8_t>(MessageType::BlockChange);
+  net::ByteWriter w;
+  w.svarint(0);
+  w.u8(0);
+  w.svarint(0);
+  w.varint(200);  // out of palette
+  f.payload = w.take();
+  EXPECT_FALSE(decode(f).has_value());
+}
+
+TEST(CodecTest, InvalidEntityKindRejected) {
+  net::Frame f = encode(AnyMessage{EntitySpawn{1, entity::EntityKind::Player, {}, 0, 0, ""}});
+  f.payload[net::varint_size(1)] = 7;  // kind byte follows the id varint
+  EXPECT_FALSE(decode(f).has_value());
+}
+
+// Fuzz: random payloads under every tag must never crash and mostly fail
+// to decode; when they do decode, re-encoding must not crash either.
+TEST(CodecTest, FuzzRandomPayloadsAreSafe) {
+  Rng rng(0xF022);
+  for (int iter = 0; iter < 5000; ++iter) {
+    net::Frame f;
+    f.tag = static_cast<std::uint8_t>(rng.next_below(24));
+    f.payload.resize(rng.next_below(64));
+    for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng.next_u64());
+    const auto decoded = decode(f);
+    if (decoded.has_value()) {
+      const net::Frame re = encode(*decoded);
+      EXPECT_EQ(re.tag, f.tag);
+    }
+  }
+}
+
+// Property: decode(encode(x)) == x up to angle quantization, for random
+// well-formed messages.
+TEST(CodecTest, RandomizedMoveRoundtrips) {
+  Rng rng(0xABCD);
+  for (int i = 0; i < 2000; ++i) {
+    const EntityMove in{static_cast<entity::EntityId>(rng.next_below(100000) + 1),
+                        {rng.next_double_in(-1e6, 1e6), rng.next_double_in(0, 64),
+                         rng.next_double_in(-1e6, 1e6)},
+                        static_cast<float>(rng.next_double_in(0, 360)), 0};
+    const auto out = roundtrip(in);
+    EXPECT_EQ(out.id, in.id);
+    EXPECT_NEAR(out.pos.x, in.pos.x, std::abs(in.pos.x) * 1e-6 + 1e-3);  // f32
+    EXPECT_NEAR(out.pos.y, in.pos.y, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace dyconits::protocol

@@ -1,0 +1,180 @@
+// Tests for the Simulation experiment harness and the server-driven mob
+// workload: measurement windows, paired determinism, and NPC propagation.
+#include <gtest/gtest.h>
+
+#include "bots/simulation.h"
+#include "dyconit/policies/factory.h"
+
+namespace dyconits::bots {
+namespace {
+
+SimulationConfig tiny(const std::string& policy, std::size_t players = 4) {
+  SimulationConfig cfg;
+  cfg.players = players;
+  cfg.policy = policy;
+  cfg.seed = 5;
+  cfg.view_distance = 3;
+  cfg.duration = SimDuration::seconds(12);
+  cfg.warmup = SimDuration::seconds(4);
+  cfg.workload.kind = WorkloadKind::Village;
+  cfg.workload.hotspots = 1;
+  cfg.joins_per_tick = 10;
+  return cfg;
+}
+
+TEST(SimulationTest, MeasurementWindowExcludesWarmup) {
+  Simulation sim(tiny("zero"));
+  const auto r = sim.run();
+  EXPECT_NEAR(r.measured_seconds, 8.0, 0.11);
+  EXPECT_GT(r.egress_bytes_per_sec, 0.0);
+  EXPECT_GT(r.tick_ms.count(), 150u);  // ~160 post-warmup ticks
+  EXPECT_LT(r.tick_ms.count(), 170u);
+}
+
+TEST(SimulationTest, SameSeedIsBitDeterministic) {
+  const auto r1 = Simulation(tiny("director")).run();
+  const auto r2 = Simulation(tiny("director")).run();
+  EXPECT_EQ(r1.egress_bytes_per_sec, r2.egress_bytes_per_sec);
+  EXPECT_EQ(r1.dyconit_stats.enqueued, r2.dyconit_stats.enqueued);
+  EXPECT_EQ(r1.dyconit_stats.coalesced, r2.dyconit_stats.coalesced);
+  EXPECT_EQ(r1.updates_applied, r2.updates_applied);
+}
+
+TEST(SimulationTest, DifferentSeedsDiffer) {
+  auto cfg1 = tiny("zero");
+  auto cfg2 = tiny("zero");
+  cfg2.seed = 6;
+  const auto r1 = Simulation(cfg1).run();
+  const auto r2 = Simulation(cfg2).run();
+  EXPECT_NE(r1.dyconit_stats.enqueued, r2.dyconit_stats.enqueued);
+}
+
+TEST(SimulationTest, UnknownPolicyFallsBackToZero) {
+  auto cfg = tiny("no-such-policy");
+  Simulation sim(cfg);
+  EXPECT_EQ(sim.server().policy()->name(), "zero");
+}
+
+TEST(SimulationTest, TickHookFires) {
+  auto cfg = tiny("zero");
+  Simulation sim(cfg);
+  int calls = 0;
+  sim.set_tick_hook([&](Simulation&, SimTime) { ++calls; });
+  for (int i = 0; i < 10; ++i) sim.step_tick();
+  EXPECT_EQ(calls, 10);
+}
+
+TEST(SimulationTest, EgressByTypeSumsNearTotal) {
+  Simulation sim(tiny("director"));
+  const auto r = sim.run();
+  double sum = 0;
+  for (const auto& [type, bytes] : r.egress_bytes_by_type) {
+    sum += static_cast<double>(bytes);
+  }
+  EXPECT_NEAR(sum / r.measured_seconds, r.egress_bytes_per_sec,
+              r.egress_bytes_per_sec * 0.02 + 64);
+}
+
+// ------------------------------------------------------------------ churn
+
+TEST(ChurnTest, SessionsLeaveAndRejoinCleanly) {
+  auto cfg = tiny("director", 8);
+  cfg.duration = SimDuration::seconds(25);
+  cfg.churn_per_second = 1.0;
+  cfg.churn_rejoin_delay = SimDuration::seconds(1);
+  Simulation sim(cfg);
+  const auto r = sim.run();
+  EXPECT_GT(r.churn_leaves, 5u);
+  // Everyone who left long enough ago is back; late leavers may be pending.
+  EXPECT_GE(r.churn_rejoins + 2, r.churn_leaves);
+  EXPECT_EQ(r.decode_failures, 0u);
+  // The middleware holds no subscriptions for dead sessions.
+  std::size_t ghost_subs = 0;
+  sim.server().dyconits().for_each([&](dyconit::Dyconit& d) {
+    d.for_each_subscriber([&](dyconit::SubscriberId sub, dyconit::Bounds&,
+                              const dyconit::SubscriberQueue&) {
+      if (sim.server().entity_of(sub) == entity::kInvalidEntity) ++ghost_subs;
+    });
+  });
+  EXPECT_EQ(ghost_subs, 0u);
+}
+
+TEST(ChurnTest, RejoinedBotsResumePlaying) {
+  auto cfg = tiny("zero", 6);
+  cfg.duration = SimDuration::seconds(25);
+  cfg.churn_per_second = 0.8;
+  Simulation sim(cfg);
+  sim.run();
+  for (const auto& bot : sim.bots()) {
+    // At end of run a bot is either joined or awaiting its rejoin delay.
+    if (bot->joined()) {
+      EXPECT_NE(bot->self(), entity::kInvalidEntity);
+    }
+  }
+  EXPECT_GT(sim.server().player_count(), 3u);
+}
+
+// ------------------------------------------------------------------- mobs
+
+TEST(MobTest, MobsSpawnAndAppearToPlayers) {
+  auto cfg = tiny("zero", 3);
+  cfg.mobs = 10;
+  Simulation sim(cfg);
+  const auto r = sim.run();
+  // Server hosts players + mobs.
+  EXPECT_EQ(sim.server().entities().size(), 3u + 10u);
+  std::size_t mob_replicas = 0;
+  for (const auto& bot : sim.bots()) {
+    for (const auto& [id, rep] : bot->replica_entities()) {
+      if (rep.kind == entity::EntityKind::Mob) ++mob_replicas;
+    }
+  }
+  EXPECT_GT(mob_replicas, 0u);
+  EXPECT_EQ(r.decode_failures, 0u);
+}
+
+TEST(MobTest, MobsActuallyMove) {
+  auto cfg = tiny("vanilla", 1);
+  cfg.mobs = 8;
+  Simulation sim(cfg);
+  std::vector<world::Vec3> start;
+  sim.server().entities().for_each([&](const entity::Entity& e) {
+    if (e.kind == entity::EntityKind::Mob) start.push_back(e.pos);
+  });
+  ASSERT_EQ(start.size(), 8u);
+  for (int i = 0; i < 200; ++i) sim.step_tick();
+  double moved = 0;
+  std::size_t idx = 0;
+  sim.server().entities().for_each([&](const entity::Entity& e) {
+    if (e.kind == entity::EntityKind::Mob) moved += world::distance(e.pos, start[idx++]);
+  });
+  EXPECT_GT(moved / 8.0, 2.0);  // average mob wandered at least a couple blocks
+}
+
+TEST(MobTest, MobMovementIsCoalescedByDyconits) {
+  auto cfg = tiny("static:500:1000", 3);
+  cfg.mobs = 12;
+  Simulation sim(cfg);
+  const auto r = sim.run();
+  EXPECT_GT(r.dyconit_stats.coalesced, 0u);
+}
+
+TEST(MobTest, MobsAreDeterministic) {
+  auto cfg = tiny("vanilla", 2);
+  cfg.mobs = 5;
+  Simulation a(cfg), b(cfg);
+  for (int i = 0; i < 100; ++i) {
+    a.step_tick();
+    b.step_tick();
+  }
+  std::vector<world::Vec3> pa, pb;
+  a.server().entities().for_each([&](const entity::Entity& e) { pa.push_back(e.pos); });
+  b.server().entities().for_each([&](const entity::Entity& e) { pb.push_back(e.pos); });
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_LT(world::distance(pa[i], pb[i]), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace dyconits::bots

@@ -1,0 +1,325 @@
+// Unit tests for src/util: simulated time, RNG, statistics, flags.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+#include "util/stats.h"
+
+namespace dyconits {
+namespace {
+
+// ---------------------------------------------------------------- SimTime
+
+TEST(SimTimeTest, DurationConstructors) {
+  EXPECT_EQ(SimDuration::millis(3).count_micros(), 3000);
+  EXPECT_EQ(SimDuration::seconds(2).count_micros(), 2000000);
+  EXPECT_EQ(SimDuration::micros(7).count_micros(), 7);
+  EXPECT_EQ(SimDuration::millis(1500).count_millis(), 1500);
+  EXPECT_DOUBLE_EQ(SimDuration::millis(500).as_seconds(), 0.5);
+}
+
+TEST(SimTimeTest, DurationArithmetic) {
+  const SimDuration a = SimDuration::millis(30);
+  const SimDuration b = SimDuration::millis(20);
+  EXPECT_EQ((a + b).count_millis(), 50);
+  EXPECT_EQ((a - b).count_millis(), 10);
+  EXPECT_EQ((a * 3).count_millis(), 90);
+  EXPECT_EQ((a / 2).count_millis(), 15);
+  SimDuration c = a;
+  c += b;
+  EXPECT_EQ(c.count_millis(), 50);
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(SimTimeTest, DurationComparison) {
+  EXPECT_LT(SimDuration::millis(1), SimDuration::millis(2));
+  EXPECT_GE(SimDuration::infinite(), SimDuration::seconds(1000000));
+}
+
+TEST(SimTimeTest, TimePointArithmetic) {
+  SimTime t = SimTime::zero();
+  t += SimDuration::millis(50);
+  EXPECT_EQ(t.count_micros(), 50000);
+  const SimTime later = t + SimDuration::seconds(1);
+  EXPECT_EQ((later - t).count_millis(), 1000);
+  EXPECT_GT(later, t);
+}
+
+TEST(SimTimeTest, ClockAdvances) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), SimTime::zero());
+  clock.advance(SimDuration::millis(50));
+  EXPECT_EQ(clock.now().count_micros(), 50000);
+  clock.advance_to(SimTime(40000));  // backwards: no-op
+  EXPECT_EQ(clock.now().count_micros(), 50000);
+  clock.advance_to(SimTime(70000));
+  EXPECT_EQ(clock.now().count_micros(), 70000);
+}
+
+TEST(SimTimeTest, InfiniteDoesNotOverflowWhenAdded) {
+  const SimTime far = SimTime::zero() + SimDuration::infinite();
+  EXPECT_GT(far + SimDuration::seconds(100000), far);  // no wraparound
+}
+
+// -------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ZeroSeedIsUsable) {
+  Rng r(0);
+  EXPECT_NE(r.next_u64(), 0u);  // splitmix rescues the all-zero state
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+  EXPECT_EQ(r.next_below(0), 0u);
+  EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(RngTest, NextInInclusiveRange) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, DoubleMeanIsCentered) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceProportion) {
+  Rng r(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng r(23);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.next_gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.05);
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  Rng r(29);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[r.next_zipf(5, 1.2)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[3]);
+  for (const auto& [k, v] : counts) EXPECT_LT(k, 5u);
+}
+
+TEST(RngTest, ZipfDegenerateSupport) {
+  Rng r(31);
+  EXPECT_EQ(r.next_zipf(0, 1.0), 0u);
+  EXPECT_EQ(r.next_zipf(1, 1.0), 0u);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentlyDeterministic) {
+  Rng a(41);
+  Rng child1 = a.split();
+  Rng b(41);
+  Rng child2 = b.split();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+// ----------------------------------------------------------- RunningStats
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombined) {
+  Rng r(43);
+  RunningStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.next_gaussian() * 3 + 1;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+// ---------------------------------------------------------------- Samples
+
+TEST(SamplesTest, PercentilesOnKnownData) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.0, 1.0);
+  EXPECT_NEAR(s.percentile(0.95), 95.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SamplesTest, EmptyReturnsZero) {
+  Samples s;
+  EXPECT_EQ(s.percentile(0.5), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(SamplesTest, AddAfterQueryResorts) {
+  Samples s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  s.add(1.0);  // added out of order after a sort
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(SamplesTest, ClampOutOfRangeQuantile) {
+  Samples s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(2.0), 2.0);
+}
+
+// ------------------------------------------------------------ LogHistogram
+
+TEST(LogHistogramTest, PercentileUpperBounds) {
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.add(3.0);  // bucket [2,4)
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 4.0);
+}
+
+TEST(LogHistogramTest, SmallValuesLandInFirstBucket) {
+  LogHistogram h;
+  h.add(0.1);
+  h.add(0.9);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1.0);
+}
+
+TEST(LogHistogramTest, MixedDistribution) {
+  LogHistogram h;
+  for (int i = 0; i < 90; ++i) h.add(2.0);
+  for (int i = 0; i < 10; ++i) h.add(1000.0);
+  EXPECT_LE(h.percentile(0.5), 4.0);
+  EXPECT_GE(h.percentile(0.99), 1024.0);
+}
+
+// ------------------------------------------------------------------ Flags
+
+TEST(FlagsTest, ParsesKeyValueAndBooleans) {
+  const char* argv[] = {"prog", "--players=50", "--policy=aoi", "--verbose", "pos1"};
+  Flags f(5, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("players", 0), 50);
+  EXPECT_EQ(f.get_string("policy", ""), "aoi");
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_TRUE(f.has("verbose"));
+  EXPECT_FALSE(f.has("absent"));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+}
+
+TEST(FlagsTest, Defaults) {
+  const char* argv[] = {"prog"};
+  Flags f(1, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("n", 7), 7);
+  EXPECT_EQ(f.get_double("x", 2.5), 2.5);
+  EXPECT_FALSE(f.get_bool("b", false));
+  EXPECT_TRUE(f.get_bool("b", true));
+}
+
+TEST(FlagsTest, IntList) {
+  const char* argv[] = {"prog", "--players=25,50,100"};
+  Flags f(2, const_cast<char**>(argv));
+  const auto v = f.get_int_list("players", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 25);
+  EXPECT_EQ(v[2], 100);
+  const auto d = f.get_int_list("absent", {1, 2});
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=yes", "--d=false"};
+  Flags f(5, const_cast<char**>(argv));
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_TRUE(f.get_bool("b", false));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+}
+
+}  // namespace
+}  // namespace dyconits

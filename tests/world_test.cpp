@@ -1,0 +1,317 @@
+// Unit tests for src/world: geometry, chunks, terrain, world store.
+#include <gtest/gtest.h>
+
+#include "world/ascii_map.h"
+#include "world/block.h"
+#include "world/chunk.h"
+#include "world/geometry.h"
+#include "world/terrain.h"
+#include "world/world.h"
+
+namespace dyconits::world {
+namespace {
+
+// ---------------------------------------------------------------- geometry
+
+TEST(GeometryTest, FloorDivModNegative) {
+  EXPECT_EQ(floor_div(17, 16), 1);
+  EXPECT_EQ(floor_div(-1, 16), -1);
+  EXPECT_EQ(floor_div(-16, 16), -1);
+  EXPECT_EQ(floor_div(-17, 16), -2);
+  EXPECT_EQ(floor_mod(-1, 16), 15);
+  EXPECT_EQ(floor_mod(-16, 16), 0);
+  EXPECT_EQ(floor_mod(17, 16), 1);
+}
+
+TEST(GeometryTest, ChunkOfBlock) {
+  EXPECT_EQ(ChunkPos::of_block({0, 0, 0}), (ChunkPos{0, 0}));
+  EXPECT_EQ(ChunkPos::of_block({15, 0, 15}), (ChunkPos{0, 0}));
+  EXPECT_EQ(ChunkPos::of_block({16, 0, 0}), (ChunkPos{1, 0}));
+  EXPECT_EQ(ChunkPos::of_block({-1, 0, -1}), (ChunkPos{-1, -1}));
+  EXPECT_EQ(ChunkPos::of_block({-16, 0, -17}), (ChunkPos{-1, -2}));
+}
+
+TEST(GeometryTest, ChunkOfVecMatchesBlock) {
+  EXPECT_EQ(ChunkPos::of({-0.5, 10.0, 31.9}), ChunkPos::of_block({-1, 10, 31}));
+}
+
+TEST(GeometryTest, Chebyshev) {
+  const ChunkPos a{0, 0};
+  EXPECT_EQ(a.chebyshev({3, -4}), 4);
+  EXPECT_EQ(a.chebyshev({0, 0}), 0);
+  EXPECT_EQ((ChunkPos{-2, 5}).chebyshev({2, 5}), 4);
+}
+
+TEST(GeometryTest, KeyRoundtrip) {
+  for (const ChunkPos p : {ChunkPos{0, 0}, ChunkPos{-1, 1}, ChunkPos{123456, -654321}}) {
+    EXPECT_EQ(ChunkPos::from_key(p.key()), p);
+  }
+}
+
+TEST(GeometryTest, Vec3Algebra) {
+  const Vec3 a{1, 2, 3}, b{4, 6, 8};
+  EXPECT_EQ((b - a), (Vec3{3, 4, 5}));
+  EXPECT_DOUBLE_EQ((Vec3{3, 4, 0}).length(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec3{3, 100, 4}).horizontal_length(), 5.0);
+  EXPECT_DOUBLE_EQ(distance(a, a), 0.0);
+  const Vec3 n = Vec3{0, 0, 9}.normalized();
+  EXPECT_DOUBLE_EQ(n.z, 1.0);
+  EXPECT_EQ((Vec3{}.normalized()), (Vec3{}));
+}
+
+TEST(GeometryTest, BlockPosFromVecFloors) {
+  EXPECT_EQ(BlockPos::from({-0.1, 2.9, 5.0}), (BlockPos{-1, 2, 5}));
+}
+
+// ------------------------------------------------------------------- block
+
+TEST(BlockTest, Properties) {
+  EXPECT_FALSE(is_solid(Block::Air));
+  EXPECT_FALSE(is_solid(Block::Water));
+  EXPECT_TRUE(is_solid(Block::Stone));
+  EXPECT_TRUE(is_breakable(Block::Stone));
+  EXPECT_FALSE(is_breakable(Block::Bedrock));
+  EXPECT_FALSE(is_breakable(Block::Air));
+  EXPECT_STREQ(block_name(Block::Grass), "grass");
+}
+
+// ------------------------------------------------------------------- chunk
+
+TEST(ChunkTest, StartsEmpty) {
+  Chunk c({0, 0});
+  EXPECT_EQ(c.non_air_count(), 0u);
+  EXPECT_EQ(c.get_local(5, 5, 5), Block::Air);
+  EXPECT_EQ(c.height_at(5, 5), -1);
+  EXPECT_EQ(c.revision(), 0u);
+}
+
+TEST(ChunkTest, SetGetAndCounts) {
+  Chunk c({0, 0});
+  c.set_local(1, 2, 3, Block::Stone);
+  EXPECT_EQ(c.get_local(1, 2, 3), Block::Stone);
+  EXPECT_EQ(c.non_air_count(), 1u);
+  c.set_local(1, 2, 3, Block::Dirt);  // replace, count unchanged
+  EXPECT_EQ(c.non_air_count(), 1u);
+  c.set_local(1, 2, 3, Block::Air);
+  EXPECT_EQ(c.non_air_count(), 0u);
+}
+
+TEST(ChunkTest, SettingSameBlockDoesNotBumpRevision) {
+  Chunk c({0, 0});
+  c.set_local(0, 0, 0, Block::Stone);
+  const auto rev = c.revision();
+  c.set_local(0, 0, 0, Block::Stone);
+  EXPECT_EQ(c.revision(), rev);
+}
+
+TEST(ChunkTest, HeightmapTracksTopBlock) {
+  Chunk c({0, 0});
+  c.set_local(4, 10, 4, Block::Stone);
+  c.set_local(4, 20, 4, Block::Stone);
+  EXPECT_EQ(c.height_at(4, 4), 20);
+  c.set_local(4, 20, 4, Block::Air);  // removing the top re-scans downward
+  EXPECT_EQ(c.height_at(4, 4), 10);
+  c.set_local(4, 10, 4, Block::Air);
+  EXPECT_EQ(c.height_at(4, 4), -1);
+}
+
+TEST(ChunkTest, RleRoundtrip) {
+  Chunk c({2, -3});
+  c.set_local(0, 0, 0, Block::Bedrock);
+  c.set_local(5, 30, 7, Block::Planks);
+  c.set_local(15, 63, 15, Block::Leaves);
+  const auto rle = c.encode_rle();
+
+  Chunk d({2, -3});
+  ASSERT_TRUE(d.decode_rle(rle.data(), rle.size()));
+  for (int x = 0; x < kChunkSize; ++x) {
+    for (int z = 0; z < kChunkSize; ++z) {
+      for (int y = 0; y < kWorldHeight; ++y) {
+        ASSERT_EQ(d.get_local(x, y, z), c.get_local(x, y, z));
+      }
+    }
+  }
+  EXPECT_EQ(d.non_air_count(), c.non_air_count());
+  EXPECT_EQ(d.height_at(5, 7), c.height_at(5, 7));
+}
+
+TEST(ChunkTest, RleRejectsMalformed) {
+  Chunk c({0, 0});
+  const auto good = c.encode_rle();
+  EXPECT_FALSE(c.decode_rle(good.data(), good.size() - 1));  // not multiple of 4
+  std::vector<std::uint8_t> zero_run = {0, 0, 0, 0};          // run length 0
+  EXPECT_FALSE(c.decode_rle(zero_run.data(), zero_run.size()));
+  std::vector<std::uint8_t> short_total = {1, 0, 5, 0};       // covers 5 of 16384
+  EXPECT_FALSE(c.decode_rle(short_total.data(), short_total.size()));
+  std::vector<std::uint8_t> bad_id = {0xFF, 0xFF, 0xFF, 0xFF};  // unknown block id
+  EXPECT_FALSE(c.decode_rle(bad_id.data(), bad_id.size()));
+}
+
+TEST(ChunkTest, RleIsCompact) {
+  Chunk c({0, 0});
+  // Uniform chunk: a handful of runs, tiny payload.
+  EXPECT_LT(c.encode_rle().size(), 16u);
+}
+
+// ----------------------------------------------------------------- terrain
+
+TEST(TerrainTest, DeterministicForSeed) {
+  const TerrainGenerator a(99), b(99);
+  for (int i = -50; i < 50; i += 7) {
+    EXPECT_EQ(a.height_at(i, -i * 3), b.height_at(i, -i * 3));
+  }
+}
+
+TEST(TerrainTest, DifferentSeedsDiffer) {
+  const TerrainGenerator a(1), b(2);
+  int diff = 0;
+  for (int i = 0; i < 64; ++i) diff += a.height_at(i * 13, i * 7) != b.height_at(i * 13, i * 7);
+  EXPECT_GT(diff, 10);
+}
+
+TEST(TerrainTest, HeightsWithinBounds) {
+  const TerrainGenerator g(5);
+  for (int x = -100; x <= 100; x += 13) {
+    for (int z = -100; z <= 100; z += 17) {
+      const int h = g.height_at(x, z);
+      EXPECT_GE(h, 1);
+      EXPECT_LT(h, kWorldHeight - 9);
+    }
+  }
+}
+
+TEST(TerrainTest, GeneratedChunkStructure) {
+  const TerrainGenerator g(5);
+  Chunk c({3, 4});
+  g.generate(c);
+  for (int x = 0; x < kChunkSize; ++x) {
+    for (int z = 0; z < kChunkSize; ++z) {
+      EXPECT_EQ(c.get_local(x, 0, z), Block::Bedrock);
+      const int h = c.height_at(x, z);
+      EXPECT_GE(h, TerrainGenerator::kSeaLevel - 25);
+      // Below-ground is never air down to bedrock.
+      const int ground = g.height_at(3 * kChunkSize + x, 4 * kChunkSize + z);
+      for (int y = 1; y < ground; ++y) {
+        EXPECT_NE(c.get_local(x, y, z), Block::Air) << x << "," << y << "," << z;
+      }
+    }
+  }
+}
+
+TEST(TerrainTest, WaterFillsToSeaLevel) {
+  const TerrainGenerator g(123);
+  // Find a below-sea column and verify water above ground up to sea level.
+  for (int x = 0; x < 512; x += 4) {
+    const int h = g.height_at(x, x);
+    if (h < TerrainGenerator::kSeaLevel) {
+      const ChunkPos cp = ChunkPos::of_block({x, 0, x});
+      Chunk c(cp);
+      g.generate(c);
+      const int lx = floor_mod(x, kChunkSize), lz = floor_mod(x, kChunkSize);
+      EXPECT_EQ(c.get_local(lx, TerrainGenerator::kSeaLevel, lz), Block::Water);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no ocean found along the diagonal for this seed";
+}
+
+// ------------------------------------------------------------------- world
+
+TEST(WorldTest, GeneratesOnDemand) {
+  World w(std::make_unique<TerrainGenerator>(7));
+  EXPECT_EQ(w.loaded_chunk_count(), 0u);
+  w.block_at({100, 10, 100});
+  EXPECT_EQ(w.loaded_chunk_count(), 1u);
+  EXPECT_TRUE(w.is_loaded(ChunkPos::of_block({100, 10, 100})));
+}
+
+TEST(WorldTest, FlatWorldWithoutGenerator) {
+  World w;
+  EXPECT_EQ(w.block_at({3, 0, 3}), Block::Bedrock);
+  EXPECT_EQ(w.block_at({3, 1, 3}), Block::Air);
+  EXPECT_EQ(w.surface_height(3, 3), 0);
+}
+
+TEST(WorldTest, SetBlockAndObserver) {
+  World w;
+  std::vector<BlockChange> seen;
+  w.add_block_observer([&](const BlockChange& c) { seen.push_back(c); });
+
+  EXPECT_TRUE(w.set_block({1, 5, 1}, Block::Stone));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].pos, (BlockPos{1, 5, 1}));
+  EXPECT_EQ(seen[0].old_block, Block::Air);
+  EXPECT_EQ(seen[0].new_block, Block::Stone);
+
+  // No-op set does not notify.
+  EXPECT_TRUE(w.set_block({1, 5, 1}, Block::Stone));
+  EXPECT_EQ(seen.size(), 1u);
+}
+
+TEST(WorldTest, SetBlockRejectsOutOfRangeY) {
+  World w;
+  EXPECT_FALSE(w.set_block({0, -1, 0}, Block::Stone));
+  EXPECT_FALSE(w.set_block({0, kWorldHeight, 0}, Block::Stone));
+  EXPECT_EQ(w.block_at({0, -1, 0}), Block::Air);
+  EXPECT_EQ(w.block_at({0, kWorldHeight + 5, 0}), Block::Air);
+}
+
+TEST(WorldTest, BlockIfLoadedDoesNotGenerate) {
+  World w(std::make_unique<TerrainGenerator>(7));
+  EXPECT_FALSE(w.block_if_loaded({50, 10, 50}).has_value());
+  EXPECT_EQ(w.loaded_chunk_count(), 0u);
+  w.block_at({50, 10, 50});
+  EXPECT_TRUE(w.block_if_loaded({50, 10, 50}).has_value());
+}
+
+TEST(WorldTest, UnloadChunk) {
+  World w;
+  w.set_block({0, 3, 0}, Block::Stone);
+  EXPECT_TRUE(w.unload_chunk({0, 0}));
+  EXPECT_FALSE(w.unload_chunk({0, 0}));
+  EXPECT_EQ(w.block_at({0, 3, 0}), Block::Air);  // regenerated flat
+}
+
+TEST(WorldTest, SpawnPositionIsAboveGround) {
+  World w(std::make_unique<TerrainGenerator>(7));
+  const Vec3 s = w.spawn_position(10, 10);
+  const int ground = w.surface_height(10, 10);
+  EXPECT_DOUBLE_EQ(s.y, ground + 1);
+  EXPECT_FALSE(is_solid(w.block_at(BlockPos::from(s))));
+}
+
+TEST(AsciiMapTest, RendersBlocksOverlaysAndVoid) {
+  World w;  // flat bedrock floor
+  w.set_block({0, 1, 0}, Block::Planks);
+  w.set_block({2, 1, 0}, Block::Water);
+  // Window fully inside chunk (0,0): x,z in [0,4].
+  const std::string map =
+      render_ascii_map(w, {2.5, 2, 2.5}, 2, {{{4.5, 2, 4.5}, '@'}});
+  // 5 rows of 5 + newlines.
+  ASSERT_EQ(map.size(), 5u * 6u);
+  const auto at = [&](int row, int col) { return map[row * 6 + col]; };
+  EXPECT_EQ(at(0, 0), '#');  // planks at (0, z=0) -> top-left
+  EXPECT_EQ(at(0, 2), '~');  // water at (2, 0)
+  EXPECT_EQ(at(4, 4), '@');  // overlay at (4, 4)
+  EXPECT_EQ(at(2, 2), '_');  // bare bedrock at center
+}
+
+TEST(AsciiMapTest, UnloadedChunksRenderBlank) {
+  World w(std::make_unique<TerrainGenerator>(7));
+  w.chunk_at({0, 0});  // only one chunk loaded
+  const std::string map = render_ascii_map(w, {8.5, 30, 8.5}, 20);
+  EXPECT_NE(map.find(' '), std::string::npos);   // void present
+  EXPECT_NE(map.find_first_not_of(" \n"), std::string::npos);  // terrain present
+}
+
+TEST(WorldTest, NegativeCoordinatesConsistent) {
+  World w(std::make_unique<TerrainGenerator>(7));
+  w.set_block({-5, 30, -5}, Block::Planks);
+  EXPECT_EQ(w.block_at({-5, 30, -5}), Block::Planks);
+  const Chunk* c = w.find_chunk({-1, -1});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->get_local(11, 30, 11), Block::Planks);
+}
+
+}  // namespace
+}  // namespace dyconits::world
