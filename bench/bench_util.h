@@ -5,17 +5,52 @@
 #pragma once
 
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "bots/simulation.h"
+#include "trace/trace_flags.h"
 #include "util/flags.h"
 
 namespace dyconits::bench {
 
+/// Flags every bench binary accepts (base_config + tracing + help). Pass
+/// binary-specific extras to check_flags.
+inline std::vector<std::string> common_flag_names() {
+  return {"players",          "duration",
+          "warmup",           "seed",
+          "view",             "workload",
+          trace::kTraceFlag,  trace::kTraceBufferFlag,
+          "help"};
+}
+
+/// Rejects misspelled flags (--player=100 used to be silently ignored) and
+/// arms --trace recording. Call once, right after parsing.
+inline void check_flags(const Flags& flags,
+                        const std::vector<std::string>& extra = {}) {
+  std::vector<std::string> allowed = common_flag_names();
+  allowed.insert(allowed.end(), extra.begin(), extra.end());
+  flags.assert_known(allowed);
+  trace::configure_from_flags(flags);
+}
+
+/// Dumps the recorded trace (if --trace was given); call before exiting.
+inline void finish_trace(const Flags& flags) {
+  trace::write_trace_from_flags(flags, std::cerr);
+}
+
+/// Prints the measured per-phase tick breakdown of one run.
+inline void print_phase_breakdown(const bots::SimulationResult& r) {
+  std::printf("\n-- phase breakdown: policy=%s players=%zu --\n", r.policy.c_str(),
+              r.players);
+  trace::print_phase_table(std::cout, r.phases);
+}
+
 /// Baseline experiment configuration, overridable from the command line:
 ///   --players=N --duration=SECONDS --warmup=SECONDS --seed=N
 ///   --workload=walk|village|build|mixed --view=N
+/// plus tracing: --trace=FILE [--trace-buffer=N].
 inline bots::SimulationConfig base_config(const Flags& flags) {
   bots::SimulationConfig cfg;
   cfg.players = static_cast<std::size_t>(flags.get_int("players", 50));

@@ -12,6 +12,7 @@ using namespace dyconits::bench;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  check_flags(flags, {"thetas", "deltas_x10"});
   const auto thetas = flags.get_int_list("thetas", {0, 100, 250, 500, 1000, 2500});
   const auto deltas_x10 = flags.get_int_list("deltas_x10", {5, 40, 320});
 
@@ -47,5 +48,6 @@ int main(int argc, char** argv) {
   }
   std::printf("(first row is the tightest configuration: %0.1f KB/s of update traffic)\n",
               baseline_rate / 1000.0);
+  finish_trace(flags);
   return 0;
 }

@@ -21,6 +21,7 @@ using namespace dyconits::bench;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  check_flags(flags, {"policies"});
   const auto player_counts = flags.get_int_list("players", {25, 50, 100, 150});
   std::vector<std::string> policies;
   {
@@ -61,5 +62,6 @@ int main(int argc, char** argv) {
   }
   std::printf("(update KB/s = entity-move + block-change families; 'vs vanilla' is the\n"
               " update-traffic change relative to the unmodified direct-send server)\n");
+  finish_trace(flags);
   return 0;
 }

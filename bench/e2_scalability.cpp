@@ -16,6 +16,7 @@ using namespace dyconits::bench;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  check_flags(flags, {"policies", "slo_ms"});
   const auto player_counts = flags.get_int_list("players", {50, 75, 100, 125, 150, 175, 200});
   const double slo_ms = flags.get_double("slo_ms", 25.0);
   std::vector<std::string> policies;
@@ -61,5 +62,6 @@ int main(int argc, char** argv) {
   }
   std::printf("(capacities are resolved at the sweep's granularity; pass a denser\n"
               " --players list for a finer crossover)\n");
+  finish_trace(flags);
   return 0;
 }

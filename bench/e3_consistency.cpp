@@ -13,6 +13,7 @@ using namespace dyconits::bench;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  check_flags(flags, {"policies"});
   std::vector<std::string> policies;
   {
     std::stringstream ss(
@@ -63,5 +64,6 @@ int main(int argc, char** argv) {
   }
   std::printf("(zero bounds: everything flushes on its creation tick — staleness 0;\n"
               " infinite bounds: unbounded drift — the failure mode dyconits prevent)\n");
+  finish_trace(flags);
   return 0;
 }

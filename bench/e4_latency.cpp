@@ -15,6 +15,7 @@ using namespace dyconits::bench;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  check_flags(flags, {"policies", "uplink_mbps"});
   const double uplink_mbps = flags.get_double("uplink_mbps", 8.0);
   std::vector<std::string> policies;
   {
@@ -54,5 +55,6 @@ int main(int argc, char** argv) {
   std::printf("\n(nearby = updates within 32 blocks of the observing player; far updates\n"
               " are deliberately delayed within bounds — that is the mechanism, not a\n"
               " regression. The claim under test: nearby latency matches vanilla.)\n");
+  finish_trace(flags);
   return 0;
 }

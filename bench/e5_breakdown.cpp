@@ -13,6 +13,7 @@ using namespace dyconits::bench;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  check_flags(flags, {"policies"});
   std::vector<std::string> policies;
   {
     std::stringstream ss(flags.get_string("policies", "vanilla,director"));
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
     auto cfg = base_config(flags);
     cfg.players = static_cast<std::size_t>(flags.get_int("players", 100));
     cfg.policy = policy;
+    cfg.profile_phases = true;  // E5b prints the per-phase breakdown
     results.push_back(run(cfg));
   }
 
@@ -57,5 +59,11 @@ int main(int argc, char** argv) {
   std::printf("\n%-18s", "frames/s");
   for (const auto& r : results) std::printf(" %14.0f", r.egress_frames_per_sec);
   std::printf("\n");
+
+  // Where the CPU (not just the bandwidth) goes: measured per-phase tick
+  // breakdown for each policy, from the tick profiler.
+  print_title("E5b: measured tick-phase breakdown (ms per tick)");
+  for (const auto& r : results) print_phase_breakdown(r);
+  finish_trace(flags);
   return 0;
 }

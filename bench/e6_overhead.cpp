@@ -1,8 +1,17 @@
-// E6 — Middleware overhead microbenchmarks (google-benchmark). Supports the
-// paper's "thin middleware" claim with numbers: cost of enqueue, coalesce,
-// flush, subscription churn, and policy bound computation — compared
-// against the vanilla serialize-and-send unit of work it replaces.
+// E6 — Middleware overhead microbenchmarks (google-benchmark), plus a
+// measured end-to-end check. The microbenchmarks support the paper's
+// "thin middleware" claim with numbers: cost of enqueue, coalesce, flush,
+// subscription churn, and policy bound computation — compared against the
+// vanilla serialize-and-send unit of work it replaces. The `--measured`
+// section then runs short vanilla and director simulations and prints the
+// tick-phase profiler's breakdown, so the per-operation costs above can be
+// reconciled with where a real tick actually spends its time.
+//
+//   e6_overhead [--benchmark_filter=...] [--measured] [--players=60]
+//               [--duration=20] [--trace=FILE]
 #include <benchmark/benchmark.h>
+
+#include "bench_util.h"
 
 #include "dyconit/policies/director.h"
 #include "dyconit/policies/factory.h"
@@ -177,4 +186,29 @@ BENCHMARK(BM_MemoryFootprint);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace dyconits::bench;
+  benchmark::Initialize(&argc, argv);  // consumes --benchmark_* flags
+  dyconits::Flags flags(argc, argv);
+  check_flags(flags, {"benchmark_*", "measured"});
+  benchmark::RunSpecifiedBenchmarks();
+
+  // End-to-end: measured per-phase cost of a real tick, for the vanilla
+  // baseline and the director. This is the denominator the microbenchmark
+  // numbers should be read against.
+  if (flags.get_bool("measured", false)) {
+    print_title("E6b: measured tick-phase breakdown (ms per tick)");
+    for (const std::string policy : {"vanilla", "director"}) {
+      auto cfg = base_config(flags);
+      cfg.players = static_cast<std::size_t>(flags.get_int("players", 60));
+      cfg.duration = dyconits::SimDuration::seconds(flags.get_int("duration", 20));
+      cfg.warmup = dyconits::SimDuration::seconds(flags.get_int("warmup", 8));
+      cfg.policy = policy;
+      cfg.profile_phases = true;
+      print_phase_breakdown(run(cfg));
+    }
+  }
+  finish_trace(flags);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,6 +20,7 @@ using namespace dyconits::bench;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  check_flags(flags, {"policies", "spike_at", "relax_at", "budget_mbps"});
   const std::int64_t spike_at = flags.get_int("spike_at", 40);
   const std::int64_t relax_at = flags.get_int("relax_at", 120);
 
@@ -90,5 +91,6 @@ int main(int argc, char** argv) {
     std::printf("post-warmup tick p95: %.2f ms | egress mean: %.1f KB/s\n",
                 r.tick_ms.percentile(0.95), r.egress_bytes_per_sec / 1000.0);
   }
+  finish_trace(flags);
   return 0;
 }

@@ -12,6 +12,7 @@ using namespace dyconits::bench;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  check_flags(flags);
   const std::vector<std::string> policies = {"director@chunk", "director@region",
                                              "director@global", "adaptive", "zero"};
 
@@ -36,5 +37,6 @@ int main(int argc, char** argv) {
   }
   std::printf("(zero = per-chunk units with zero bounds, the consistency reference;\n"
               " adaptive = director that re-partitions chunk<->region at runtime)\n");
+  finish_trace(flags);
   return 0;
 }

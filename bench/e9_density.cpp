@@ -19,6 +19,7 @@ using namespace dyconits::bench;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  check_flags(flags, {"radii", "budget_mbps"});
   const auto radii = flags.get_int_list("radii", {120, 60, 30, 15});
 
   print_title("E9: density sweep (fixed players, shrinking village radius)");
@@ -52,5 +53,6 @@ int main(int argc, char** argv) {
     }
     print_rule();
   }
+  finish_trace(flags);
   return 0;
 }

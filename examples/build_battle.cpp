@@ -5,9 +5,11 @@
 //
 //   ./build_battle [--team_size=15] [--duration=30] [--policy=director]
 #include <cstdio>
+#include <iostream>
 
 #include "bots/simulation.h"
 #include "dyconit/policies/factory.h"
+#include "trace/trace_flags.h"
 #include "util/flags.h"
 #include "world/ascii_map.h"
 
@@ -19,6 +21,8 @@ int main(int argc, char** argv) {
     std::puts("usage: build_battle [--team_size=N] [--duration=S] [--policy=SPEC]");
     return 0;
   }
+  flags.assert_known({"help", "team_size", "duration", "policy", trace::kTraceFlag, trace::kTraceBufferFlag});
+  trace::configure_from_flags(flags);
   const auto team_size = static_cast<std::size_t>(flags.get_int("team_size", 15));
   const auto duration = SimDuration::seconds(flags.get_int("duration", 30));
   const std::string policy_spec = flags.get_string("policy", "director");
@@ -135,5 +139,6 @@ int main(int argc, char** argv) {
               world::render_ascii_map(world, {0, 0, 0}, 36,
                                       world::entity_overlays(server.entities()))
                   .c_str());
+  trace::write_trace_from_flags(flags, std::cerr);
   return mismatches == 0 ? 0 : 1;
 }

@@ -8,9 +8,11 @@
 //   ./custom_policy [--players=40] [--duration=30]
 #include <algorithm>
 #include <cstdio>
+#include <iostream>
 
 #include "bots/simulation.h"
 #include "dyconit/policies/aoi.h"
+#include "trace/trace_flags.h"
 #include "util/flags.h"
 
 using namespace dyconits;
@@ -58,6 +60,8 @@ int main(int argc, char** argv) {
     std::puts("usage: custom_policy [--players=N] [--duration=S]");
     return 0;
   }
+  flags.assert_known({"help", "players", "duration", trace::kTraceFlag, trace::kTraceBufferFlag});
+  trace::configure_from_flags(flags);
 
   bots::SimulationConfig cfg;
   cfg.players = static_cast<std::size_t>(flags.get_int("players", 40));
@@ -125,5 +129,6 @@ int main(int argc, char** argv) {
   std::printf("  server egress: %.1f KB/s\n",
               static_cast<double>(net.egress_bytes(server.endpoint())) /
                   (static_cast<double>(ticks) * 0.05) / 1000.0);
+  trace::write_trace_from_flags(flags, std::cerr);
   return block_queued == 0 ? 0 : 1;
 }

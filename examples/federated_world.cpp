@@ -6,10 +6,12 @@
 //
 //   ./federated_world [--per_side=8] [--duration=30] [--peer_staleness_ms=100]
 #include <cstdio>
+#include <iostream>
 
 #include "bots/bot.h"
 #include "dyconit/policies/factory.h"
 #include "federation/federation.h"
+#include "trace/trace_flags.h"
 #include "util/flags.h"
 #include "world/ascii_map.h"
 #include "world/terrain.h"
@@ -23,6 +25,8 @@ int main(int argc, char** argv) {
               " [--peer_staleness_ms=MS]");
     return 0;
   }
+  flags.assert_known({"help", "per_side", "duration", "peer_staleness_ms", trace::kTraceFlag, trace::kTraceBufferFlag});
+  trace::configure_from_flags(flags);
   const auto per_side = static_cast<std::size_t>(flags.get_int("per_side", 8));
   const auto ticks = flags.get_int("duration", 30) * 20;
 
@@ -112,5 +116,6 @@ int main(int argc, char** argv) {
               world::render_ascii_map(left_world, {0, 0, 0}, 24,
                                       world::entity_overlays(left->entities()))
                   .c_str());
+  trace::write_trace_from_flags(flags, std::cerr);
   return cross_sightings > 0 ? 0 : 1;
 }

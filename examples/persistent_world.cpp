@@ -4,10 +4,12 @@
 //
 //   ./persistent_world [--players=10] [--duration=20] [--dir=/tmp/dyco_world]
 #include <cstdio>
+#include <iostream>
 #include <filesystem>
 
 #include "bots/simulation.h"
 #include "world/storage.h"
+#include "trace/trace_flags.h"
 #include "util/flags.h"
 
 using namespace dyconits;
@@ -18,6 +20,8 @@ int main(int argc, char** argv) {
     std::puts("usage: persistent_world [--players=N] [--duration=S] [--dir=PATH]");
     return 0;
   }
+  flags.assert_known({"help", "players", "duration", "dir", trace::kTraceFlag, trace::kTraceBufferFlag});
+  trace::configure_from_flags(flags);
   const std::string dir = flags.get_string(
       "dir", (std::filesystem::temp_directory_path() / "dyco_world").string());
   std::filesystem::remove_all(dir);
@@ -74,5 +78,6 @@ int main(int argc, char** argv) {
               verified, sample_edits.size());
 
   std::filesystem::remove_all(dir);
+  trace::write_trace_from_flags(flags, std::cerr);
   return verified == sample_edits.size() ? 0 : 1;
 }

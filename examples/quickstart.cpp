@@ -7,8 +7,10 @@
 // Policies: vanilla (no middleware), zero, infinite, static:<ms>:<w>,
 // aoi, director — optionally suffixed @chunk/@region/@global.
 #include <cstdio>
+#include <iostream>
 
 #include "bots/simulation.h"
+#include "trace/trace_flags.h"
 #include "util/flags.h"
 #include "util/log.h"
 #include "world/ascii_map.h"
@@ -22,6 +24,8 @@ int main(int argc, char** argv) {
               " [--workload=walk|village|build|mixed] [--seed=N]");
     return 0;
   }
+  flags.assert_known({"help", "players", "policy", "duration", "seed", "workload", "map", trace::kTraceFlag, trace::kTraceBufferFlag});
+  trace::configure_from_flags(flags);
   Log::set_level(LogLevel::Warn);
 
   bots::SimulationConfig cfg;
@@ -93,5 +97,6 @@ int main(int argc, char** argv) {
     std::printf("  %-18s %10.1f KB\n", protocol::message_type_name(type),
                 static_cast<double>(bytes) / 1000.0);
   }
+  trace::write_trace_from_flags(flags, std::cerr);
   return 0;
 }

@@ -11,8 +11,10 @@
 //   ./village_stress [--players=80] [--radius=15] [--duration=40]
 //                    [--budget_mbps=4]
 #include <cstdio>
+#include <iostream>
 
 #include "bots/simulation.h"
+#include "trace/trace_flags.h"
 #include "util/flags.h"
 
 using namespace dyconits;
@@ -46,6 +48,8 @@ int main(int argc, char** argv) {
     std::puts("usage: village_stress [--players=N] [--radius=BLOCKS] [--duration=S]");
     return 0;
   }
+  flags.assert_known({"help", "players", "radius", "duration", "budget_mbps", "seed", trace::kTraceFlag, trace::kTraceBufferFlag});
+  trace::configure_from_flags(flags);
 
   const auto vanilla = run_once(flags, "vanilla");
   const auto director = run_once(flags, "director");
@@ -83,5 +87,6 @@ int main(int argc, char** argv) {
                 "vs vanilla's %.0f ms) — raise --budget_mbps to buy the latency back.\n",
                 near_p99, vanilla_near_p99);
   }
+  trace::write_trace_from_flags(flags, std::cerr);
   return 0;
 }

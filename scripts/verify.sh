@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full verification: tier-1 build + tests, then the unit-test suite again
+# under AddressSanitizer + UBSan (DYCONITS_SANITIZE), then a check that the
+# compile-out switch (DYCONITS_TRACING=OFF) still builds.
+#
+#   scripts/verify.sh [build-dir-prefix]   # default: build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+prefix="${1:-build}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: release build + ctest =="
+cmake -B "$prefix" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$prefix" -j "$jobs"
+ctest --test-dir "$prefix" --output-on-failure
+
+echo "== sanitizers: ASan+UBSan build + ctest =="
+cmake -B "$prefix-sanitize" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDYCONITS_SANITIZE="address;undefined"
+cmake --build "$prefix-sanitize" -j "$jobs"
+ctest --test-dir "$prefix-sanitize" --output-on-failure
+
+echo "== tracing compiled out: build + ctest =="
+cmake -B "$prefix-notrace" -S . -DCMAKE_BUILD_TYPE=Release -DDYCONITS_TRACING=OFF
+cmake --build "$prefix-notrace" -j "$jobs"
+ctest --test-dir "$prefix-notrace" --output-on-failure -E trace_test
+
+echo "verify: all suites passed"

@@ -6,6 +6,7 @@
 
 #include "dyconit/policies/director.h"
 #include "dyconit/policies/factory.h"
+#include "trace/trace.h"
 #include "util/log.h"
 #include "world/terrain.h"
 
@@ -42,6 +43,7 @@ Simulation::Simulation(SimulationConfig cfg)
   scfg.env_ticks_per_tick = cfg_.env_ticks;
   scfg.survival_mode = cfg_.survival;
   scfg.mob_seed = cfg_.seed ^ 0x30B5ull;
+  scfg.profile_ticks = cfg_.profile_phases;
   scfg.mob_spawn_radius =
       std::max(cfg_.workload.spread_radius, cfg_.workload.village_radius * 3.0);
   scfg.spawn_provider = [homes, world = world_.get()](const std::string& name) {
@@ -71,6 +73,17 @@ Simulation::Simulation(SimulationConfig cfg)
   result_.players = cfg_.players;
   churn_rng_ = Rng(cfg_.seed ^ 0xC1124Eull);
   next_second_ = clock_.now() + SimDuration::seconds(1);
+
+  // Stamp trace records with this run's simulated time.
+  trace::Tracer::instance().set_sim_clock(&clock_);
+}
+
+Simulation::~Simulation() {
+  // Don't leave the tracer pointing at a destroyed clock (bench binaries
+  // run several simulations back to back).
+  if (trace::Tracer::instance().sim_clock() == &clock_) {
+    trace::Tracer::instance().set_sim_clock(nullptr);
+  }
 }
 
 void Simulation::maybe_churn() {
@@ -108,10 +121,14 @@ void Simulation::maybe_join_next() {
 }
 
 void Simulation::step_tick() {
+  TRACE_SCOPE("sim.tick");
   clock_.advance(server_->config().tick_interval);
   maybe_join_next();
   maybe_churn();
-  for (auto& bot : bots_) bot->tick();
+  {
+    TRACE_SCOPE("sim.bots");
+    for (auto& bot : bots_) bot->tick();
+  }
   server_->tick();
 
   if (!measuring_ && clock_.now() >= SimTime::zero() + cfg_.warmup) begin_measurement();
@@ -144,6 +161,8 @@ void Simulation::begin_measurement() {
     bot->near_update_latency_ms().clear();
   }
   tick_sample_index_ = server_->tick_cpu_ms().count();
+  // Scope the per-phase breakdown to the measurement window.
+  server_->profiler().reset();
 }
 
 void Simulation::on_second() {
@@ -260,6 +279,8 @@ void Simulation::finalize() {
     result_.out_of_order_frames += bot->out_of_order_frames();
     result_.stale_moves_rejected += bot->stale_moves_rejected();
   }
+
+  result_.phases = server_->profiler().report();
 }
 
 }  // namespace dyconits::bots

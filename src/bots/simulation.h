@@ -15,6 +15,7 @@
 #include "bots/workload.h"
 #include "metrics/metrics.h"
 #include "server/game_server.h"
+#include "trace/tick_profiler.h"
 
 namespace dyconits::bots {
 
@@ -65,6 +66,9 @@ struct SimulationConfig {
   bool keep_chunk_replica = false;
   /// Record per-second timeline series into the registry (E7/E9).
   bool record_timelines = false;
+  /// Aggregate tick spans into SimulationResult::phases (E5/E6). Costs
+  /// span timestamps on the send path, so off unless the run prints it.
+  bool profile_phases = false;
 };
 
 struct SimulationResult {
@@ -106,11 +110,18 @@ struct SimulationResult {
   /// Timeline series when record_timelines: "egress_kbps", "tick_ms",
   /// "director_scale", "players", "queued_updates", "pos_error_mean".
   metrics::MetricRegistry registry;
+
+  /// Measured per-phase tick cost over the measurement window (see
+  /// src/trace): where each tick's CPU went, phase by phase. Populated
+  /// when SimulationConfig::profile_phases is set; print with
+  /// trace::print_phase_table.
+  trace::TickProfiler::Report phases;
 };
 
 class Simulation {
  public:
   explicit Simulation(SimulationConfig cfg);
+  ~Simulation();
 
   /// Runs the configured duration and finalizes the result.
   SimulationResult run();

@@ -1,5 +1,7 @@
 #include "dyconit/system.h"
 
+#include "trace/trace.h"
+
 namespace dyconits::dyconit {
 
 Dyconit& DyconitSystem::get_or_create(DyconitId id, Bounds default_bounds) {
@@ -41,15 +43,20 @@ void DyconitSystem::set_bounds(DyconitId id, SubscriberId sub, Bounds b) {
 }
 
 void DyconitSystem::update(DyconitId id, Update u, SubscriberId exclude) {
+  TRACE_SCOPE("dyconit.enqueue");
   if (u.created == SimTime::zero()) u.created = clock_.now();
   get_or_create(id).enqueue(u, exclude, stats_);
 }
 
 void DyconitSystem::tick(FlushSink& sink) {
   const SimTime now = clock_.now();
-  for (auto& [id, d] : dyconits_) d->flush_due(now, sink, stats_, snapshot_threshold_);
+  {
+    TRACE_SCOPE("dyconit.flush_due");
+    for (auto& [id, d] : dyconits_) d->flush_due(now, sink, stats_, snapshot_threshold_);
+  }
   // GC: a dyconit with no subscribers holds no queues (enqueue drops when
   // subscriber-less), so it can be removed without losing updates.
+  TRACE_SCOPE("dyconit.gc");
   for (auto it = dyconits_.begin(); it != dyconits_.end();) {
     if (it->second->idle()) {
       it = dyconits_.erase(it);

@@ -33,14 +33,32 @@ double TimeSeries::mean_after(SimTime from) const {
   return n > 0 ? s / static_cast<double>(n) : 0.0;
 }
 
+namespace {
+
+// RFC 4180 field quoting: names are caller-chosen strings (policy specs
+// like "static:250:4" today, arbitrary labels tomorrow), so a comma or
+// quote in a name must not shear the row apart.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 void MetricRegistry::write_csv(std::ostream& os) const {
   os << "kind,name,t_seconds,value\n";
   for (const auto& [name, v] : counters_) {
-    os << "counter," << name << ",-1," << v << "\n";
+    os << "counter," << csv_field(name) << ",-1," << v << "\n";
   }
   for (const auto& [name, ts] : series_) {
     for (const auto& [t, v] : ts.points()) {
-      os << "series," << name << "," << t.as_seconds() << "," << v << "\n";
+      os << "series," << csv_field(name) << "," << t.as_seconds() << "," << v << "\n";
     }
   }
 }

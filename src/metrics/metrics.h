@@ -37,7 +37,8 @@ class MetricRegistry {
   const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
   const std::map<std::string, TimeSeries>& all_series() const { return series_; }
 
-  /// CSV rows: kind,name,t_seconds,value (counters get t=-1).
+  /// CSV rows: kind,name,t_seconds,value (counters get t=-1). Names
+  /// containing commas, quotes, or newlines are quoted per RFC 4180.
   void write_csv(std::ostream& os) const;
 
  private:

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "trace/trace.h"
+
 namespace dyconits::net {
 
 SimNetwork::SimNetwork(const SimClock& clock, std::uint64_t seed)
@@ -39,6 +41,7 @@ void SimNetwork::set_egress_rate(EndpointId id, std::uint64_t bytes_per_second) 
 }
 
 bool SimNetwork::send(EndpointId from, EndpointId to, Frame frame) {
+  TRACE_SCOPE("net.send");
   const auto link_it = links_.find(pair_key(from, to));
   if (link_it == links_.end()) return false;
   assert(frame.tag < kMaxTags);
@@ -88,6 +91,7 @@ bool SimNetwork::send(EndpointId from, EndpointId to, Frame frame) {
 }
 
 std::vector<Delivery> SimNetwork::poll(EndpointId to) {
+  TRACE_SCOPE("net.poll");
   EndpointState& dst = endpoints_.at(to);
   std::vector<Delivery> out;
   const SimTime now = clock_.now();

@@ -72,6 +72,13 @@ struct ServerConfig {
   SimDuration net_cost_per_frame = SimDuration::micros(8);
   double net_cost_per_byte_ns = 25.0;
 
+  /// Aggregate tick spans into the per-phase profiler (GameServer::
+  /// profiler()). Off by default: an installed profiler makes every
+  /// TRACE_SCOPE on the send path take timestamps (~1-2% of a busy tick),
+  /// so only runs that print the breakdown (e5/e6) pay for it. Independent
+  /// of --trace ring-buffer recording, which captures spans either way.
+  bool profile_ticks = false;
+
   /// Where new players spawn. The workload harness overrides this to shape
   /// player density (spread walkers vs a packed village).
   std::function<world::Vec3(const std::string& name)> spawn_provider;

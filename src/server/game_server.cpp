@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "entity/movement.h"
+#include "trace/trace.h"
 #include "util/log.h"
 
 namespace dyconits::server {
@@ -37,6 +38,23 @@ GameServer::GameServer(SimClock& clock, net::SimNetwork& net, world::World& worl
       world_.add_block_observer([this](const world::BlockChange& c) { on_block_change(c); });
 
   dyconits_.set_snapshot_threshold(cfg_.snapshot_queue_threshold);
+
+  // Tick phases, in tick() order. Top-level phases tile the tick;
+  // net.modeled carries the modeled network-stack CPU so the breakdown sums
+  // to the same total tick_cpu_ms() reports. Nested spans run inside a
+  // top-level phase and are reported separately (no double counting).
+  for (const char* phase :
+       {"server.inbound", "server.mobs", "server.environment", "server.items",
+        "server.dispatch", "server.chunks", "server.keepalive",
+        "server.dyconit_flush", "server.policy", "net.modeled"}) {
+    profiler_.add_phase(phase);
+  }
+  for (const char* nested :
+       {"server.serialize_send", "dyconit.enqueue", "dyconit.flush_due",
+        "dyconit.gc", "net.send", "net.poll"}) {
+    profiler_.add_phase(nested, trace::TickProfiler::PhaseKind::Nested);
+  }
+
   mob_rng_ = Rng(cfg_.mob_seed);
   mobs_.reserve(cfg_.mob_count);
   for (std::size_t i = 0; i < cfg_.mob_count; ++i) {
@@ -56,27 +74,43 @@ void GameServer::tick() {
   const std::uint64_t frames0 = net_.egress_frames(endpoint_);
   const std::uint64_t bytes0 = net_.egress_bytes(endpoint_);
   ++tick_number_;
+  trace::Tracer::instance().set_tick(tick_number_);
+  if (cfg_.profile_ticks) profiler_.begin_tick(tick_number_);
+  {
+    // Install the profiler only when asked: with it installed every span
+    // on the send path takes timestamps, which is measurable at scale.
+    trace::ProfilerScope profile(cfg_.profile_ticks ? &profiler_ : nullptr);
+    TRACE_SCOPE("server.tick");
+    { TRACE_SCOPE("server.inbound"); process_inbound(); }
+    { TRACE_SCOPE("server.mobs"); tick_mobs(); }
+    { TRACE_SCOPE("server.environment"); tick_environment(); }
+    { TRACE_SCOPE("server.items"); tick_items(); }
+    { TRACE_SCOPE("server.dispatch"); dispatch_moved_entities(); }
+    { TRACE_SCOPE("server.chunks"); stream_chunks(); }
+    { TRACE_SCOPE("server.keepalive"); send_keepalives(); }
+    if (cfg_.use_dyconits) {
+      TRACE_SCOPE("server.dyconit_flush");
+      dyconits_.tick(*this);
+    }
+    { TRACE_SCOPE("server.policy"); run_policy(); }
 
-  process_inbound();
-  tick_mobs();
-  tick_environment();
-  tick_items();
-  dispatch_moved_entities();
-  stream_chunks();
-  send_keepalives();
-  if (cfg_.use_dyconits) dyconits_.tick(*this);
-  run_policy();
-
-  const auto elapsed = std::chrono::steady_clock::now() - t0;
-  auto micros = std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
-  // Add the modeled network-stack CPU the in-process send skipped.
-  const std::uint64_t frames = net_.egress_frames(endpoint_) - frames0;
-  const std::uint64_t bytes = net_.egress_bytes(endpoint_) - bytes0;
-  micros += static_cast<std::int64_t>(frames) * cfg_.net_cost_per_frame.count_micros();
-  micros += static_cast<std::int64_t>(static_cast<double>(bytes) *
-                                      cfg_.net_cost_per_byte_ns / 1000.0);
-  last_tick_cpu_ = SimDuration::micros(micros);
-  tick_cpu_ms_.add(static_cast<double>(micros) / 1000.0);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    auto micros = std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+    // Add the modeled network-stack CPU the in-process send skipped.
+    const std::uint64_t frames = net_.egress_frames(endpoint_) - frames0;
+    const std::uint64_t bytes = net_.egress_bytes(endpoint_) - bytes0;
+    std::int64_t modeled =
+        static_cast<std::int64_t>(frames) * cfg_.net_cost_per_frame.count_micros();
+    modeled += static_cast<std::int64_t>(static_cast<double>(bytes) *
+                                         cfg_.net_cost_per_byte_ns / 1000.0);
+    micros += modeled;
+    last_tick_cpu_ = SimDuration::micros(micros);
+    tick_cpu_ms_.add(static_cast<double>(micros) / 1000.0);
+    if (cfg_.profile_ticks) {
+      profiler_.add_modeled_ms("net.modeled", static_cast<double>(modeled) / 1000.0);
+      profiler_.end_tick(static_cast<double>(micros) / 1000.0);
+    }
+  }
 }
 
 // ---------------------------------------------------------------- inbound
@@ -722,6 +756,7 @@ void GameServer::request_snapshot(SubscriberId to, const dyconit::DyconitId& uni
 // ----------------------------------------------------------------- helpers
 
 void GameServer::send_to(Session& s, const protocol::AnyMessage& m, SimTime trace_origin) {
+  TRACE_SCOPE("server.serialize_send");
   net::Frame frame = protocol::encode(m);
   frame.trace_origin = trace_origin;
   net_.send(endpoint_, s.endpoint, std::move(frame));

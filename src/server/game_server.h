@@ -22,6 +22,7 @@
 #include "net/sim_network.h"
 #include "protocol/codec.h"
 #include "server/config.h"
+#include "trace/tick_profiler.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "world/world.h"
@@ -69,6 +70,11 @@ class GameServer final : public dyconit::FlushSink {
   Samples& tick_cpu_ms() { return tick_cpu_ms_; }
   SimDuration last_tick_cpu() const { return last_tick_cpu_; }
   std::uint64_t tick_count() const { return tick_number_; }
+
+  /// Per-phase tick cost breakdown, fed by the TRACE_SCOPE spans inside
+  /// tick(). Reset it to scope the report to a measurement window.
+  trace::TickProfiler& profiler() { return profiler_; }
+  const trace::TickProfiler& profiler() const { return profiler_; }
 
   // -- federation hooks --
   /// Observes every locally-originated update the server dispatches (block
@@ -194,6 +200,7 @@ class GameServer final : public dyconit::FlushSink {
 
   std::uint64_t tick_number_ = 0;
   SimDuration last_tick_cpu_;
+  trace::TickProfiler profiler_;
   Samples tick_cpu_ms_;
   metrics::RateSampler egress_rate_;
   double egress_bytes_per_sec_ = 0.0;

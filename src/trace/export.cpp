@@ -1,0 +1,106 @@
+#include "trace/export.h"
+
+#include <cstdio>
+#include <string>
+
+namespace dyconits::trace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os, const std::vector<TraceRecord>& records) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+        "\"args\":{\"name\":\"dyconits\"}}";
+  char buf[64];
+  for (const TraceRecord& r : records) {
+    if (r.name == nullptr) continue;
+    os << ",\n{\"name\":\"" << json_escape(r.name) << "\",\"cat\":\"dyconits\"";
+    // trace_event timestamps are microseconds; keep ns precision with a
+    // fractional part.
+    std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(r.wall_start_ns) / 1e3);
+    if (r.instant) {
+      os << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << buf;
+    } else {
+      os << ",\"ph\":\"X\",\"ts\":" << buf;
+      std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(r.wall_dur_ns) / 1e3);
+      os << ",\"dur\":" << buf;
+    }
+    os << ",\"pid\":1,\"tid\":1,\"args\":{\"sim_us\":" << r.sim_us
+       << ",\"tick\":" << r.tick << "}}";
+  }
+  os << "\n]}\n";
+}
+
+namespace {
+
+void print_phase_row(std::ostream& os, const TickProfiler::PhaseStat& p,
+                     double tick_mean) {
+  char line[160];
+  const double share = tick_mean > 0.0 ? 100.0 * p.ms.mean() / tick_mean : 0.0;
+  std::snprintf(line, sizeof(line), "%-24s %10.4f %10.4f %10.4f %10.4f %7.1f%%\n",
+                p.name.c_str(), p.ms.mean(), p.samples.median(),
+                p.samples.percentile(0.95), p.ms.max(), share);
+  os << line;
+}
+
+}  // namespace
+
+void print_phase_table(std::ostream& os, const TickProfiler::Report& report) {
+  if (report.empty()) {
+    os << "(no profiled ticks)\n";
+    return;
+  }
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-24s %10s %10s %10s %10s %8s\n", "phase",
+                "mean ms", "p50 ms", "p95 ms", "max ms", "share");
+  os << line;
+  os << std::string(78, '-') << "\n";
+  const double tick_mean = report.tick_ms.mean();
+  for (const TickProfiler::PhaseStat& p : report.phases) {
+    if (p.kind == TickProfiler::PhaseKind::TopLevel) print_phase_row(os, p, tick_mean);
+  }
+  os << std::string(78, '-') << "\n";
+  std::snprintf(line, sizeof(line), "%-24s %10.4f %10.4f %10.4f %10.4f %7.1f%%\n",
+                "phase sum / tick total", report.phase_mean_sum(),
+                report.tick_samples.median(), report.tick_samples.percentile(0.95),
+                report.tick_ms.max(), 100.0 * report.coverage());
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "ticks: %llu   tick mean %.4f ms   coverage %.1f%% of measured tick time\n",
+                static_cast<unsigned long long>(report.ticks), tick_mean,
+                100.0 * report.coverage());
+  os << line;
+
+  bool any_nested = false;
+  for (const TickProfiler::PhaseStat& p : report.phases) {
+    if (p.kind != TickProfiler::PhaseKind::Nested) continue;
+    if (!any_nested) {
+      os << "nested spans (inside the phases above; not part of the sum):\n";
+      any_nested = true;
+    }
+    print_phase_row(os, p, tick_mean);
+  }
+}
+
+}  // namespace dyconits::trace

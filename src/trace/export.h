@@ -1,0 +1,30 @@
+// Exporters for the tracing subsystem: Chrome/Perfetto `trace_event` JSON
+// (open chrome://tracing or ui.perfetto.dev and load the file) and the
+// paper-style per-phase breakdown table.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "trace/tick_profiler.h"
+#include "trace/trace.h"
+
+namespace dyconits::trace {
+
+/// Writes `records` (a Tracer::snapshot()) in the Chrome trace_event JSON
+/// object format: {"traceEvents":[...]}. Spans become complete ("ph":"X")
+/// events with microsecond timestamps; instants become "ph":"i". Each
+/// event carries the simulated-time instant and tick number in args, so
+/// the deterministic timeline is recoverable from the wall-clock one.
+void write_chrome_trace(std::ostream& os, const std::vector<TraceRecord>& records);
+
+/// Prints the per-phase tick breakdown: one row per registered phase
+/// (mean/p50/p95/max ms per tick plus share of tick), a nested-span
+/// section, and a footer comparing the top-level phase sum against total
+/// measured tick time (coverage).
+void print_phase_table(std::ostream& os, const TickProfiler::Report& report);
+
+/// JSON string escaping shared by the exporter (exposed for tests).
+std::string json_escape(const std::string& s);
+
+}  // namespace dyconits::trace

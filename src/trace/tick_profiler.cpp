@@ -1,0 +1,97 @@
+#include "trace/tick_profiler.h"
+
+#include <cstring>
+
+namespace dyconits::trace {
+
+void TickProfiler::add_phase(const char* name, PhaseKind kind) {
+  for (const Phase& p : phases_) {
+    if (p.name == name) return;
+  }
+  phases_.push_back(Phase{name, kind, 0.0, {}, {}});
+  memo_.clear();  // indices are stable, but a prior miss may now resolve
+}
+
+int TickProfiler::index_of(const char* name) {
+  const auto [it, inserted] = memo_.try_emplace(name, -1);
+  if (inserted) {
+    for (std::size_t i = 0; i < phases_.size(); ++i) {
+      if (std::strcmp(phases_[i].name.c_str(), name) == 0) {
+        it->second = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  return it->second;
+}
+
+void TickProfiler::begin_tick(std::uint64_t tick_number) {
+  static_cast<void>(tick_number);
+  for (Phase& p : phases_) p.current_ns = 0.0;
+  in_tick_ = true;
+}
+
+void TickProfiler::end_tick(double total_ms) {
+  if (!in_tick_) return;
+  in_tick_ = false;
+  for (Phase& p : phases_) {
+    const double ms = p.current_ns / 1e6;
+    p.ms.add(ms);
+    p.samples.add(ms);
+    p.current_ns = 0.0;
+  }
+  tick_ms_.add(total_ms);
+  tick_samples_.add(total_ms);
+  ++ticks_;
+}
+
+void TickProfiler::observe(const char* name, std::int64_t dur_ns) {
+  if (!in_tick_) return;  // stray span outside a tick (e.g. after end_tick)
+  const int i = index_of(name);
+  if (i >= 0) phases_[static_cast<std::size_t>(i)].current_ns += static_cast<double>(dur_ns);
+}
+
+void TickProfiler::add_modeled_ms(const char* name, double ms) {
+  if (!in_tick_) return;
+  const int i = index_of(name);
+  if (i >= 0) phases_[static_cast<std::size_t>(i)].current_ns += ms * 1e6;
+}
+
+void TickProfiler::reset() {
+  for (Phase& p : phases_) {
+    p.current_ns = 0.0;
+    p.ms = RunningStats{};
+    p.samples.clear();
+  }
+  tick_ms_ = RunningStats{};
+  tick_samples_.clear();
+  ticks_ = 0;
+  in_tick_ = false;
+}
+
+TickProfiler::Report TickProfiler::report() const {
+  Report r;
+  r.phases.reserve(phases_.size());
+  for (const Phase& p : phases_) {
+    r.phases.push_back(PhaseStat{p.name, p.kind, p.ms, p.samples});
+  }
+  r.tick_ms = tick_ms_;
+  r.tick_samples = tick_samples_;
+  r.ticks = ticks_;
+  return r;
+}
+
+double TickProfiler::Report::phase_mean_sum() const {
+  double s = 0.0;
+  for (const PhaseStat& p : phases) {
+    if (p.kind == PhaseKind::TopLevel) s += p.ms.mean();
+  }
+  return s;
+}
+
+double TickProfiler::Report::coverage() const {
+  const double total = tick_ms.mean();
+  return total > 0.0 ? phase_mean_sum() / total : 0.0;
+}
+
+}  // namespace dyconits::trace

@@ -1,0 +1,103 @@
+// Aggregates trace spans into a per-tick, per-phase cost breakdown.
+//
+// A GameServer registers its tick phases once (registration order is the
+// report order), installs itself as the tracer's profiler for the duration
+// of each tick (ProfilerScope), and brackets the tick with
+// begin_tick()/end_tick(). Spans whose name matches a registered top-level
+// phase accumulate into that phase for the current tick; at end_tick() the
+// per-tick sums fold into RunningStats (mean/min/max) and Samples
+// (percentiles), both in milliseconds.
+//
+// Top-level phases are disjoint slices of the tick, so their means sum to
+// (approximately) the mean tick duration — the invariant the phase table
+// reports as "coverage". Nested phases (kind Nested) aggregate sub-spans
+// that run *inside* a top-level phase (serialize+send, dyconit enqueue);
+// they are reported separately and excluded from the coverage sum to avoid
+// double counting. Modeled costs that no span measures (the simulated
+// network stack CPU) enter through add_modeled_ms().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace dyconits::trace {
+
+class TickProfiler {
+ public:
+  enum class PhaseKind : std::uint8_t {
+    TopLevel,  ///< disjoint slice of the tick; counted toward coverage
+    Nested,    ///< sub-span inside a top-level phase; reported separately
+  };
+
+  /// Registers a phase by exact span name. Must be called before the spans
+  /// run; re-registering an existing name is a no-op.
+  void add_phase(const char* name, PhaseKind kind = PhaseKind::TopLevel);
+
+  void begin_tick(std::uint64_t tick_number);
+  /// Folds the tick's accumulated phase times into the running stats.
+  /// `total_ms` is the externally measured tick duration (it may include
+  /// modeled cost added via add_modeled_ms).
+  void end_tick(double total_ms);
+  bool in_tick() const { return in_tick_; }
+
+  /// Called by the Tracer for every completed span while installed.
+  void observe(const char* name, std::int64_t dur_ns);
+
+  /// Adds modeled (not span-measured) cost to a phase for the current tick.
+  void add_modeled_ms(const char* name, double ms);
+
+  /// Clears all statistics (not the phase registrations). Simulation calls
+  /// this at warmup end so the report covers the measurement window only.
+  void reset();
+
+  struct PhaseStat {
+    std::string name;
+    PhaseKind kind = PhaseKind::TopLevel;
+    RunningStats ms;  ///< per-tick milliseconds spent in this phase
+    Samples samples;  ///< same values, retained for percentiles
+  };
+
+  struct Report {
+    std::vector<PhaseStat> phases;  ///< registration order
+    RunningStats tick_ms;           ///< total measured tick duration
+    Samples tick_samples;
+    std::uint64_t ticks = 0;
+
+    /// Sum of top-level phase means (ms).
+    double phase_mean_sum() const;
+    /// phase_mean_sum / mean tick duration; ~1.0 when the registered
+    /// phases tile the tick.
+    double coverage() const;
+    bool empty() const { return ticks == 0; }
+  };
+
+  Report report() const;
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  struct Phase {
+    std::string name;
+    PhaseKind kind;
+    double current_ns = 0.0;  // accumulated within the open tick
+    RunningStats ms;
+    Samples samples;
+  };
+
+  int index_of(const char* name);
+
+  std::vector<Phase> phases_;
+  /// Memoized literal-pointer -> phase index (-1 = not a phase). Spans use
+  /// string literals, so after the first strcmp scan each name resolves
+  /// with one hash lookup.
+  std::unordered_map<const void*, int> memo_;
+  RunningStats tick_ms_;
+  Samples tick_samples_;
+  std::uint64_t ticks_ = 0;
+  bool in_tick_ = false;
+};
+
+}  // namespace dyconits::trace

@@ -1,0 +1,70 @@
+#include "trace/trace.h"
+
+#include "trace/tick_profiler.h"
+
+namespace dyconits::trace {
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::start_recording(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  ring_.assign(capacity, TraceRecord{});
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+  recording_ = true;
+}
+
+void Tracer::clear() {
+  ring_.clear();
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+  recording_ = false;
+}
+
+std::vector<TraceRecord> Tracer::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(count_);
+  if (count_ == 0) return out;
+  // Oldest record sits at head_ once the ring has wrapped.
+  const std::size_t start = count_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::push(const char* name, std::int64_t start_ns, std::int64_t dur_ns,
+                  bool instant) {
+  TraceRecord& r = ring_[head_];
+  r.name = name;
+  r.wall_start_ns = start_ns;
+  r.wall_dur_ns = dur_ns;
+  r.sim_us = sim_clock_ != nullptr ? sim_clock_->now().count_micros() : -1;
+  r.tick = tick_;
+  r.instant = instant;
+  head_ = (head_ + 1) % ring_.size();
+  if (count_ < ring_.size()) {
+    ++count_;
+  } else {
+    ++dropped_;
+  }
+}
+
+void Tracer::end_span(const char* name, std::chrono::steady_clock::time_point start) {
+  const auto end = std::chrono::steady_clock::now();
+  const auto dur_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(end - start);
+  if (profiler_ != nullptr) profiler_->observe(name, dur_ns.count());
+  if (recording_) push(name, since_epoch_ns(start), dur_ns.count(), /*instant=*/false);
+}
+
+void Tracer::instant(const char* name) {
+  if (!recording_) return;
+  push(name, since_epoch_ns(std::chrono::steady_clock::now()), 0, /*instant=*/true);
+}
+
+}  // namespace dyconits::trace

@@ -1,0 +1,175 @@
+// Low-overhead span/event tracing (S17).
+//
+// RAII scopes write fixed-size records into a preallocated ring buffer and
+// feed an optional TickProfiler (per-phase tick breakdowns, see
+// tick_profiler.h). Every record carries dual timestamps: wall-clock
+// nanoseconds (what the CPU actually spent — the quantity the paper's
+// tick-duration claims are about) and the simulated-time instant plus tick
+// number (so a span can be located in the deterministic experiment
+// timeline). Export to Chrome/Perfetto `trace_event` JSON lives in
+// export.h.
+//
+// Cost model:
+//   - compiled out (DYCONITS_TRACING=0): the macros expand to nothing.
+//   - compiled in, inactive (no recording, no profiler): one predictable
+//     branch per scope.
+//   - active: two steady_clock reads plus a ring-buffer store and/or a
+//     memoized profiler lookup; no allocation on the hot path.
+//
+// The tracer is a process-wide singleton, single-threaded by design (the
+// whole simulation is); names must be string literals (records store the
+// pointer, never copy).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/sim_time.h"
+
+// Compile-time switch: -DDYCONITS_TRACING=0 turns every TRACE_* macro into
+// a no-op and lets the optimizer drop the instrumentation entirely.
+#ifndef DYCONITS_TRACING
+#define DYCONITS_TRACING 1
+#endif
+
+namespace dyconits::trace {
+
+class TickProfiler;
+
+/// One completed span or instant event. Fixed-size; `name` points at the
+/// string literal given to the scope (never owned).
+struct TraceRecord {
+  const char* name = nullptr;
+  std::int64_t wall_start_ns = 0;  ///< wall time since Tracer epoch
+  std::int64_t wall_dur_ns = 0;    ///< 0 for instant events
+  std::int64_t sim_us = -1;        ///< simulated time at completion; -1 if no clock
+  std::uint64_t tick = 0;          ///< server tick number (0 before the first tick)
+  bool instant = false;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  // -- ring-buffer recording (drives the Chrome/Perfetto export) --
+
+  /// Starts capturing records into a freshly preallocated ring of
+  /// `capacity` entries. When full, the oldest records are overwritten
+  /// (dropped() counts them).
+  void start_recording(std::size_t capacity);
+  void stop_recording() { recording_ = false; }
+  bool recording() const { return recording_; }
+
+  /// Records in oldest-to-newest order. Safe to call while recording.
+  std::vector<TraceRecord> snapshot() const;
+  std::size_t recorded() const { return count_; }
+  std::uint64_t dropped() const { return dropped_; }
+  void clear();
+
+  // -- context --
+
+  /// Simulated clock used to stamp records; may be null (sim_us = -1).
+  void set_sim_clock(const SimClock* clock) { sim_clock_ = clock; }
+  const SimClock* sim_clock() const { return sim_clock_; }
+  /// Current server tick, stamped into every record.
+  void set_tick(std::uint64_t tick) { tick_ = tick; }
+
+  /// Profiler observing completed spans (may be null). Scopes opened while
+  /// a profiler is installed report their duration to it; see
+  /// ProfilerScope for the RAII install/restore helper.
+  void set_profiler(TickProfiler* p) { profiler_ = p; }
+  TickProfiler* profiler() const { return profiler_; }
+
+  /// True when scopes must take timestamps at all.
+  bool active() const { return recording_ || profiler_ != nullptr; }
+
+  // -- record emission (called by the scope/macro machinery) --
+
+  void end_span(const char* name, std::chrono::steady_clock::time_point start);
+  void instant(const char* name);
+
+ private:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  void push(const char* name, std::int64_t start_ns, std::int64_t dur_ns, bool instant);
+  std::int64_t since_epoch_ns(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_).count();
+  }
+
+  std::chrono::steady_clock::time_point epoch_;
+  const SimClock* sim_clock_ = nullptr;
+  TickProfiler* profiler_ = nullptr;
+  std::uint64_t tick_ = 0;
+
+  bool recording_ = false;
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;   // next write position
+  std::size_t count_ = 0;  // valid records (<= ring_.size())
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span: measures wall time from construction to destruction and
+/// reports it to the tracer. Costs one branch when the tracer is inactive.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    if (Tracer::instance().active()) {
+      name_ = name;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~TraceScope() {
+    if (name_ != nullptr) Tracer::instance().end_span(name_, start_);
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Installs `p` as the tracer's active profiler for the current scope and
+/// restores the previous one on exit (so nested servers — federation —
+/// each aggregate their own tick). Null is allowed and installs nothing,
+/// keeping an unprofiled server from shadowing a profiled outer one.
+class ProfilerScope {
+ public:
+  explicit ProfilerScope(TickProfiler* p) : prev_(Tracer::instance().profiler()) {
+    if (p != nullptr) Tracer::instance().set_profiler(p);
+  }
+  explicit ProfilerScope(TickProfiler& p) : ProfilerScope(&p) {}
+  ~ProfilerScope() { Tracer::instance().set_profiler(prev_); }
+
+  ProfilerScope(const ProfilerScope&) = delete;
+  ProfilerScope& operator=(const ProfilerScope&) = delete;
+
+ private:
+  TickProfiler* prev_;
+};
+
+}  // namespace dyconits::trace
+
+#if DYCONITS_TRACING
+#define DYCO_TRACE_CONCAT2(a, b) a##b
+#define DYCO_TRACE_CONCAT(a, b) DYCO_TRACE_CONCAT2(a, b)
+/// Times the enclosing scope under `name` (a string literal).
+#define TRACE_SCOPE(name) \
+  ::dyconits::trace::TraceScope DYCO_TRACE_CONCAT(dyco_trace_scope_, __LINE__)(name)
+/// Emits a zero-duration marker event.
+#define TRACE_INSTANT(name)                                 \
+  do {                                                      \
+    if (::dyconits::trace::Tracer::instance().recording())  \
+      ::dyconits::trace::Tracer::instance().instant(name);  \
+  } while (0)
+#else
+#define TRACE_SCOPE(name) \
+  do {                    \
+  } while (0)
+#define TRACE_INSTANT(name) \
+  do {                      \
+  } while (0)
+#endif

@@ -1,0 +1,60 @@
+// Shared --trace=FILE / --trace-buffer=N command-line wiring, used by every
+// bench binary and example:
+//
+//   my_binary --trace=out.json            # record, dump Chrome JSON at exit
+//   my_binary --trace=out.json --trace-buffer=262144
+//
+// Load the resulting file in chrome://tracing or ui.perfetto.dev.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "trace/export.h"
+#include "trace/trace.h"
+#include "util/flags.h"
+
+namespace dyconits::trace {
+
+/// Flag names consumed here; include them in Flags::assert_known lists.
+inline constexpr const char* kTraceFlag = "trace";
+inline constexpr const char* kTraceBufferFlag = "trace-buffer";
+
+/// Resolved --trace output path; empty when tracing was not requested.
+/// A bare `--trace` (no value) records to "trace.json".
+inline std::string trace_path(const Flags& flags) {
+  if (!flags.has(kTraceFlag)) return "";
+  const std::string path = flags.get_string(kTraceFlag, "");
+  return path.empty() || path == "true" ? "trace.json" : path;
+}
+
+/// Enables ring-buffer recording if --trace was given. Call before the run.
+inline void configure_from_flags(const Flags& flags) {
+  if (trace_path(flags).empty()) return;
+  const auto capacity =
+      static_cast<std::size_t>(flags.get_int(kTraceBufferFlag, 1 << 16));
+  Tracer::instance().start_recording(capacity);
+}
+
+/// Writes the recorded buffer as Chrome trace_event JSON to the --trace
+/// path. Returns false (and does nothing) when --trace was not given.
+inline bool write_trace_from_flags(const Flags& flags, std::ostream& diag) {
+  const std::string path = trace_path(flags);
+  if (path.empty()) return false;
+  Tracer& tracer = Tracer::instance();
+  std::ofstream os(path);
+  if (!os) {
+    diag << "trace: cannot open " << path << " for writing\n";
+    return false;
+  }
+  write_chrome_trace(os, tracer.snapshot());
+  diag << "trace: wrote " << tracer.recorded() << " records to " << path;
+  if (tracer.dropped() > 0) {
+    diag << " (" << tracer.dropped() << " older records dropped; raise --"
+         << kTraceBufferFlag << ")";
+  }
+  diag << "\n";
+  return true;
+}
+
+}  // namespace dyconits::trace

@@ -1,5 +1,6 @@
 #include "util/flags.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -40,6 +41,38 @@ bool Flags::get_bool(const std::string& key, bool def) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return def;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Flags::unknown_keys(const std::vector<std::string>& allowed) const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    bool known = false;
+    for (const std::string& a : allowed) {
+      if (!a.empty() && a.back() == '*') {
+        if (key.rfind(a.substr(0, a.size() - 1), 0) == 0) {
+          known = true;
+          break;
+        }
+      } else if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) unknown.push_back(key);
+  }
+  return unknown;
+}
+
+void Flags::assert_known(const std::vector<std::string>& allowed) const {
+  const std::vector<std::string> unknown = unknown_keys(allowed);
+  if (unknown.empty()) return;
+  for (const std::string& key : unknown) {
+    std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
+  }
+  std::fprintf(stderr, "known flags:");
+  for (const std::string& a : allowed) std::fprintf(stderr, " --%s", a.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(2);
 }
 
 std::vector<std::int64_t> Flags::get_int_list(const std::string& key,

@@ -29,6 +29,17 @@ class Flags {
   std::vector<std::int64_t> get_int_list(const std::string& key,
                                          const std::vector<std::int64_t>& def) const;
 
+  /// Keys that were given but are not in `allowed`. An allowed entry
+  /// ending in '*' matches by prefix (e.g. "benchmark_*" for flags a
+  /// wrapped library consumes).
+  std::vector<std::string> unknown_keys(const std::vector<std::string>& allowed) const;
+
+  /// Exits with an error (listing each unknown flag and the allowed
+  /// vocabulary) if any given flag is not in `allowed`. Call it after
+  /// constructing the binary's Flags so a misspelled --player=100 fails
+  /// loudly instead of silently running the default.
+  void assert_known(const std::vector<std::string>& allowed) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:

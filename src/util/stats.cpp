@@ -69,7 +69,7 @@ void LogHistogram::add(double x) {
 }
 
 double LogHistogram::percentile(double q) const {
-  if (total_ == 0) return 0.0;
+  if (total_ == 0) return 1.0;  // bucket 0's upper edge, like every other path
   q = std::clamp(q, 0.0, 1.0);
   const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1)) + 1;
   std::uint64_t seen = 0;

@@ -62,7 +62,11 @@ class LogHistogram {
  public:
   void add(double x);
   std::size_t count() const { return total_; }
-  /// Upper-bound estimate of percentile q (bucket upper edge).
+  /// Upper-bound estimate of percentile q: the upper edge of the bucket
+  /// holding the q-th sample. Always a bucket upper edge — including on an
+  /// empty histogram, which reports bucket 0's edge (1.0), the smallest
+  /// value the estimator can produce. Check count() to tell "no samples"
+  /// apart from "all samples < 1".
   double percentile(double q) const;
 
  private:

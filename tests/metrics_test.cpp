@@ -53,6 +53,27 @@ TEST(RegistryTest, CsvFormat) {
   EXPECT_NE(csv.find("series,rate,1.5,7.5"), std::string::npos);
 }
 
+TEST(RegistryTest, CsvQuotesHostileNames) {
+  MetricRegistry reg;
+  reg.counter("bytes,total") = 9;
+  reg.series("say \"hi\"").add(SimTime(1'000'000), 1.0);
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string csv = os.str();
+  // A comma inside a name must not shear the row into five fields.
+  EXPECT_NE(csv.find("counter,\"bytes,total\",-1,9"), std::string::npos) << csv;
+  // Embedded quotes are doubled and the field wrapped, per RFC 4180.
+  EXPECT_NE(csv.find("series,\"say \"\"hi\"\"\",1,1"), std::string::npos) << csv;
+}
+
+TEST(TimeSeriesTest, MeanAfterBoundaryIsInclusive) {
+  TimeSeries ts;
+  ts.add(SimTime(4'999'999), 100.0);
+  ts.add(SimTime(5'000'000), 10.0);  // exactly t == from: included
+  ts.add(SimTime(6'000'000), 30.0);
+  EXPECT_DOUBLE_EQ(ts.mean_after(SimTime(5'000'000)), 20.0);
+}
+
 TEST(RateSamplerTest, FirstSampleIsZero) {
   RateSampler rs;
   EXPECT_DOUBLE_EQ(rs.sample(1000, 1.0), 0.0);  // priming
@@ -70,6 +91,14 @@ TEST(RateSamplerTest, ZeroDtIsSafe) {
   RateSampler rs;
   rs.sample(0, 1.0);
   EXPECT_DOUBLE_EQ(rs.sample(100, 0.0), 0.0);
+}
+
+TEST(RateSamplerTest, PrimingIgnoresCounterHistory) {
+  // The first sample only latches the counter: a server that has already
+  // sent gigabytes before sampling starts must not report a huge rate.
+  RateSampler rs;
+  EXPECT_DOUBLE_EQ(rs.sample(1'000'000'000, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(rs.sample(1'000'000'500, 1.0), 500.0);
 }
 
 }  // namespace

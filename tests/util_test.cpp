@@ -270,6 +270,26 @@ TEST(LogHistogramTest, SmallValuesLandInFirstBucket) {
   EXPECT_DOUBLE_EQ(h.percentile(1.0), 1.0);
 }
 
+TEST(LogHistogramTest, EmptyReturnsFirstBucketEdge) {
+  // An empty histogram reports bucket 0's upper edge — the same value a
+  // histogram full of sub-1.0 samples reports — so downstream tables never
+  // see a 0.0 that no bucket could produce. Callers distinguish the two
+  // cases via count().
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1.0);
+}
+
+TEST(LogHistogramTest, SingleBucketAllQuantilesAgree) {
+  LogHistogram h;
+  h.add(5.0);  // bucket [4,8)
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(q), 8.0) << "q=" << q;
+  }
+}
+
 TEST(LogHistogramTest, MixedDistribution) {
   LogHistogram h;
   for (int i = 0; i < 90; ++i) h.add(2.0);
@@ -319,6 +339,37 @@ TEST(FlagsTest, BoolSpellings) {
   EXPECT_TRUE(f.get_bool("b", false));
   EXPECT_TRUE(f.get_bool("c", false));
   EXPECT_FALSE(f.get_bool("d", true));
+}
+
+TEST(FlagsTest, UnknownKeysFindsMisspellings) {
+  const char* argv[] = {"prog", "--player=100", "--duration=30"};
+  Flags f(3, const_cast<char**>(argv));
+  const auto unknown = f.unknown_keys({"players", "duration"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "player");
+  EXPECT_TRUE(f.unknown_keys({"player", "duration"}).empty());
+}
+
+TEST(FlagsTest, UnknownKeysWildcardPrefix) {
+  const char* argv[] = {"prog", "--benchmark_filter=BM_Flush", "--benchmark=x"};
+  Flags f(3, const_cast<char**>(argv));
+  // "benchmark_*" matches by prefix; bare "benchmark" lacks the underscore.
+  const auto unknown = f.unknown_keys({"benchmark_*"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "benchmark");
+}
+
+TEST(FlagsDeathTest, AssertKnownRejectsMisspelledFlag) {
+  const char* argv[] = {"prog", "--player=100"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_EXIT(f.assert_known({"players"}), testing::ExitedWithCode(2),
+              "unknown flag --player");
+}
+
+TEST(FlagsTest, AssertKnownAcceptsFullVocabulary) {
+  const char* argv[] = {"prog", "--players=5", "--trace=out.json"};
+  Flags f(3, const_cast<char**>(argv));
+  f.assert_known({"players", "trace"});  // must not exit
 }
 
 }  // namespace
