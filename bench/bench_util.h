@@ -5,10 +5,12 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bots/faults.h"
 #include "bots/simulation.h"
 #include "trace/trace_flags.h"
 #include "util/flags.h"
@@ -21,6 +23,7 @@ inline std::vector<std::string> common_flag_names() {
   return {"players",          "duration",
           "warmup",           "seed",
           "view",             "workload",
+          "faults",           "fault-seed",
           trace::kTraceFlag,  trace::kTraceBufferFlag,
           "help"};
 }
@@ -50,7 +53,8 @@ inline void print_phase_breakdown(const bots::SimulationResult& r) {
 /// Baseline experiment configuration, overridable from the command line:
 ///   --players=N --duration=SECONDS --warmup=SECONDS --seed=N
 ///   --workload=walk|village|build|mixed --view=N
-/// plus tracing: --trace=FILE [--trace-buffer=N].
+/// plus fault injection: --faults=FILE [--fault-seed=N] (see bots/faults.h
+/// for the schedule format) and tracing: --trace=FILE [--trace-buffer=N].
 inline bots::SimulationConfig base_config(const Flags& flags) {
   bots::SimulationConfig cfg;
   cfg.players = static_cast<std::size_t>(flags.get_int("players", 50));
@@ -60,6 +64,15 @@ inline bots::SimulationConfig base_config(const Flags& flags) {
   cfg.view_distance = static_cast<int>(flags.get_int("view", 8));
   cfg.workload.kind = bots::parse_workload(flags.get_string("workload", "village"));
   cfg.joins_per_tick = 4;
+  const std::string fault_file = flags.get_string("faults", "");
+  if (!fault_file.empty()) {
+    std::string error;
+    if (!bots::load_fault_schedule(fault_file, &cfg.faults, &error)) {
+      std::fprintf(stderr, "--faults: %s\n", error.c_str());
+      std::exit(2);
+    }
+  }
+  cfg.fault_seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 0));
   return cfg;
 }
 

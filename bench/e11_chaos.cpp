@@ -1,0 +1,154 @@
+// E11 — Chaos: graceful degradation under injected network faults
+// (DESIGN.md §18, EXPERIMENTS.md E11). Sweeps per-frame loss rates while a
+// fixed partition-and-heal plus one subscriber crash-and-restart run in the
+// background, and reports what the paper's middleware must guarantee even
+// then: bounded inconsistency (zero post-recovery bound violations),
+// recovery latency after the last heal, and byte-identical replay from the
+// same seed + fault plan.
+//
+//   e11_chaos [--players=24] [--duration=45] [--loss=0,2,5,10,20]
+//             [--faults=FILE] [--fault-seed=N]
+#include <cstring>
+#include <sstream>
+
+#include "bench_util.h"
+
+using namespace dyconits;
+using namespace dyconits::bench;
+
+namespace {
+
+struct ChaosOutcome {
+  bots::SimulationResult result;
+  std::uint64_t bound_violations = 0;  // post-heal queues left over their bounds
+  double recovery_s = -1.0;            // heal -> pos error back near baseline
+  std::uint64_t fingerprint = 0;       // replay check: final world + wire state
+};
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * 1099511628211ull;
+}
+
+/// One chaos run: `loss` on every link, a partition of a quarter of the
+/// fleet at warmup+10s for 3s, and bot 0 crashing at warmup+17s for 3s.
+ChaosOutcome run_chaos(const Flags& flags, double loss) {
+  auto cfg = base_config(flags);
+  cfg.players = static_cast<std::size_t>(flags.get_int("players", 24));
+  cfg.record_timelines = true;
+  cfg.faults.link.loss = loss;
+  const double part0 = cfg.warmup.as_seconds() + 10.0;
+  const double crash0 = part0 + 7.0;
+  cfg.faults.events.push_back(
+      {bots::ScheduledFault::Kind::Partition, part0, part0 + 3.0, 0, 0.25});
+  cfg.faults.events.push_back(
+      {bots::ScheduledFault::Kind::Crash, crash0, crash0 + 3.0, 0, 0.0});
+  const SimTime heal = SimTime::zero() + SimDuration::micros(
+                                             static_cast<std::int64_t>((crash0 + 3.0) * 1e6));
+
+  ChaosOutcome out;
+  bots::Simulation sim(cfg);
+  // Invariant check: after every post-heal tick (the policy has flushed),
+  // no subscriber queue may still violate its bounds. Transient violations
+  // *during* the fault window are expected — that is the degradation the
+  // middleware is absorbing; leftover ones after recovery are bugs.
+  sim.set_tick_hook([&](bots::Simulation& s, SimTime now) {
+    if (now <= heal + SimDuration::seconds(1)) return;
+    s.server().dyconits().for_each([&](dyconit::Dyconit& d) {
+      d.for_each_subscriber([&](dyconit::SubscriberId, dyconit::Bounds& b,
+                                const dyconit::SubscriberQueue& q) {
+        if (q.violates(b, now)) ++out.bound_violations;
+      });
+    });
+  });
+  const auto ticks =
+      static_cast<std::uint64_t>(cfg.duration.count_micros() /
+                                 sim.server().config().tick_interval.count_micros());
+  for (std::uint64_t i = 0; i < ticks; ++i) sim.step_tick();
+
+  // Replay fingerprint before finalize: ground truth + exact wire totals.
+  std::uint64_t fp = 1469598103934665603ull;
+  sim.server().entities().for_each([&](const entity::Entity& e) {
+    fp = fnv(fp, e.id);
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(e.pos.x));
+    std::memcpy(&bits, &e.pos.x, sizeof(bits));
+    fp = fnv(fp, bits);
+    std::memcpy(&bits, &e.pos.z, sizeof(bits));
+    fp = fnv(fp, bits);
+  });
+  fp = fnv(fp, sim.network().total_bytes());
+  fp = fnv(fp, sim.network().total_frames());
+  fp = fnv(fp, sim.network().total_dropped_frames());
+  out.fingerprint = fp;
+
+  sim.finalize();
+  out.result = std::move(sim.result());
+
+  // Recovery latency: first post-heal second where the mean positional
+  // error is back within 1.5x of the pre-fault baseline (+0.25 blocks of
+  // noise floor).
+  const auto& series = out.result.registry.series("pos_error_mean");
+  double baseline = 0.0;
+  std::size_t n = 0;
+  for (const auto& [t, v] : series.points()) {
+    const double ts = t.as_seconds();
+    if (ts >= cfg.warmup.as_seconds() && ts < part0) {
+      baseline += v;
+      ++n;
+    }
+  }
+  if (n > 0) baseline /= static_cast<double>(n);
+  for (const auto& [t, v] : series.points()) {
+    if (t <= heal) continue;
+    if (v <= baseline * 1.5 + 0.25) {
+      out.recovery_s = (t - heal).as_seconds();
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  check_flags(flags, {"loss"});
+
+  std::vector<double> losses;
+  {
+    std::stringstream ss(flags.get_string("loss", "0,2,5,10,20"));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) losses.push_back(std::stod(tok) / 100.0);
+  }
+
+  print_title("E11: graceful degradation vs per-frame loss rate");
+  std::printf("(fixed schedule per run: 25%% partition for 3 s, then bot 0 "
+              "crash/restart for 3 s)\n");
+  std::printf("%6s %8s %8s %8s %8s %8s %8s %10s %10s %8s\n", "loss%", "dropped",
+              "gaps", "resyncs", "served", "reconn", "pruned", "violate", "recover_s",
+              "replay");
+  print_rule(100);
+  for (const double loss : losses) {
+    auto out = run_chaos(flags, loss);
+    // Replay check: the identical config must reproduce the identical final
+    // world and wire history, faults and all.
+    const auto again = run_chaos(flags, loss);
+    const bool replay_ok = again.fingerprint == out.fingerprint;
+    const auto& r = out.result;
+    std::printf("%6.1f %8llu %8llu %8llu %8llu %8llu %8llu %10llu %10.1f %8s\n",
+                loss * 100.0, static_cast<unsigned long long>(r.frames_dropped),
+                static_cast<unsigned long long>(r.gaps_detected),
+                static_cast<unsigned long long>(r.resyncs_requested),
+                static_cast<unsigned long long>(r.resyncs_served),
+                static_cast<unsigned long long>(r.reconnects),
+                static_cast<unsigned long long>(r.replica_pruned),
+                static_cast<unsigned long long>(out.bound_violations), out.recovery_s,
+                replay_ok ? "ok" : "MISMATCH");
+  }
+  std::printf(
+      "(violate: post-recovery subscriber queues still over their bounds after the\n"
+      " policy flushed — must be 0; recover_s: seconds from last heal until client\n"
+      " positional error returned to its pre-fault baseline)\n");
+  finish_trace(flags);
+  return 0;
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Full verification: tier-1 build + tests, then the unit-test suite again
-# under AddressSanitizer + UBSan (DYCONITS_SANITIZE), then a check that the
-# compile-out switch (DYCONITS_TRACING=OFF) still builds.
+# Full verification: tier-1 build + tests, then the chaos suite across a
+# fault-seed matrix, then the unit-test suite again under AddressSanitizer +
+# UBSan (DYCONITS_SANITIZE) including a 100k-iteration protocol fuzz pass,
+# then a check that the compile-out switch (DYCONITS_TRACING=OFF) still
+# builds.
 #
 #   scripts/verify.sh [build-dir-prefix]   # default: build
 set -euo pipefail
@@ -15,11 +17,25 @@ cmake -B "$prefix" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$prefix" -j "$jobs"
 ctest --test-dir "$prefix" --output-on-failure
 
-echo "== sanitizers: ASan+UBSan build + ctest =="
+echo "== chaos: deterministic fault-schedule suite, seed matrix =="
+# The tier-1 pass above already ran chaos_test at the default seed (42);
+# re-run it across the matrix so recovery is validated on more than one
+# fault history (DESIGN.md §8).
+for seed in 1 7 1337; do
+  echo "-- chaos seed $seed"
+  DYCONITS_CHAOS_SEED="$seed" \
+    ctest --test-dir "$prefix" --output-on-failure -L chaos
+done
+
+echo "== sanitizers: ASan+UBSan build + ctest (+100k protocol fuzz) =="
 cmake -B "$prefix-sanitize" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDYCONITS_SANITIZE="address;undefined"
 cmake --build "$prefix-sanitize" -j "$jobs"
 ctest --test-dir "$prefix-sanitize" --output-on-failure
+# Acceptance floor for the decoder: 100k seeded mutations, zero crashes,
+# zero sanitizer reports (the default iteration count is much smaller).
+DYCONITS_FUZZ_ITERS=100000 \
+  ctest --test-dir "$prefix-sanitize" --output-on-failure -R protocol_fuzz_test
 
 echo "== tracing compiled out: build + ctest =="
 cmake -B "$prefix-notrace" -S . -DCMAKE_BUILD_TYPE=Release -DDYCONITS_TRACING=OFF

@@ -36,7 +36,10 @@ BotClient::BotClient(SimClock& clock, net::SimNetwork& net, world::World& truth,
   if (cfg_.keep_chunk_replica) replica_world_ = std::make_unique<world::World>();
 }
 
-void BotClient::connect() { send(protocol::JoinRequest{name_}); }
+void BotClient::connect() {
+  join_sent_at_ = clock_.now();
+  send(protocol::JoinRequest{name_});
+}
 
 void BotClient::reset_session() {
   // Drain anything still in flight for the old session.
@@ -44,6 +47,12 @@ void BotClient::reset_session() {
   joined_ = false;
   self_ = entity::kInvalidEntity;
   newest_frame_sent_ = SimTime::zero();
+  rx_seq_ = 0;
+  missing_.clear();
+  pending_resync_ = false;
+  next_resync_ok_ = SimTime::zero();
+  join_sent_at_ = SimTime::zero();
+  last_rx_ = SimTime::zero();
   replica_entities_.clear();
   inventory_.clear();
   block_deltas_.clear();
@@ -53,20 +62,82 @@ void BotClient::reset_session() {
 
 void BotClient::send(const AnyMessage& msg) {
   net::Frame frame = protocol::encode(msg);
+  frame.seq = ++tx_seq_;  // transport sequence; the server counts gaps
   frame.trace_origin = clock_.now();
   net_.send(endpoint_, server_, std::move(frame));
 }
 
+void BotClient::track_seq(std::uint32_t seq, SimTime now) {
+  if (seq == 0) return;  // unsequenced frame
+  if (rx_seq_ == 0) {
+    rx_seq_ = seq;  // first contact; nothing to compare against
+  } else if (seq > rx_seq_) {
+    const std::uint32_t gap = seq - rx_seq_ - 1;
+    if (gap > 0) {
+      gaps_detected_ += gap;
+      if (gap > kMaxTrackedGap || missing_.size() + gap > kMaxTrackedGap) {
+        // Bulk loss (partition heal, crash recovery): no point waiting for
+        // holes to fill — ask for a resync outright.
+        missing_.clear();
+        pending_resync_ = true;
+      } else {
+        for (std::uint32_t q = rx_seq_ + 1; q < seq; ++q) missing_.emplace(q, now);
+      }
+    }
+    rx_seq_ = seq;
+  } else if (missing_.erase(seq) > 0) {
+    // A late arrival filled a hole: that was reorder, not loss.
+  } else {
+    ++dup_or_old_frames_;
+  }
+}
+
 void BotClient::tick() {
+  const SimTime now = clock_.now();
   for (const net::Delivery& d : net_.poll(endpoint_)) {
     ++frames_received_;
+    last_rx_ = now;
+    track_seq(d.frame.seq, now);
     const auto msg = protocol::decode(d.frame);
     if (!msg.has_value()) {
       ++decode_failures_;
+      // A sequenced frame whose content is gone is a loss even though the
+      // sequence advanced: recover its state via resync.
+      if (d.frame.seq != 0) pending_resync_ = true;
       continue;
     }
     apply(*msg, d);
   }
+
+  // Holes that outlived the grace window are real loss, not reorder.
+  for (auto it = missing_.begin(); it != missing_.end();) {
+    if (now - it->second > kGapGrace) {
+      pending_resync_ = true;
+      it = missing_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (joined_ && pending_resync_ && now >= next_resync_ok_) {
+    send(protocol::ResyncRequest{rx_seq_});
+    ++resyncs_requested_;
+    pending_resync_ = false;
+    missing_.clear();  // the resync replaces whatever the holes carried
+    next_resync_ok_ = now + kResyncInterval;
+  }
+  if (!joined_ && join_sent_at_ != SimTime::zero() &&
+      cfg_.join_retry.count_micros() > 0 && now - join_sent_at_ >= cfg_.join_retry) {
+    connect();  // the JoinRequest or its ack was lost
+  }
+  if (joined_ && cfg_.liveness_timeout.count_micros() > 0 &&
+      last_rx_ != SimTime::zero() && now - last_rx_ > cfg_.liveness_timeout) {
+    // Dead silence long past the keep-alive cadence: the session is gone
+    // (server timed us out, or we crashed past recovery). Rejoin fresh.
+    ++liveness_resets_;
+    reset_session();
+    connect();
+  }
+
   if (!joined_ || paused_) return;
   walk();
   if (clock_.now() >= next_action_) {
@@ -111,6 +182,11 @@ void BotClient::apply(const AnyMessage& msg, const net::Delivery& d) {
     joined_ = true;
     self_ = ack->self_id;
     pos_ = ack->spawn;
+    // A (re)join starts a fresh server-side sequence: rebase the gap
+    // detector so old-session numbering doesn't read as loss.
+    rx_seq_ = d.frame.seq;
+    missing_.clear();
+    pending_resync_ = false;
     if (cfg_.home == Vec3{}) cfg_.home = pos_;
     pick_waypoint();
     next_action_ = clock_.now() + SimDuration::micros(static_cast<std::int64_t>(
@@ -147,8 +223,14 @@ void BotClient::apply(const AnyMessage& msg, const net::Delivery& d) {
     }
   } else if (const auto* sp = std::get_if<protocol::EntitySpawn>(&msg)) {
     if (sp->id != self_) {
-      replica_entities_[sp->id] = {sp->kind,  sp->pos, sp->yaw,
-                                   sp->pitch, sp->name, sp->data};
+      const auto it = replica_entities_.find(sp->id);
+      if (it != replica_entities_.end() && d.sent < it->second.last_update_sent) {
+        // A reordered transport delivered an old spawn after a newer move.
+        ++stale_moves_rejected_;
+      } else {
+        replica_entities_[sp->id] = {sp->kind,  sp->pos,  sp->yaw, sp->pitch,
+                                     sp->name,  sp->data, d.sent};
+      }
     }
   } else if (const auto* inv = std::get_if<protocol::InventoryUpdate>(&msg)) {
     inventory_[inv->item] = inv->count;
@@ -162,6 +244,20 @@ void BotClient::apply(const AnyMessage& msg, const net::Delivery& d) {
     send(protocol::KeepAliveReply{ka->nonce});
   } else if (std::get_if<protocol::ChatBroadcast>(&msg) != nullptr) {
     ++chats_seen_;
+  } else if (std::get_if<protocol::ResyncAck>(&msg) != nullptr) {
+    ++resync_acks_;
+    // The ack closes the server's refresh: everything it still counts as
+    // known was just re-sent with this frame's send time. Replica entities
+    // strictly older were never confirmed — despawns lost on the wire;
+    // drop the ghosts.
+    for (auto it = replica_entities_.begin(); it != replica_entities_.end();) {
+      if (it->second.last_update_sent < d.sent) {
+        ++replica_pruned_;
+        it = replica_entities_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 }
 

@@ -44,6 +44,15 @@ struct BotConfig {
   /// dig otherwise; they also walk to visible dropped items to collect
   /// them. Set when the server runs survival_mode.
   bool survival = false;
+
+  // -- fault recovery (DESIGN.md §18) --
+  /// Re-send JoinRequest if no JoinAck arrived within this window (the
+  /// request or its ack was lost). Zero disables retries.
+  SimDuration join_retry = SimDuration::seconds(2);
+  /// Dead-server detector: if a joined bot hears nothing at all for this
+  /// long (keep-alives come every ~5 s), assume the session is gone and
+  /// rejoin from scratch. Zero disables.
+  SimDuration liveness_timeout = SimDuration::seconds(30);
 };
 
 struct ReplicaEntity {
@@ -90,6 +99,10 @@ class BotClient {
   bool paused() const { return paused_; }
   const BotConfig& config() const { return cfg_; }
 
+  /// Asks for a server resync on the next tick (tests force a final
+  /// catch-up this way; gap detection sets the same flag internally).
+  void request_resync() { pending_resync_ = true; }
+
   // -- replica --
   const std::unordered_map<entity::EntityId, ReplicaEntity>& replica_entities() const {
     return replica_entities_;
@@ -130,9 +143,23 @@ class BotClient {
   std::uint64_t out_of_order_frames() const { return out_of_order_frames_; }
   std::uint64_t stale_moves_rejected() const { return stale_moves_rejected_; }
 
+  // -- fault recovery counters (DESIGN.md §18) --
+  /// Transport sequence gaps observed (missing server frames, including
+  /// transient reorder holes that later filled).
+  std::uint64_t gaps_detected() const { return gaps_detected_; }
+  std::uint64_t resyncs_requested() const { return resyncs_requested_; }
+  std::uint64_t resync_acks_seen() const { return resync_acks_; }
+  /// Duplicate or already-superseded frames (loss-free runs: zero on FIFO).
+  std::uint64_t dup_or_old_frames() const { return dup_or_old_frames_; }
+  /// Ghost replica entities removed at resync (despawns lost on the wire).
+  std::uint64_t replica_pruned() const { return replica_pruned_; }
+  std::uint64_t liveness_resets() const { return liveness_resets_; }
+
  private:
   void apply(const protocol::AnyMessage& msg, const net::Delivery& d);
   void apply_entity_move(const protocol::EntityMove& m, SimTime sent);
+  /// Gap detection on inbound server frames (see bot.cpp for the scheme).
+  void track_seq(std::uint32_t seq, SimTime now);
   void apply_block(const world::BlockPos& pos, world::Block b);
   void walk();
   void act();
@@ -172,6 +199,29 @@ class BotClient {
   std::uint64_t out_of_order_frames_ = 0;
   std::uint64_t stale_moves_rejected_ = 0;
   SimTime newest_frame_sent_;
+
+  // -- transport sequencing / recovery state (DESIGN.md §18) --
+  /// A seq hole is only loss once it stayed unfilled this long (a non-FIFO
+  /// link reorders frames; transient holes fill themselves).
+  static constexpr SimDuration kGapGrace = SimDuration::millis(500);
+  /// At most one ResyncRequest per interval, however many gaps appear.
+  static constexpr SimDuration kResyncInterval = SimDuration::millis(500);
+  /// Holes wider than this skip tracking and resync outright.
+  static constexpr std::size_t kMaxTrackedGap = 64;
+
+  std::uint32_t tx_seq_ = 0;  ///< stamped on every frame we send
+  std::uint32_t rx_seq_ = 0;  ///< highest server seq seen (0 = none yet)
+  std::unordered_map<std::uint32_t, SimTime> missing_;  ///< open holes -> first seen
+  bool pending_resync_ = false;
+  SimTime next_resync_ok_;
+  SimTime join_sent_at_;
+  SimTime last_rx_;
+  std::uint64_t gaps_detected_ = 0;
+  std::uint64_t resyncs_requested_ = 0;
+  std::uint64_t resync_acks_ = 0;
+  std::uint64_t dup_or_old_frames_ = 0;
+  std::uint64_t replica_pruned_ = 0;
+  std::uint64_t liveness_resets_ = 0;
 };
 
 }  // namespace dyconits::bots

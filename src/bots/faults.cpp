@@ -1,0 +1,128 @@
+#include "bots/faults.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dyconits::bots {
+namespace {
+
+bool fail(std::string* error, int line, const std::string& what) {
+  if (error != nullptr) {
+    *error = "fault schedule line " + std::to_string(line) + ": " + what;
+  }
+  return false;
+}
+
+bool parse_prob(const std::string& tok, double* out) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size() || v < 0.0 || v > 1.0) return false;
+    *out = v;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_nonneg(const std::string& tok, double* out) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size() || v < 0.0) return false;
+    *out = v;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_index(const std::string& tok, std::size_t* out) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(tok, &used);
+    if (used != tok.size()) return false;
+    *out = static_cast<std::size_t>(v);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+bool parse_fault_schedule(const std::string& text, FaultScheduleConfig* out,
+                          std::string* error) {
+  FaultScheduleConfig cfg;
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string cmd;
+    if (!(tokens >> cmd)) continue;  // blank / comment-only line
+
+    std::vector<std::string> args;
+    for (std::string tok; tokens >> tok;) args.push_back(tok);
+
+    if (cmd == "loss" || cmd == "duplicate" || cmd == "corrupt") {
+      double p = 0.0;
+      if (args.size() != 1 || !parse_prob(args[0], &p)) {
+        return fail(error, line_no, cmd + " expects one probability in [0,1]");
+      }
+      if (cmd == "loss") cfg.link.loss = p;
+      else if (cmd == "duplicate") cfg.link.duplicate = p;
+      else cfg.link.corrupt = p;
+    } else if (cmd == "reorder") {
+      double p = 0.0, extra_ms = 0.0;
+      if (args.empty() || args.size() > 2 || !parse_prob(args[0], &p) ||
+          (args.size() == 2 && !parse_nonneg(args[1], &extra_ms))) {
+        return fail(error, line_no, "reorder expects: P [extra-ms]");
+      }
+      cfg.link.reorder = p;
+      if (args.size() == 2) {
+        cfg.link.reorder_extra =
+            SimDuration::micros(static_cast<std::int64_t>(extra_ms * 1000.0));
+      }
+    } else if (cmd == "flap" || cmd == "crash") {
+      ScheduledFault ev;
+      ev.kind = cmd == "flap" ? ScheduledFault::Kind::Flap : ScheduledFault::Kind::Crash;
+      if (args.size() != 3 || !parse_nonneg(args[0], &ev.start_s) ||
+          !parse_nonneg(args[1], &ev.end_s) || !parse_index(args[2], &ev.bot) ||
+          ev.end_s <= ev.start_s) {
+        return fail(error, line_no, cmd + " expects: T0 T1 BOT (with T1 > T0)");
+      }
+      cfg.events.push_back(ev);
+    } else if (cmd == "partition") {
+      ScheduledFault ev;
+      ev.kind = ScheduledFault::Kind::Partition;
+      if (args.size() != 3 || !parse_nonneg(args[0], &ev.start_s) ||
+          !parse_nonneg(args[1], &ev.end_s) || !parse_prob(args[2], &ev.fraction) ||
+          ev.end_s <= ev.start_s || ev.fraction <= 0.0) {
+        return fail(error, line_no, "partition expects: T0 T1 FRACTION (0 < F <= 1)");
+      }
+      cfg.events.push_back(ev);
+    } else {
+      return fail(error, line_no, "unknown directive '" + cmd + "'");
+    }
+  }
+  *out = std::move(cfg);
+  return true;
+}
+
+bool load_fault_schedule(const std::string& path, FaultScheduleConfig* out,
+                         std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open fault schedule file: " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_fault_schedule(text.str(), out, error);
+}
+
+}  // namespace dyconits::bots

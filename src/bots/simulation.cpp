@@ -74,6 +74,8 @@ Simulation::Simulation(SimulationConfig cfg)
   churn_rng_ = Rng(cfg_.seed ^ 0xC1124Eull);
   next_second_ = clock_.now() + SimDuration::seconds(1);
 
+  if (cfg_.faults.any()) install_fault_plan();
+
   // Stamp trace records with this run's simulated time.
   trace::Tracer::instance().set_sim_clock(&clock_);
 }
@@ -83,6 +85,68 @@ Simulation::~Simulation() {
   // run several simulations back to back).
   if (trace::Tracer::instance().sim_clock() == &clock_) {
     trace::Tracer::instance().set_sim_clock(nullptr);
+  }
+}
+
+void Simulation::install_fault_plan() {
+  net::FaultPlan plan;
+  plan.seed = cfg_.fault_seed != 0 ? cfg_.fault_seed : (cfg_.seed ^ 0xFA17ull);
+  plan.all_links = cfg_.faults.link;
+
+  const auto at_secs = [](double s) {
+    return SimTime::zero() + SimDuration::micros(static_cast<std::int64_t>(s * 1e6));
+  };
+  const net::EndpointId srv = server_->endpoint();
+  for (const auto& ev : cfg_.faults.events) {
+    const SimTime t0 = at_secs(ev.start_s);
+    const SimTime t1 = at_secs(ev.end_s);
+    switch (ev.kind) {
+      case ScheduledFault::Kind::Flap: {
+        if (ev.bot >= bots_.size()) continue;
+        const net::EndpointId ep = bots_[ev.bot]->endpoint();
+        plan.events.push_back({t0, net::FaultEvent::Kind::LinkDown, ep, srv});
+        plan.events.push_back({t1, net::FaultEvent::Kind::LinkUp, ep, srv});
+        break;
+      }
+      case ScheduledFault::Kind::Partition: {
+        // The leading fraction of the fleet loses the server, then heals.
+        const auto cut = std::max<std::size_t>(
+            1, static_cast<std::size_t>(ev.fraction * static_cast<double>(bots_.size())));
+        for (std::size_t i = 0; i < cut && i < bots_.size(); ++i) {
+          const net::EndpointId ep = bots_[i]->endpoint();
+          plan.events.push_back({t0, net::FaultEvent::Kind::LinkDown, ep, srv});
+          plan.events.push_back({t1, net::FaultEvent::Kind::LinkUp, ep, srv});
+        }
+        break;
+      }
+      case ScheduledFault::Kind::Crash: {
+        if (ev.bot >= bots_.size()) continue;
+        const net::EndpointId ep = bots_[ev.bot]->endpoint();
+        plan.events.push_back({t0, net::FaultEvent::Kind::Crash, ep, net::kInvalidEndpoint});
+        plan.events.push_back({t1, net::FaultEvent::Kind::Restart, ep, net::kInvalidEndpoint});
+        // Client half: the process forgets its session, then rejoins.
+        bot_fault_queue_.push_back({t0, ev.bot, false});
+        bot_fault_queue_.push_back({t1, ev.bot, true});
+        break;
+      }
+    }
+  }
+  std::stable_sort(bot_fault_queue_.begin(), bot_fault_queue_.end(),
+                   [](const BotFaultEvent& a, const BotFaultEvent& b) { return a.at < b.at; });
+  net_.set_fault_plan(std::move(plan));
+}
+
+void Simulation::apply_bot_faults() {
+  const SimTime now = clock_.now();
+  while (next_bot_fault_ < bot_fault_queue_.size() &&
+         bot_fault_queue_[next_bot_fault_].at <= now) {
+    const BotFaultEvent& ev = bot_fault_queue_[next_bot_fault_++];
+    if (ev.bot >= bots_.size()) continue;
+    if (ev.restart) {
+      bots_[ev.bot]->connect();
+    } else {
+      bots_[ev.bot]->reset_session();
+    }
   }
 }
 
@@ -123,6 +187,8 @@ void Simulation::maybe_join_next() {
 void Simulation::step_tick() {
   TRACE_SCOPE("sim.tick");
   clock_.advance(server_->config().tick_interval);
+  net_.advance_faults();  // fire scheduled flaps/partitions/crashes on time
+  apply_bot_faults();
   maybe_join_next();
   maybe_churn();
   {
@@ -278,6 +344,24 @@ void Simulation::finalize() {
     result_.decode_failures += bot->decode_failures();
     result_.out_of_order_frames += bot->out_of_order_frames();
     result_.stale_moves_rejected += bot->stale_moves_rejected();
+    result_.gaps_detected += bot->gaps_detected();
+    result_.resyncs_requested += bot->resyncs_requested();
+    result_.resync_acks_seen += bot->resync_acks_seen();
+    result_.dup_or_old_frames += bot->dup_or_old_frames();
+    result_.replica_pruned += bot->replica_pruned();
+    result_.liveness_resets += bot->liveness_resets();
+    const net::FaultStats& fs = net_.fault_stats(bot->endpoint());
+    result_.frames_corrupted += fs.corrupted;
+    result_.frames_duplicated += fs.duplicated;
+  }
+  result_.resyncs_served = server_->resyncs_served();
+  result_.reconnects = server_->reconnects();
+  result_.malformed_frames = server_->malformed_frames();
+  result_.frames_dropped = net_.total_dropped_frames();
+  {
+    const net::FaultStats& fs = net_.fault_stats(server_->endpoint());
+    result_.frames_corrupted += fs.corrupted;
+    result_.frames_duplicated += fs.duplicated;
   }
 
   result_.phases = server_->profiler().report();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bots/bot.h"
+#include "bots/faults.h"
 #include "bots/workload.h"
 #include "metrics/metrics.h"
 #include "server/game_server.h"
@@ -62,6 +63,14 @@ struct SimulationConfig {
   double churn_per_second = 0.0;
   SimDuration churn_rejoin_delay = SimDuration::seconds(3);
 
+  /// Fault schedule (probabilistic link faults + scheduled flaps /
+  /// partitions / crashes), translated into a net::FaultPlan at
+  /// construction. See bots/faults.h for the --faults=FILE format.
+  FaultScheduleConfig faults;
+  /// Seed for the dedicated fault RNG stream; 0 derives one from `seed`.
+  /// Same seed + same schedule replays the run byte-identically.
+  std::uint64_t fault_seed = 0;
+
   bool record_staleness = false;
   bool keep_chunk_replica = false;
   /// Record per-second timeline series into the registry (E7/E9).
@@ -107,6 +116,22 @@ struct SimulationResult {
   std::uint64_t out_of_order_frames = 0;
   std::uint64_t stale_moves_rejected = 0;
 
+  // Fault / recovery counters (whole run, not just the measurement window —
+  // chaos experiments schedule faults before warmup ends too). Client side
+  // summed over bots; server and wire counters read at finalize.
+  std::uint64_t gaps_detected = 0;
+  std::uint64_t resyncs_requested = 0;
+  std::uint64_t resync_acks_seen = 0;
+  std::uint64_t dup_or_old_frames = 0;
+  std::uint64_t replica_pruned = 0;
+  std::uint64_t liveness_resets = 0;
+  std::uint64_t resyncs_served = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t malformed_frames = 0;
+  std::uint64_t frames_dropped = 0;  ///< on-wire frames never delivered
+  std::uint64_t frames_corrupted = 0;
+  std::uint64_t frames_duplicated = 0;
+
   /// Timeline series when record_timelines: "egress_kbps", "tick_ms",
   /// "director_scale", "players", "queued_updates", "pos_error_mean".
   metrics::MetricRegistry registry;
@@ -146,6 +171,8 @@ class Simulation {
  private:
   void maybe_join_next();
   void maybe_churn();
+  void install_fault_plan();
+  void apply_bot_faults();
   void on_second();
   void begin_measurement();
 
@@ -159,6 +186,17 @@ class Simulation {
   TickHook hook_;
   Rng churn_rng_{0};
   std::vector<std::pair<std::size_t, SimTime>> rejoin_queue_;  // bot index, when
+
+  /// Client-side half of scheduled crashes: at `at`, either kill the bot's
+  /// session state (restart=false) or bring it back and rejoin (true). The
+  /// network-side half (inbox wipe, refused traffic) lives in the FaultPlan.
+  struct BotFaultEvent {
+    SimTime at;
+    std::size_t bot = 0;
+    bool restart = false;
+  };
+  std::vector<BotFaultEvent> bot_fault_queue_;  // sorted by `at`
+  std::size_t next_bot_fault_ = 0;
 
   SimulationResult result_;
   bool measuring_ = false;

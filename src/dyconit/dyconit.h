@@ -37,6 +37,8 @@ struct Stats {
   /// updates discarded with them (replaced by fresh state from the game).
   std::uint64_t snapshots_requested = 0;
   std::uint64_t dropped_snapshot = 0;
+  /// Recovery handshakes served (DyconitSystem::resync_subscriber calls).
+  std::uint64_t resyncs = 0;
 
   /// When enabled (see DyconitSystem::set_record_staleness), per-update
   /// queueing delay in ms at flush time.

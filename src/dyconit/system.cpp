@@ -76,6 +76,18 @@ void DyconitSystem::flush_subscriber(SubscriberId sub, FlushSink& sink) {
   for (auto& [id, d] : dyconits_) d->flush_subscriber(sub, now, sink, stats_);
 }
 
+void DyconitSystem::resync_subscriber(SubscriberId sub, FlushSink& sink) {
+  TRACE_SCOPE("dyconit.resync");
+  const SimTime now = clock_.now();
+  for (auto& [id, d] : dyconits_) {
+    if (!d->subscribed(sub)) continue;
+    d->flush_subscriber(sub, now, sink, stats_);
+    sink.request_snapshot(sub, id);
+    ++stats_.snapshots_requested;
+  }
+  ++stats_.resyncs;
+}
+
 void DyconitSystem::for_each(const std::function<void(Dyconit&)>& fn) {
   for (auto& [id, d] : dyconits_) fn(*d);
 }

@@ -1,0 +1,93 @@
+// Fault model for the simulated network (DESIGN.md §18).
+//
+// Two layers, both deterministic:
+//
+//  * per-link probabilistic faults (LinkFaults): every frame independently
+//    drawn against loss / duplication / corruption / reorder probabilities
+//    from a dedicated fault RNG stream, so a fault schedule replays
+//    byte-identically from its seed and the no-fault jitter stream is
+//    untouched;
+//  * scheduled events (FaultEvent): link flaps, bidirectional partitions,
+//    and endpoint crash/restart pinned to simulated-time instants.
+//
+// The receiving endpoint accounts every undelivered frame (DropStats) so
+// chaos tests can close the conservation ledger: every frame put on the
+// wire is either delivered, a counted duplicate, a counted drop, or still
+// in flight.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace dyconits::net {
+
+using EndpointId = std::uint32_t;
+inline constexpr EndpointId kInvalidEndpoint = 0;
+
+/// Per-frame fault probabilities on a link, applied in a fixed draw order
+/// (loss, duplicate, corrupt, reorder) so the RNG stream is reproducible.
+struct LinkFaults {
+  double loss = 0.0;       ///< frame silently dropped in flight
+  double duplicate = 0.0;  ///< frame delivered twice
+  double corrupt = 0.0;    ///< payload bit flips (decode must reject)
+  double reorder = 0.0;    ///< frame exempted from FIFO and delayed extra
+  /// Extra delay ceiling for a reordered frame: uniform in [0, reorder_extra].
+  SimDuration reorder_extra = SimDuration::millis(120);
+
+  bool any() const {
+    return loss > 0.0 || duplicate > 0.0 || corrupt > 0.0 || reorder > 0.0;
+  }
+};
+
+/// A scheduled fault pinned to a simulated-time instant. Link events name
+/// both endpoints; endpoint events use `a` only.
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    LinkDown,  ///< cut the a<->b link; in-flight frames drop (accounted)
+    LinkUp,    ///< restore the link with its pre-fault parameters
+    Crash,     ///< endpoint a dies: inbox wiped, traffic to/from it refused
+    Restart,   ///< endpoint a comes back (state loss is the app's problem)
+  };
+
+  SimTime at;
+  Kind kind = Kind::LinkDown;
+  EndpointId a = kInvalidEndpoint;
+  EndpointId b = kInvalidEndpoint;
+};
+
+/// A complete, replayable fault schedule: a seed for the fault RNG stream,
+/// default per-link fault rates, and scheduled events (applied in time
+/// order as the sim clock advances past them).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  LinkFaults all_links;
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return !all_links.any() && events.empty(); }
+};
+
+/// Undelivered-frame accounting at the receiving endpoint. `frames`/`bytes`
+/// total every frame that got onto the wire but was never delivered;
+/// the cause counters partition `frames`.
+struct DropStats {
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t loss = 0;        ///< random in-flight loss
+  std::uint64_t disconnect = 0;  ///< in flight when the link was cut
+  std::uint64_t crash = 0;       ///< wiped by an endpoint crash
+};
+
+/// Per-endpoint fault observability (receiver side). `refused` counts send
+/// attempts that never reached the wire (no link, or an endpoint crashed) —
+/// they are not in DropStats because no bytes were transmitted.
+struct FaultStats {
+  DropStats dropped;
+  std::uint64_t corrupted = 0;
+  std::uint64_t duplicated = 0;  ///< extra copies delivered
+  std::uint64_t reordered = 0;
+  std::uint64_t refused = 0;
+};
+
+}  // namespace dyconits::net

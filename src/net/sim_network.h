@@ -6,9 +6,14 @@
 // uplink — the mechanism by which bandwidth savings translate into latency
 // savings), and exact byte accounting per endpoint and per message tag.
 //
+// A deterministic fault layer (see faults.h) injects per-link loss,
+// duplication, corruption and reorder, plus scheduled link flaps,
+// partitions, and endpoint crash/restart — all drawn from a dedicated
+// seeded RNG stream so any fault schedule replays byte-identically.
+//
 // Substitutes for the physical cluster used in the paper: the quantities
 // the paper measures (bytes on the wire, delivery latency) are measured
-// here on real serialized frames. See DESIGN.md §2.
+// here on real serialized frames. See DESIGN.md §2 and §18.
 #pragma once
 
 #include <array>
@@ -19,21 +24,25 @@
 #include <vector>
 
 #include "net/bytes.h"
+#include "net/faults.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
 
 namespace dyconits::net {
 
-using EndpointId = std::uint32_t;
-inline constexpr EndpointId kInvalidEndpoint = 0;
-
 /// Highest message tag value + 1; tags index fixed-size accounting arrays.
 inline constexpr std::size_t kMaxTags = 32;
 
-/// A framed message: one tag byte plus an opaque payload. On the "wire" a
-/// frame costs tag + varint(length) + payload bytes.
+/// A framed message: one tag byte, a transport sequence number, and an
+/// opaque payload. On the "wire" a frame costs
+/// tag + varint(seq) + varint(length) + payload bytes.
 struct Frame {
   std::uint8_t tag = 0;
+  /// Per-sender transport sequence number (1-based); 0 means unsequenced.
+  /// Receivers use gaps in this to detect loss and trigger a resync
+  /// (DESIGN.md §18). Modeled as header-protected: corruption flips
+  /// payload bits, never the sequence number.
+  std::uint32_t seq = 0;
   std::vector<std::uint8_t> payload;
 
   /// Instrumentation only (a Yardstick-style measurement tap): the sim time
@@ -42,7 +51,9 @@ struct Frame {
   /// deployment would not ship it.
   SimTime trace_origin;
 
-  std::size_t wire_size() const { return 1 + varint_size(payload.size()) + payload.size(); }
+  std::size_t wire_size() const {
+    return 1 + varint_size(seq) + varint_size(payload.size()) + payload.size();
+  }
 };
 
 struct Delivery {
@@ -74,27 +85,78 @@ class SimNetwork {
 
   /// Establishes a bidirectional link. Reconnecting overwrites params.
   void connect(EndpointId a, EndpointId b, LinkParams params);
+  /// Cuts the link. Frames in flight on it are dropped and accounted in
+  /// the receiving endpoint's DropStats (cause: disconnect).
   void disconnect(EndpointId a, EndpointId b);
   bool connected(EndpointId a, EndpointId b) const;
 
   /// Egress serialization rate in bytes/second; 0 means unlimited.
   void set_egress_rate(EndpointId id, std::uint64_t bytes_per_second);
 
-  /// Sends a frame; returns false (and drops it, uncounted) if the
-  /// endpoints are not connected.
+  /// Sends a frame. Returns false if the endpoints are not connected or
+  /// either has crashed (counted in the receiver's FaultStats::refused).
+  /// Returns true for frames that got on the wire, even ones the fault
+  /// layer later loses — the sender cannot know.
   bool send(EndpointId from, EndpointId to, Frame frame);
 
   /// All frames for `to` whose arrival time <= clock.now(), in arrival
   /// order (stable across equal arrivals).
   std::vector<Delivery> poll(EndpointId to);
 
+  // -- Fault injection (see faults.h; all deterministic from the seed) --
+
+  /// Installs a fault schedule: reseeds the fault RNG stream, applies
+  /// `all_links` rates to every link without an override, and arms the
+  /// scheduled events (sorted by time; applied as the clock passes them).
+  void set_fault_plan(FaultPlan plan);
+  const FaultPlan& fault_plan() const { return plan_; }
+
+  /// Per-link fault-rate override (both directions). An explicit override
+  /// takes precedence over FaultPlan::all_links, even when all-zero.
+  void set_link_faults(EndpointId a, EndpointId b, LinkFaults faults);
+  /// Heals the network: zeroes all probabilistic fault rates (scheduled
+  /// events and drop accounting are unaffected).
+  void clear_link_faults();
+
+  /// Applies every scheduled FaultEvent whose time has passed. send() and
+  /// poll() call this lazily; call it explicitly (e.g. once per tick) so
+  /// events on idle links still fire on time.
+  void advance_faults();
+
+  /// Endpoint crash: wipes its inbox (accounted as dropped, cause: crash)
+  /// and refuses traffic to/from it until restart(). Links survive.
+  void crash(EndpointId id);
+  void restart(EndpointId id);
+  bool crashed(EndpointId id) const;
+
+  /// Cuts / restores a link keeping its parameters (a scheduled flap or
+  /// partition edge). In-flight frames drop on cut, accounted like
+  /// disconnect(). set_link_up is a no-op unless the link is down.
+  void set_link_down(EndpointId a, EndpointId b);
+  void set_link_up(EndpointId a, EndpointId b);
+
   // -- Accounting (monotonic counters over the whole run) --
   std::uint64_t egress_bytes(EndpointId id) const;
   std::uint64_t ingress_bytes(EndpointId id) const;
   std::uint64_t egress_frames(EndpointId id) const;
+  std::uint64_t ingress_frames(EndpointId id) const;
   std::uint64_t egress_bytes_by_tag(EndpointId id, std::uint8_t tag) const;
   std::uint64_t total_bytes() const { return total_bytes_; }
   std::uint64_t total_frames() const { return total_frames_; }
+
+  /// Frames that got on the wire addressed to `id` (delivered, lost, or in
+  /// flight; duplicate copies not counted). Conservation, per endpoint
+  /// (ingress counts every enqueued copy, including ones later wiped):
+  ///   offered == ingress_frames - duplicated + dropped.loss
+  ///   ingress_frames == polled + pending + dropped.disconnect + dropped.crash
+  std::uint64_t offered_frames(EndpointId id) const;
+
+  /// Receiver-side fault counters, including undelivered-frame accounting.
+  const FaultStats& fault_stats(EndpointId id) const;
+  /// Bytes dropped en route to `id`, by the frame's tag.
+  std::uint64_t dropped_bytes_by_tag(EndpointId id, std::uint8_t tag) const;
+  std::uint64_t total_dropped_frames() const { return total_dropped_frames_; }
+  std::uint64_t total_dropped_bytes() const { return total_dropped_bytes_; }
 
   /// Frames enqueued but not yet polled by `to`.
   std::size_t pending_count(EndpointId to) const;
@@ -111,28 +173,55 @@ class SimNetwork {
     }
   };
 
+  using Inbox =
+      std::priority_queue<PendingFrame, std::vector<PendingFrame>, std::greater<>>;
+
   struct EndpointState {
     std::string name;
     std::uint64_t egress_bytes = 0;
     std::uint64_t ingress_bytes = 0;
     std::uint64_t egress_frames = 0;
+    std::uint64_t ingress_frames = 0;
+    std::uint64_t offered_frames = 0;
     std::array<std::uint64_t, kMaxTags> egress_by_tag{};
+    std::array<std::uint64_t, kMaxTags> dropped_by_tag{};
+    FaultStats faults;
+    bool crashed = false;
     std::uint64_t egress_rate = 0;  // bytes/sec, 0 = unlimited
     SimTime egress_free;            // uplink busy until this time
-    std::priority_queue<PendingFrame, std::vector<PendingFrame>, std::greater<>> inbox;
+    Inbox inbox;
   };
+
+  enum class DropCause { Loss, Disconnect, Crash };
 
   static std::uint64_t pair_key(EndpointId a, EndpointId b) {
     return (static_cast<std::uint64_t>(a) << 32) | b;
   }
 
+  /// The fault rates applying to frames from->to, or nullptr for none.
+  const LinkFaults* active_faults(EndpointId from, EndpointId to) const;
+  void account_drop(EndpointState& dst, const Frame& frame, DropCause cause);
+  /// Drops (and accounts) every in-flight frame from `from` in `to`'s inbox.
+  void drop_in_flight(EndpointId from, EndpointId to, DropCause cause);
+  void wipe_inbox(EndpointId id, DropCause cause);
+  void corrupt_frame(Frame& frame);
+
   const SimClock& clock_;
   Rng rng_;
+  /// Dedicated stream for fault draws: installing or exercising a fault
+  /// plan never perturbs the jitter stream of a fault-free run.
+  Rng fault_rng_;
   std::vector<EndpointState> endpoints_;  // index = id (0 unused)
   std::unordered_map<std::uint64_t, LinkParams> links_;        // directed key
   std::unordered_map<std::uint64_t, SimTime> last_arrival_;    // FIFO floor per pair
+  FaultPlan plan_;
+  std::size_t next_event_ = 0;  // cursor into plan_.events
+  std::unordered_map<std::uint64_t, LinkFaults> link_fault_overrides_;  // directed
+  std::unordered_map<std::uint64_t, LinkParams> downed_links_;          // directed
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_frames_ = 0;
+  std::uint64_t total_dropped_frames_ = 0;
+  std::uint64_t total_dropped_bytes_ = 0;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -98,6 +98,7 @@ struct Encoder {
   }
   void operator()(const KeepAliveReply& m) { w.u32(m.nonce); }
   void operator()(const ChatSend& m) { w.str(m.text); }
+  void operator()(const ResyncRequest& m) { w.varint(m.last_seq); }
   void operator()(const JoinAck& m) {
     w.varint(m.self_id);
     put_vec3(w, m.spawn);
@@ -145,6 +146,7 @@ struct Encoder {
     w.varint(static_cast<std::uint64_t>(m.item));
     w.varint(m.count);
   }
+  void operator()(const ResyncAck& m) { w.varint(m.epoch); }
 };
 
 template <typename T>
@@ -188,6 +190,13 @@ std::optional<AnyMessage> decode_payload(MessageType type, ByteReader& r) {
       if (!r.str(m.text)) return std::nullopt;
       return finish(r, std::move(m));
     }
+    case MessageType::ResyncRequest: {
+      ResyncRequest m;
+      std::uint64_t seq;
+      if (!r.varint(seq) || seq > 0xFFFFFFFFull) return std::nullopt;
+      m.last_seq = static_cast<std::uint32_t>(seq);
+      return finish(r, m);
+    }
     case MessageType::JoinAck: {
       JoinAck m;
       std::uint64_t id;
@@ -217,6 +226,9 @@ std::optional<AnyMessage> decode_payload(MessageType type, ByteReader& r) {
       std::uint64_t n;
       if (!get_chunk_pos(r, m.chunk) || !r.varint(n)) return std::nullopt;
       if (n > world::Chunk::kVolume) return std::nullopt;
+      // Each entry costs >= 3 bytes; a hostile length can't claim more
+      // entries than the remaining payload could hold (no huge reserve).
+      if (n > r.remaining() / 3) return std::nullopt;
       m.entries.reserve(n);
       for (std::uint64_t i = 0; i < n; ++i) {
         MultiBlockChange::Entry e;
@@ -261,7 +273,9 @@ std::optional<AnyMessage> decode_payload(MessageType type, ByteReader& r) {
       EntityMoveBatch m;
       std::uint64_t n;
       if (!r.varint(n)) return std::nullopt;
-      if (n > 1'000'000) return std::nullopt;  // sanity cap against hostile input
+      // Each move costs >= 15 bytes (id varint + 3 f32 + 2 angle bytes); a
+      // corrupted length can't make us reserve more than the payload holds.
+      if (n > r.remaining() / 15) return std::nullopt;
       m.moves.reserve(n);
       for (std::uint64_t i = 0; i < n; ++i) {
         EntityMove mv;
@@ -290,6 +304,13 @@ std::optional<AnyMessage> decode_payload(MessageType type, ByteReader& r) {
       m.count = static_cast<std::uint32_t>(count);
       return finish(r, m);
     }
+    case MessageType::ResyncAck: {
+      ResyncAck m;
+      std::uint64_t epoch;
+      if (!r.varint(epoch) || epoch > 0xFFFFFFFFull) return std::nullopt;
+      m.epoch = static_cast<std::uint32_t>(epoch);
+      return finish(r, m);
+    }
   }
   return std::nullopt;
 }
@@ -301,6 +322,7 @@ struct TypeOf {
   MessageType operator()(const PlayerPlace&) const { return MessageType::PlayerPlace; }
   MessageType operator()(const KeepAliveReply&) const { return MessageType::KeepAliveReply; }
   MessageType operator()(const ChatSend&) const { return MessageType::ChatSend; }
+  MessageType operator()(const ResyncRequest&) const { return MessageType::ResyncRequest; }
   MessageType operator()(const JoinAck&) const { return MessageType::JoinAck; }
   MessageType operator()(const ChunkData&) const { return MessageType::ChunkData; }
   MessageType operator()(const UnloadChunk&) const { return MessageType::UnloadChunk; }
@@ -317,6 +339,7 @@ struct TypeOf {
   MessageType operator()(const InventoryUpdate&) const {
     return MessageType::InventoryUpdate;
   }
+  MessageType operator()(const ResyncAck&) const { return MessageType::ResyncAck; }
 };
 
 }  // namespace
@@ -329,6 +352,7 @@ const char* message_type_name(MessageType t) {
     case MessageType::PlayerPlace: return "PlayerPlace";
     case MessageType::KeepAliveReply: return "KeepAliveReply";
     case MessageType::ChatSend: return "ChatSend";
+    case MessageType::ResyncRequest: return "ResyncRequest";
     case MessageType::JoinAck: return "JoinAck";
     case MessageType::ChunkData: return "ChunkData";
     case MessageType::UnloadChunk: return "UnloadChunk";
@@ -341,6 +365,7 @@ const char* message_type_name(MessageType t) {
     case MessageType::KeepAlive: return "KeepAlive";
     case MessageType::ChatBroadcast: return "ChatBroadcast";
     case MessageType::InventoryUpdate: return "InventoryUpdate";
+    case MessageType::ResyncAck: return "ResyncAck";
   }
   return "Unknown";
 }

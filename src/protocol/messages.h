@@ -25,6 +25,7 @@ enum class MessageType : std::uint8_t {
   PlayerPlace = 4,
   KeepAliveReply = 5,
   ChatSend = 6,
+  ResyncRequest = 7,
   // server -> client
   JoinAck = 10,
   ChunkData = 11,
@@ -38,6 +39,7 @@ enum class MessageType : std::uint8_t {
   KeepAlive = 19,
   ChatBroadcast = 20,
   InventoryUpdate = 21,
+  ResyncAck = 22,
 };
 
 const char* message_type_name(MessageType t);
@@ -68,6 +70,14 @@ struct KeepAliveReply {
 
 struct ChatSend {
   std::string text;
+};
+
+/// Client -> server: "I detected a transport gap (or just reconnected) —
+/// replay authoritative state for everything I subscribe to." Part of the
+/// recovery handshake, DESIGN.md §18.
+struct ResyncRequest {
+  /// Highest server frame sequence number the client has seen.
+  std::uint32_t last_seq = 0;
 };
 
 // ---- server -> client ----
@@ -142,10 +152,19 @@ struct InventoryUpdate {
   std::uint32_t count = 0;
 };
 
+/// Server -> client: closes a ResyncRequest. Sent after the server has
+/// flushed owed updates, queued snapshots, and refreshed entity state for
+/// the subscriber; the client uses its Delivery timestamp to prune replica
+/// entities the refresh did not confirm.
+struct ResyncAck {
+  /// Server-global resync epoch (monotonic; diagnostics only).
+  std::uint32_t epoch = 0;
+};
+
 using AnyMessage =
     std::variant<JoinRequest, PlayerMove, PlayerDig, PlayerPlace, KeepAliveReply, ChatSend,
-                 JoinAck, ChunkData, UnloadChunk, BlockChange, MultiBlockChange, EntitySpawn,
-                 EntityDespawn, EntityMove, EntityMoveBatch, KeepAlive, ChatBroadcast,
-                 InventoryUpdate>;
+                 ResyncRequest, JoinAck, ChunkData, UnloadChunk, BlockChange,
+                 MultiBlockChange, EntitySpawn, EntityDespawn, EntityMove, EntityMoveBatch,
+                 KeepAlive, ChatBroadcast, InventoryUpdate, ResyncAck>;
 
 }  // namespace dyconits::protocol

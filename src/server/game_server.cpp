@@ -93,6 +93,21 @@ void GameServer::tick() {
       dyconits_.tick(*this);
     }
     { TRACE_SCOPE("server.policy"); run_policy(); }
+    if (cfg_.use_dyconits) {
+      TRACE_SCOPE("server.dyconit_flush");
+      // A policy retune must not widen bounds for a subscriber that is
+      // still resyncing: re-pin them at zero until its snapshot drains.
+      for (auto& [id, s] : sessions_) {
+        if (!s.resync_tighten) continue;
+        for (const auto& [unit, refs] : s.unit_refs) {
+          dyconits_.set_bounds(unit, id, dyconit::Bounds::zero());
+        }
+      }
+      // A retune that tightened bounds (including the re-pin above) takes
+      // effect this tick, not next: flush whatever the new bounds make
+      // overdue. A no-op when the policy widened or left bounds alone.
+      dyconits_.tick(*this);
+    }
 
     const auto elapsed = std::chrono::steady_clock::now() - t0;
     auto micros = std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
@@ -119,15 +134,35 @@ void GameServer::process_inbound() {
   for (net::Delivery& d : net_.poll(endpoint_)) {
     const auto msg = protocol::decode(d.frame);
     if (!msg.has_value()) {
+      ++malformed_frames_;
       Log::warn("server: dropping malformed frame from %u", d.from);
       continue;
     }
     Session* s = session_of(d.from);
+    if (s != nullptr && std::get_if<protocol::JoinRequest>(&*msg) != nullptr) {
+      // The client restarted (crash or liveness reset): tear the stale
+      // session down and let the join below build a fresh one. The new
+      // session restarts the transport sequence; JoinAck rebases the
+      // client's gap detector.
+      ++reconnects_;
+      Log::info("server: %s reconnecting", s->name.c_str());
+      disconnect(s->id);
+      s = nullptr;
+    }
     if (s == nullptr) {
       if (const auto* join = std::get_if<protocol::JoinRequest>(&*msg)) {
         handle_join(d.from, *join);
+        if (Session* fresh = session_of(d.from)) fresh->in_seq = d.frame.seq;
       }
       continue;  // any other message from a stranger is ignored
+    }
+    // Client->server gaps are counted but need no replay: player inputs
+    // are absolute and the next one supersedes whatever was lost.
+    if (d.frame.seq != 0) {
+      if (s->in_seq != 0 && d.frame.seq > s->in_seq + 1) {
+        client_gap_frames_ += d.frame.seq - s->in_seq - 1;
+      }
+      if (d.frame.seq > s->in_seq) s->in_seq = d.frame.seq;
     }
     current_actor_ = s->id;
     handle_message(*s, *msg);
@@ -196,8 +231,41 @@ void GameServer::handle_message(Session& s, const protocol::AnyMessage& m) {
     // Chat is low-rate and latency-critical: vanilla broadcast in both modes.
     const protocol::ChatBroadcast out{s.entity, chat->text};
     for (auto& [id, other] : sessions_) send_to(other, out, clock_.now());
+  } else if (std::get_if<protocol::ResyncRequest>(&m) != nullptr) {
+    begin_resync(s);
   }
-  // JoinRequest from an existing session and server-bound-only types: ignore.
+  // Server-bound-only types: ignore (JoinRequest reconnects are handled in
+  // process_inbound before dispatch).
+}
+
+void GameServer::begin_resync(Session& s) {
+  ++resyncs_served_;
+  if (cfg_.use_dyconits) {
+    // Flush what the middleware owes, then replay authoritative state for
+    // every subscribed unit (request_snapshot queues chunk resends and
+    // re-sends known entity positions).
+    dyconits_.resync_subscriber(s.id, *this);
+    // Treat the subscriber as maximally stale until re-synced: zero bounds
+    // deliver every new update immediately while the snapshot drains;
+    // stream_chunks hands control back to the policy once the queue empties.
+    for (const auto& [unit, refs] : s.unit_refs) {
+      dyconits_.set_bounds(unit, s.id, dyconit::Bounds::zero());
+    }
+    s.resync_tighten = true;
+  } else {
+    // Vanilla: resend every interest chunk through the stream throttle.
+    for (const ChunkPos c : s.interest) {
+      if (s.chunk_queued.insert(c).second) s.chunk_queue.push_back(c);
+    }
+  }
+  // Refresh every entity the client should know (spawn is an upsert on the
+  // client); heals lost spawns and stale positions. The client prunes
+  // replica entities this refresh does not confirm when the ack arrives.
+  for (const EntityId id : s.known_entities) {
+    const Entity* e = registry_.find(id);
+    if (e != nullptr) send_entity_spawn(s, *e);
+  }
+  send_to(s, protocol::ResyncAck{++resync_epoch_}, clock_.now());
 }
 
 void GameServer::apply_player_move(Session& s, const protocol::PlayerMove& m) {
@@ -481,6 +549,12 @@ void GameServer::stream_chunks() {
       send_to(s, protocol::ChunkData{c, chunk.encode_rle()});
       ++sent;
     }
+    if (s.resync_tighten && s.chunk_queue.empty()) {
+      // Snapshot drained: the subscriber is caught up; hand bound control
+      // back to the policy.
+      s.resync_tighten = false;
+      if (cfg_.use_dyconits) retune_session_bounds(s);
+    }
   }
 }
 
@@ -758,6 +832,7 @@ void GameServer::request_snapshot(SubscriberId to, const dyconit::DyconitId& uni
 void GameServer::send_to(Session& s, const protocol::AnyMessage& m, SimTime trace_origin) {
   TRACE_SCOPE("server.serialize_send");
   net::Frame frame = protocol::encode(m);
+  frame.seq = ++s.out_seq;  // transport sequence; clients detect gaps
   frame.trace_origin = trace_origin;
   net_.send(endpoint_, s.endpoint, std::move(frame));
 }

@@ -115,6 +115,12 @@ class GameServer final : public dyconit::FlushSink {
   std::uint64_t keepalives_sent() const { return keepalives_sent_; }
   std::uint64_t sessions_timed_out() const { return sessions_timed_out_; }
 
+  // -- fault/recovery introspection (DESIGN.md §18) --
+  std::uint64_t resyncs_served() const { return resyncs_served_; }
+  std::uint64_t reconnects() const { return reconnects_; }
+  std::uint64_t malformed_frames() const { return malformed_frames_; }
+  std::uint64_t client_gap_frames() const { return client_gap_frames_; }
+
  private:
   struct Session {
     SubscriberId id = 0;
@@ -133,6 +139,15 @@ class GameServer final : public dyconit::FlushSink {
     /// Smoothed round-trip time measured from keep-alive replies (zero
     /// until the first reply). Available to policies via PlayerView.
     SimDuration rtt;
+    /// Transport sequence numbers (DESIGN.md §18): every frame to this
+    /// client is stamped ++out_seq; in_seq is the highest client frame
+    /// seen (client->server gaps are counted, not recovered — inputs are
+    /// absolute and the next one supersedes the lost).
+    std::uint32_t out_seq = 0;
+    std::uint32_t in_seq = 0;
+    /// Mid-resync: bounds pinned at zero (maximally stale subscriber gets
+    /// immediate delivery) until the snapshot chunk queue drains.
+    bool resync_tighten = false;
     bool joined = false;
   };
 
@@ -150,6 +165,10 @@ class GameServer final : public dyconit::FlushSink {
   void handle_join(net::EndpointId from, const protocol::JoinRequest& m);
   void handle_message(Session& s, const protocol::AnyMessage& m);
   void apply_player_move(Session& s, const protocol::PlayerMove& m);
+  /// Recovery handshake (DESIGN.md §18): flush owed updates, replay
+  /// authoritative state for everything `s` subscribes to, pin bounds at
+  /// zero until the snapshot drains, and acknowledge with ResyncAck.
+  void begin_resync(Session& s);
 
   // -- interest management --
   void update_interest(Session& s, bool initial);
@@ -207,6 +226,11 @@ class GameServer final : public dyconit::FlushSink {
   SimTime last_rate_sample_;
   std::uint64_t keepalives_sent_ = 0;
   std::uint64_t sessions_timed_out_ = 0;
+  std::uint64_t resyncs_served_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t malformed_frames_ = 0;
+  std::uint64_t client_gap_frames_ = 0;
+  std::uint32_t resync_epoch_ = 0;
   int observer_token_ = 0;
 
   struct Mob {

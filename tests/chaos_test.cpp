@@ -1,0 +1,396 @@
+// Deterministic chaos suite (DESIGN.md §18): the full stack under injected
+// network faults. Re-asserts the §7 invariants *after recovery* — bounded
+// inconsistency, eventual delivery (replicas converge exactly once the
+// network heals and resyncs complete), closed accounting ledgers — plus
+// byte-identical replay of any fault schedule from its seed.
+//
+// The fault seed matrix is driven by scripts/verify.sh via the
+// DYCONITS_CHAOS_SEED environment variable (default 42).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "bots/faults.h"
+#include "bots/simulation.h"
+
+namespace dyconits::bots {
+namespace {
+
+std::uint64_t chaos_seed() {
+  const char* env = std::getenv("DYCONITS_CHAOS_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 42ull;
+}
+
+SimulationConfig chaos_config(std::size_t players = 5) {
+  SimulationConfig cfg;
+  cfg.players = players;
+  cfg.policy = "director";
+  cfg.seed = chaos_seed();
+  cfg.view_distance = 3;
+  cfg.link_latency = SimDuration::millis(5);
+  cfg.link_jitter = 0.0;
+  cfg.workload.kind = WorkloadKind::Village;
+  cfg.workload.hotspots = 1;
+  cfg.workload.village_radius = 10.0;
+  cfg.joins_per_tick = 10;
+  cfg.keep_chunk_replica = true;
+  cfg.warmup = SimDuration::seconds(5);
+  return cfg;
+}
+
+/// Heals the network, asks every bot for a final catch-up resync, lets the
+/// snapshot streams drain, then quiesces (bots paused, queues flushed,
+/// network drained) so replicas can be compared against ground truth.
+void heal_and_quiesce(Simulation& sim, int drain_ticks = 200) {
+  sim.network().clear_link_faults();
+  // A session that accumulated keepalive_missed_limit lost replies during
+  // the fault window is torn down at the *next* keepalive interval — up to
+  // 2 s after the heal. Settle past that window first so any doomed
+  // teardown fires now instead of mid-drain (which would leave that bot
+  // without a subscriber for the final flush).
+  for (int i = 0; i < 200; ++i) sim.step_tick();
+  // Then wait for the whole fleet to hold live, joined sessions again: a
+  // torn-down bot needs up to 30 s of silence for its liveness detector to
+  // notice, plus the join handshake.
+  auto all_live = [&] {
+    if (sim.server().player_count() < sim.bots().size()) return false;
+    for (const auto& bot : sim.bots()) {
+      if (!bot->joined()) return false;
+    }
+    return true;
+  };
+  for (int i = 0; i < 2400 && !all_live(); ++i) sim.step_tick();
+  for (auto& bot : sim.bots()) bot->request_resync();
+  for (int i = 0; i < drain_ticks; ++i) sim.step_tick();
+  for (auto& bot : sim.bots()) bot->set_paused(true);
+  for (int i = 0; i < 5; ++i) sim.step_tick();
+  sim.server().dyconits().flush_all(sim.server());
+  for (int i = 0; i < 5; ++i) sim.step_tick();
+}
+
+/// §7 invariant: replicas match ground truth exactly (f32 quantization
+/// aside) once the system has recovered — no update was silently lost.
+void expect_entities_converged(Simulation& sim, double tolerance = 0.01) {
+  std::size_t checked = 0;
+  for (const auto& bot : sim.bots()) {
+    ASSERT_TRUE(bot->joined()) << bot->name() << " failed to (re)join";
+    for (const auto& [id, rep] : bot->replica_entities()) {
+      const entity::Entity* truth = sim.server().entities().find(id);
+      ASSERT_NE(truth, nullptr)
+          << bot->name() << " kept ghost entity " << id << " after resync";
+      EXPECT_LT(world::distance(rep.pos, truth->pos), tolerance)
+          << bot->name() << " entity " << id;
+      if (world::distance(rep.pos, truth->pos) >= tolerance) {
+        const auto bc = world::ChunkPos::of(bot->pos());
+        const auto ec = world::ChunkPos::of(truth->pos);
+        std::fprintf(stderr,
+                     "DIAG %s self=%llu acks=%llu resyncs=%llu pruned=%llu "
+                     "ent=%llu kind=%d chunkdist=(%d,%d) rep=(%.2f,%.2f) truth=(%.2f,%.2f)\n",
+                     bot->name().c_str(), (unsigned long long)bot->self(),
+                     (unsigned long long)bot->resync_acks_seen(),
+                     (unsigned long long)bot->resyncs_requested(),
+                     (unsigned long long)bot->replica_pruned(),
+                     (unsigned long long)id, (int)truth->kind,
+                     ec.x - bc.x, ec.z - bc.z, rep.pos.x, rep.pos.z,
+                     truth->pos.x, truth->pos.z);
+      }
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+/// Middleware ledger (§7): every enqueued update is delivered, coalesced
+/// into a delivered one, or dropped for an accounted reason.
+void expect_dyconit_ledger_closed(Simulation& sim) {
+  const dyconit::Stats& s = sim.server().dyconit_stats();
+  EXPECT_EQ(sim.server().dyconits().total_queued(), 0u);  // post-quiesce
+  EXPECT_EQ(s.enqueued, s.delivered + s.coalesced + s.dropped_no_subscriber +
+                            s.dropped_unsubscribe + s.dropped_snapshot);
+}
+
+/// Network conservation ledger per endpoint (see SimNetwork::offered_frames).
+void expect_wire_ledger_closed(Simulation& sim) {
+  auto check = [&](net::EndpointId ep) {
+    const net::FaultStats& fs = sim.network().fault_stats(ep);
+    EXPECT_EQ(sim.network().offered_frames(ep),
+              sim.network().ingress_frames(ep) - fs.duplicated + fs.dropped.loss)
+        << sim.network().endpoint_name(ep);
+  };
+  check(sim.server().endpoint());
+  for (const auto& bot : sim.bots()) check(bot->endpoint());
+}
+
+/// Order-independent hash of the final state: entities sorted by id, loaded
+/// ground-truth chunks XOR-combined by position, plus exact wire totals.
+std::uint64_t world_hash(Simulation& sim) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  auto mix = [&](std::uint64_t h, std::uint64_t v) { return (h ^ v) * kPrime; };
+  std::uint64_t h = 1469598103934665603ull;
+
+  std::vector<const entity::Entity*> ents;
+  sim.server().entities().for_each(
+      [&](const entity::Entity& e) { ents.push_back(&e); });
+  std::sort(ents.begin(), ents.end(),
+            [](const entity::Entity* a, const entity::Entity* b) { return a->id < b->id; });
+  for (const entity::Entity* e : ents) {
+    h = mix(h, e->id);
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &e->pos.x, sizeof(double));
+    h = mix(h, bits);
+    std::memcpy(&bits, &e->pos.y, sizeof(double));
+    h = mix(h, bits);
+    std::memcpy(&bits, &e->pos.z, sizeof(double));
+    h = mix(h, bits);
+  }
+
+  // Chunk iteration order is a hash map's; XOR-combining per-chunk digests
+  // keeps the result order-independent.
+  std::uint64_t chunks = 0;
+  sim.world().for_each_chunk([&](const world::Chunk& c) {
+    std::uint64_t ch = 1469598103934665603ull;
+    ch = mix(ch, static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.pos().x)));
+    ch = mix(ch, static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.pos().z)));
+    for (int x = 0; x < world::kChunkSize; ++x) {
+      for (int z = 0; z < world::kChunkSize; ++z) {
+        for (int y = 0; y < 10; ++y) {  // edits happen near the ground
+          ch = mix(ch, static_cast<std::uint64_t>(c.get_local(x, y, z)));
+        }
+      }
+    }
+    chunks ^= ch;
+  });
+  h = mix(h, chunks);
+
+  h = mix(h, sim.network().total_bytes());
+  h = mix(h, sim.network().total_frames());
+  h = mix(h, sim.network().total_dropped_frames());
+  h = mix(h, sim.server().resyncs_served());
+  h = mix(h, sim.server().reconnects());
+  return h;
+}
+
+// ------------------------------------------------------- probabilistic loss
+
+class LossSweep : public ::testing::TestWithParam<int> {};  // loss in percent
+
+TEST_P(LossSweep, RecoversAndConvergesAfterHeal) {
+  auto cfg = chaos_config();
+  cfg.faults.link.loss = static_cast<double>(GetParam()) / 100.0;
+  Simulation sim(cfg);
+  for (int i = 0; i < 400; ++i) sim.step_tick();
+  if (GetParam() > 0) {
+    EXPECT_GT(sim.network().total_dropped_frames(), 0u);
+  }
+  heal_and_quiesce(sim);
+  expect_entities_converged(sim);
+  expect_dyconit_ledger_closed(sim);
+  expect_wire_ledger_closed(sim);
+  sim.finalize();
+  if (GetParam() >= 10) {
+    // Heavy loss must actually exercise the recovery machinery.
+    EXPECT_GT(sim.result().gaps_detected, 0u);
+    EXPECT_GT(sim.result().resyncs_requested, 0u);
+    EXPECT_GT(sim.result().resyncs_served, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossSweep, ::testing::Values(0, 5, 10, 20),
+                         [](const auto& info) {
+                           return "loss" + std::to_string(info.param) + "pct";
+                         });
+
+// --------------------------------------------------- reorder + duplication
+
+TEST(ChaosTest, ReorderAndDuplicationConverge) {
+  auto cfg = chaos_config();
+  cfg.fifo_links = false;  // UDP-like: reorder is possible at all
+  cfg.faults.link.reorder = 0.2;
+  cfg.faults.link.reorder_extra = SimDuration::millis(80);
+  cfg.faults.link.duplicate = 0.1;
+  Simulation sim(cfg);
+  for (int i = 0; i < 400; ++i) sim.step_tick();
+  heal_and_quiesce(sim);
+  expect_entities_converged(sim);
+  expect_dyconit_ledger_closed(sim);
+  expect_wire_ledger_closed(sim);
+  sim.finalize();
+  // Duplicates were delivered and recognized, not applied as new updates.
+  EXPECT_GT(sim.result().frames_duplicated, 0u);
+  EXPECT_GT(sim.result().dup_or_old_frames, 0u);
+  EXPECT_EQ(sim.result().decode_failures, 0u);  // nothing was corrupted
+}
+
+TEST(ChaosTest, CorruptionIsRejectedNotApplied) {
+  auto cfg = chaos_config();
+  cfg.faults.link.corrupt = 0.05;
+  Simulation sim(cfg);
+  for (int i = 0; i < 400; ++i) sim.step_tick();
+  heal_and_quiesce(sim);
+  expect_entities_converged(sim);
+  sim.finalize();
+  // Corrupted frames must surface as decode failures (never crashes or
+  // silently-applied garbage) and trigger resyncs that repair the replica.
+  EXPECT_GT(sim.result().frames_corrupted, 0u);
+  EXPECT_GT(sim.result().decode_failures, 0u);
+  EXPECT_GT(sim.result().resyncs_requested, 0u);
+}
+
+// ------------------------------------------------------- scheduled faults
+
+TEST(ChaosTest, PartitionAndHeal) {
+  auto cfg = chaos_config();
+  // Half the fleet loses the server from t=8s to t=11s.
+  cfg.faults.events.push_back({ScheduledFault::Kind::Partition, 8.0, 11.0, 0, 0.5});
+  Simulation sim(cfg);
+  for (int i = 0; i < 400; ++i) sim.step_tick();  // 20 s: well past the heal
+  heal_and_quiesce(sim);
+  expect_entities_converged(sim);
+  expect_dyconit_ledger_closed(sim);
+  sim.finalize();
+  // The cut produced real damage (refused sends or in-flight drops) and the
+  // partitioned bots resynced after the heal.
+  EXPECT_GT(sim.result().frames_dropped, 0u);
+  EXPECT_GT(sim.result().gaps_detected, 0u);
+  EXPECT_GT(sim.result().resyncs_served, 0u);
+}
+
+TEST(ChaosTest, CrashAndRestart) {
+  auto cfg = chaos_config();
+  cfg.faults.events.push_back({ScheduledFault::Kind::Crash, 8.0, 10.0, 0, 0.0});
+  Simulation sim(cfg);
+  for (int i = 0; i < 400; ++i) sim.step_tick();
+  heal_and_quiesce(sim);
+  expect_entities_converged(sim);
+  sim.finalize();
+  // The crashed subscriber came back as a fresh session on the same
+  // endpoint: the server must have torn down the old session and re-joined.
+  EXPECT_GE(sim.result().reconnects, 1u);
+  ASSERT_TRUE(sim.bots()[0]->joined());
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(ChaosTest, SameSeedAndPlanReplayByteIdentical) {
+  auto make = [] {
+    auto cfg = chaos_config();
+    cfg.faults.link.loss = 0.10;
+    cfg.faults.link.duplicate = 0.02;
+    cfg.faults.events.push_back({ScheduledFault::Kind::Partition, 8.0, 10.0, 0, 0.5});
+    cfg.faults.events.push_back({ScheduledFault::Kind::Crash, 12.0, 14.0, 0, 0.0});
+    return cfg;
+  };
+  std::uint64_t hashes[2];
+  std::uint64_t dropped[2];
+  for (int run = 0; run < 2; ++run) {
+    Simulation sim(make());
+    for (int i = 0; i < 400; ++i) sim.step_tick();
+    hashes[run] = world_hash(sim);
+    dropped[run] = sim.network().total_dropped_frames();
+  }
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(dropped[0], dropped[1]);
+  EXPECT_GT(dropped[0], 0u);  // the plan actually did something
+}
+
+// ---------------------------------------------------- long acceptance run
+
+// The ISSUE acceptance scenario: a fixed-seed 10k-tick run at 10% loss with
+// one partition-and-heal and one subscriber crash/restart. Post-recovery:
+// zero bound violations, exact convergence (no lost non-coalesced update),
+// and a byte-identical replay.
+TEST(ChaosAcceptance, TenThousandTicksAtTenPercentLoss) {
+  auto make = [] {
+    auto cfg = chaos_config(4);
+    cfg.view_distance = 2;
+    cfg.faults.link.loss = 0.10;
+    // Faults in the middle of the run; the last ~400 s are recovery.
+    cfg.faults.events.push_back({ScheduledFault::Kind::Partition, 30.0, 35.0, 0, 0.5});
+    cfg.faults.events.push_back({ScheduledFault::Kind::Crash, 50.0, 55.0, 0, 0.0});
+    return cfg;
+  };
+
+  std::uint64_t hashes[2];
+  for (int run = 0; run < 2; ++run) {
+    Simulation sim(make());
+    const SimTime heal = SimTime::zero() + SimDuration::seconds(55);
+    std::uint64_t bound_violations = 0;
+    sim.set_tick_hook([&](Simulation& s, SimTime now) {
+      // Post-recovery invariant: once the scheduled faults are over (loss
+      // stays on!), no subscriber queue may end a tick over its bounds.
+      if (now <= heal + SimDuration::seconds(1)) return;
+      s.server().dyconits().for_each([&](dyconit::Dyconit& d) {
+        d.for_each_subscriber([&](dyconit::SubscriberId, dyconit::Bounds& b,
+                                  const dyconit::SubscriberQueue& q) {
+          if (q.violates(b, now)) ++bound_violations;
+        });
+      });
+    });
+    for (int i = 0; i < 10000; ++i) sim.step_tick();
+    EXPECT_EQ(bound_violations, 0u) << "run " << run;
+    hashes[run] = world_hash(sim);
+
+    if (run == 0) {
+      // Heal, resync, quiesce: every surviving update must have landed.
+      sim.set_tick_hook({});
+      heal_and_quiesce(sim);
+      expect_entities_converged(sim);
+      expect_dyconit_ledger_closed(sim);
+      expect_wire_ledger_closed(sim);
+      sim.finalize();
+      EXPECT_GT(sim.result().gaps_detected, 0u);
+      EXPECT_GT(sim.result().resyncs_served, 0u);
+      EXPECT_GE(sim.result().reconnects, 1u);
+    }
+  }
+  EXPECT_EQ(hashes[0], hashes[1]) << "chaos run did not replay byte-identically";
+}
+
+// ------------------------------------------------- fault schedule parsing
+
+TEST(FaultScheduleTest, ParsesFullGrammar) {
+  FaultScheduleConfig cfg;
+  std::string error;
+  const std::string text =
+      "# comment line\n"
+      "loss 0.1\n"
+      "duplicate 0.02   # trailing comment\n"
+      "corrupt 0.01\n"
+      "reorder 0.05 80\n"
+      "\n"
+      "flap 10 12 3\n"
+      "partition 20 25 0.5\n"
+      "crash 30 33 0\n";
+  ASSERT_TRUE(parse_fault_schedule(text, &cfg, &error)) << error;
+  EXPECT_DOUBLE_EQ(cfg.link.loss, 0.1);
+  EXPECT_DOUBLE_EQ(cfg.link.duplicate, 0.02);
+  EXPECT_DOUBLE_EQ(cfg.link.corrupt, 0.01);
+  EXPECT_DOUBLE_EQ(cfg.link.reorder, 0.05);
+  EXPECT_EQ(cfg.link.reorder_extra.count_millis(), 80);
+  ASSERT_EQ(cfg.events.size(), 3u);
+  EXPECT_EQ(cfg.events[0].kind, ScheduledFault::Kind::Flap);
+  EXPECT_EQ(cfg.events[0].bot, 3u);
+  EXPECT_EQ(cfg.events[1].kind, ScheduledFault::Kind::Partition);
+  EXPECT_DOUBLE_EQ(cfg.events[1].fraction, 0.5);
+  EXPECT_EQ(cfg.events[2].kind, ScheduledFault::Kind::Crash);
+  EXPECT_TRUE(cfg.any());
+}
+
+TEST(FaultScheduleTest, RejectsMalformedInputWithLineNumbers) {
+  FaultScheduleConfig cfg;
+  std::string error;
+  EXPECT_FALSE(parse_fault_schedule("loss 1.5\n", &cfg, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(parse_fault_schedule("loss 0.1\nflap 10 5 0\n", &cfg, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_FALSE(parse_fault_schedule("wobble 0.1\n", &cfg, &error));
+  EXPECT_NE(error.find("wobble"), std::string::npos);
+  EXPECT_FALSE(parse_fault_schedule("partition 1 2 0\n", &cfg, &error));
+  // A failed parse leaves *out untouched.
+  EXPECT_FALSE(cfg.any());
+}
+
+}  // namespace
+}  // namespace dyconits::bots

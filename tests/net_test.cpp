@@ -256,7 +256,8 @@ TEST_F(SimNetworkTest, NonFifoLinksCanReorder) {
 
 TEST_F(SimNetworkTest, WireSizeAndAccounting) {
   Frame f = frame(3, 100);
-  const std::size_t expected = 1 + 1 + 100;  // tag + 1-byte varint + payload
+  // tag + varint(seq=0) + varint(length) + payload
+  const std::size_t expected = 1 + 1 + 1 + 100;
   EXPECT_EQ(f.wire_size(), expected);
   net_.send(a_, b_, std::move(f));
   EXPECT_EQ(net_.egress_bytes(a_), expected);
@@ -269,12 +270,18 @@ TEST_F(SimNetworkTest, WireSizeAndAccounting) {
 
 TEST_F(SimNetworkTest, LargePayloadVarintHeader) {
   Frame f = frame(1, 300);
-  EXPECT_EQ(f.wire_size(), 1 + 2 + 300u);  // 300 needs a 2-byte varint
+  EXPECT_EQ(f.wire_size(), 1 + 1 + 2 + 300u);  // 300 needs a 2-byte varint
+}
+
+TEST_F(SimNetworkTest, SequencedFrameWireSize) {
+  Frame f = frame(1, 10);
+  f.seq = 200;  // needs a 2-byte varint
+  EXPECT_EQ(f.wire_size(), 1 + 2 + 1 + 10u);
 }
 
 TEST_F(SimNetworkTest, RateLimitAddsQueueingDelay) {
   net_.set_egress_rate(a_, 1000);  // 1000 B/s
-  // Two 102-byte frames: the second waits for the first's serialization.
+  // Two 103-byte frames: the second waits for the first's serialization.
   net_.send(a_, b_, frame(1, 100));
   net_.send(a_, b_, frame(1, 100));
   clock_.advance(SimDuration::seconds(5));
@@ -282,8 +289,8 @@ TEST_F(SimNetworkTest, RateLimitAddsQueueingDelay) {
   ASSERT_EQ(got.size(), 2u);
   const auto lat0 = (got[0].arrival - got[0].sent).count_millis();
   const auto lat1 = (got[1].arrival - got[1].sent).count_millis();
-  EXPECT_NEAR(static_cast<double>(lat0), 25 + 102, 2);       // tx time + latency
-  EXPECT_NEAR(static_cast<double>(lat1), 25 + 2 * 102, 2);   // queued behind first
+  EXPECT_NEAR(static_cast<double>(lat0), 25 + 103, 2);       // tx time + latency
+  EXPECT_NEAR(static_cast<double>(lat1), 25 + 2 * 103, 2);   // queued behind first
 }
 
 TEST_F(SimNetworkTest, UnlimitedRateNoQueueing) {
@@ -324,6 +331,251 @@ TEST_F(SimNetworkTest, InterleavedSourcesOrderedByArrival) {
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0].frame.tag, 2);  // c's frame first
   EXPECT_EQ(got[1].frame.tag, 1);
+}
+
+// ------------------------------------------------------------- fault layer
+
+class FaultLayerTest : public SimNetworkTest {
+ protected:
+  /// Sends `n` frames (one per ms), advances past all arrivals, returns
+  /// what was delivered.
+  std::vector<Delivery> blast(int n, std::size_t payload = 10) {
+    for (int i = 0; i < n; ++i) {
+      net_.send(a_, b_, frame(1, payload));
+      clock_.advance(SimDuration::millis(1));
+    }
+    clock_.advance(SimDuration::seconds(2));
+    return net_.poll(b_);
+  }
+};
+
+TEST_F(FaultLayerTest, LossDropsAndAccounts) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.all_links.loss = 0.25;
+  net_.set_fault_plan(plan);
+  const auto got = blast(400);
+  const FaultStats& fs = net_.fault_stats(b_);
+  EXPECT_GT(fs.dropped.loss, 50u);
+  EXPECT_LT(fs.dropped.loss, 150u);
+  EXPECT_EQ(fs.dropped.frames, fs.dropped.loss);
+  EXPECT_EQ(got.size() + fs.dropped.frames, 400u);
+  // Sender-side accounting is unconditional: the sender can't see loss.
+  EXPECT_EQ(net_.egress_frames(a_), 400u);
+  EXPECT_EQ(net_.offered_frames(b_), 400u);
+  EXPECT_EQ(net_.ingress_frames(b_), 400u - fs.dropped.frames);
+  // Dropped bytes are attributed to the frame's tag.
+  EXPECT_EQ(net_.dropped_bytes_by_tag(b_, 1), fs.dropped.bytes);
+  EXPECT_EQ(net_.total_dropped_frames(), fs.dropped.frames);
+}
+
+TEST_F(FaultLayerTest, DuplicationDeliversExtraCopies) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.all_links.duplicate = 0.2;
+  net_.set_fault_plan(plan);
+  const auto got = blast(300);
+  const FaultStats& fs = net_.fault_stats(b_);
+  EXPECT_GT(fs.duplicated, 30u);
+  EXPECT_EQ(got.size(), 300u + fs.duplicated);
+  EXPECT_EQ(net_.ingress_frames(b_), 300u + fs.duplicated);
+  // Conservation: offered counts unique frames only.
+  EXPECT_EQ(net_.offered_frames(b_), 300u);
+}
+
+TEST_F(FaultLayerTest, CorruptionFlipsPayloadBitsOnly) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.all_links.corrupt = 1.0;  // every frame
+  net_.set_fault_plan(plan);
+  Frame f = frame(5, 64);
+  f.seq = 1234;
+  net_.send(a_, b_, std::move(f));
+  clock_.advance(SimDuration::seconds(1));
+  const auto got = net_.poll(b_);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(net_.fault_stats(b_).corrupted, 1u);
+  // Header-protected: tag and seq survive, payload changed.
+  EXPECT_EQ(got[0].frame.tag, 5);
+  EXPECT_EQ(got[0].frame.seq, 1234u);
+  EXPECT_NE(got[0].frame.payload, std::vector<std::uint8_t>(64, 0x42));
+}
+
+TEST_F(FaultLayerTest, ReorderBreaksFifo) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.all_links.reorder = 0.3;
+  plan.all_links.reorder_extra = SimDuration::millis(50);
+  net_.set_fault_plan(plan);
+  std::uint32_t seq = 0;
+  for (int i = 0; i < 200; ++i) {
+    Frame f = frame(1, 4);
+    f.seq = ++seq;
+    net_.send(a_, b_, std::move(f));
+    clock_.advance(SimDuration::millis(1));
+  }
+  clock_.advance(SimDuration::seconds(2));
+  const auto got = net_.poll(b_);
+  ASSERT_EQ(got.size(), 200u);
+  EXPECT_GT(net_.fault_stats(b_).reordered, 20u);
+  int inversions = 0;
+  std::uint32_t prev = 0;
+  for (const auto& d : got) {
+    if (d.frame.seq < prev) ++inversions;
+    prev = std::max(prev, d.frame.seq);
+  }
+  EXPECT_GT(inversions, 0);  // despite the link being FIFO
+}
+
+TEST_F(FaultLayerTest, DisconnectDropsInFlightAccounted) {
+  net_.send(a_, b_, frame(2, 50));
+  net_.send(a_, b_, frame(2, 50));
+  EXPECT_EQ(net_.pending_count(b_), 2u);
+  net_.disconnect(a_, b_);
+  EXPECT_EQ(net_.pending_count(b_), 0u);
+  const FaultStats& fs = net_.fault_stats(b_);
+  EXPECT_EQ(fs.dropped.frames, 2u);
+  EXPECT_EQ(fs.dropped.disconnect, 2u);
+  EXPECT_EQ(fs.dropped.bytes, 2 * (1 + 1 + 1 + 50u));
+  EXPECT_EQ(net_.dropped_bytes_by_tag(b_, 2), fs.dropped.bytes);
+  clock_.advance(SimDuration::seconds(1));
+  EXPECT_TRUE(net_.poll(b_).empty());
+}
+
+TEST_F(FaultLayerTest, LinkDownRefusesAndHealsWithParams) {
+  net_.send(a_, b_, frame(1, 10));  // in flight when the link goes down
+  net_.set_link_down(a_, b_);
+  EXPECT_FALSE(net_.connected(a_, b_));
+  EXPECT_FALSE(net_.send(a_, b_, frame(1, 10)));
+  EXPECT_EQ(net_.fault_stats(b_).refused, 1u);
+  EXPECT_EQ(net_.fault_stats(b_).dropped.disconnect, 1u);
+  net_.set_link_up(a_, b_);
+  EXPECT_TRUE(net_.connected(a_, b_));
+  ASSERT_TRUE(net_.send(a_, b_, frame(1, 10)));
+  clock_.advance(SimDuration::millis(25));
+  const auto got = net_.poll(b_);
+  ASSERT_EQ(got.size(), 1u);
+  // Restored link kept its original 25 ms latency.
+  EXPECT_EQ((got[0].arrival - got[0].sent).count_millis(), 25);
+}
+
+TEST_F(FaultLayerTest, CrashWipesInboxAndRefusesBothWays) {
+  net_.send(a_, b_, frame(1, 10));
+  net_.crash(b_);
+  EXPECT_TRUE(net_.crashed(b_));
+  EXPECT_EQ(net_.fault_stats(b_).dropped.crash, 1u);
+  EXPECT_FALSE(net_.send(a_, b_, frame(1, 10)));  // to a crashed endpoint
+  EXPECT_FALSE(net_.send(b_, a_, frame(1, 10)));  // from a crashed endpoint
+  clock_.advance(SimDuration::seconds(1));
+  EXPECT_TRUE(net_.poll(b_).empty());
+  net_.restart(b_);
+  EXPECT_FALSE(net_.crashed(b_));
+  ASSERT_TRUE(net_.send(a_, b_, frame(1, 10)));  // link survived the crash
+  clock_.advance(SimDuration::seconds(1));
+  EXPECT_EQ(net_.poll(b_).size(), 1u);
+}
+
+TEST_F(FaultLayerTest, ScheduledEventsFireBySimTime) {
+  FaultPlan plan;
+  plan.events.push_back({SimTime::zero() + SimDuration::millis(100),
+                         FaultEvent::Kind::LinkDown, a_, b_});
+  plan.events.push_back({SimTime::zero() + SimDuration::millis(200),
+                         FaultEvent::Kind::LinkUp, a_, b_});
+  net_.set_fault_plan(plan);
+  EXPECT_TRUE(net_.connected(a_, b_));
+  clock_.advance(SimDuration::millis(150));
+  net_.advance_faults();
+  EXPECT_FALSE(net_.connected(a_, b_));
+  clock_.advance(SimDuration::millis(100));
+  net_.advance_faults();
+  EXPECT_TRUE(net_.connected(a_, b_));
+}
+
+TEST_F(FaultLayerTest, SameSeedSameFaults) {
+  std::vector<std::uint64_t> fingerprints;
+  for (int run = 0; run < 2; ++run) {
+    SimClock clock;
+    SimNetwork net(clock, 99);
+    const EndpointId a = net.create_endpoint("a");
+    const EndpointId b = net.create_endpoint("b");
+    net.connect(a, b, {SimDuration::millis(25), 0.2});
+    FaultPlan plan;
+    plan.seed = 4242;
+    plan.all_links = {0.1, 0.1, 0.1, 0.1};
+    net.set_fault_plan(plan);
+    std::uint64_t fp = 1469598103934665603ull;  // FNV offset basis
+    std::uint32_t seq = 0;
+    for (int i = 0; i < 500; ++i) {
+      Frame f;
+      f.tag = 1;
+      f.seq = ++seq;
+      f.payload.assign(16, static_cast<std::uint8_t>(i));
+      net.send(a, b, std::move(f));
+      clock.advance(SimDuration::millis(1));
+      for (const auto& d : net.poll(b)) {
+        for (const std::uint8_t byte : d.frame.payload) {
+          fp = (fp ^ byte) * 1099511628211ull;
+        }
+        fp = (fp ^ d.frame.seq) * 1099511628211ull;
+        fp = (fp ^ static_cast<std::uint64_t>(d.arrival.count_micros())) *
+             1099511628211ull;
+      }
+    }
+    const FaultStats& fs = net.fault_stats(b);
+    EXPECT_GT(fs.dropped.loss, 0u);
+    EXPECT_GT(fs.duplicated, 0u);
+    fp = (fp ^ fs.dropped.frames) * 1099511628211ull;
+    fp = (fp ^ fs.duplicated) * 1099511628211ull;
+    fp = (fp ^ fs.corrupted) * 1099511628211ull;
+    fingerprints.push_back(fp);
+  }
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+}
+
+TEST_F(FaultLayerTest, FaultPlanDoesNotPerturbJitterStream) {
+  // Two identical runs, one with a (never-triggering) fault plan installed:
+  // the jitter stream must be byte-identical — faults draw from their own RNG.
+  std::vector<std::int64_t> arrivals[2];
+  for (int run = 0; run < 2; ++run) {
+    SimClock clock;
+    SimNetwork net(clock, 55);
+    const EndpointId a = net.create_endpoint("a");
+    const EndpointId b = net.create_endpoint("b");
+    net.connect(a, b, {SimDuration::millis(25), 0.5});
+    if (run == 1) {
+      FaultPlan plan;
+      plan.all_links.loss = 0.0;  // installed but inert
+      net.set_fault_plan(plan);
+    }
+    for (int i = 0; i < 100; ++i) {
+      net.send(a, b, Frame{1, 0, {0x42}, SimTime::zero()});
+      clock.advance(SimDuration::seconds(1));
+    }
+    clock.advance(SimDuration::seconds(1));
+    for (const auto& d : net.poll(b)) arrivals[run].push_back(d.arrival.count_micros());
+  }
+  EXPECT_EQ(arrivals[0], arrivals[1]);
+}
+
+TEST_F(FaultLayerTest, ConservationLedgerCloses) {
+  FaultPlan plan;
+  plan.seed = 31337;
+  plan.all_links = {0.15, 0.1, 0.05, 0.1};
+  net_.set_fault_plan(plan);
+  for (int i = 0; i < 1000; ++i) {
+    net_.send(a_, b_, frame(1, 8));
+    clock_.advance(SimDuration::millis(1));
+  }
+  // Deliberately do NOT drain fully: pending frames must balance the books.
+  const std::size_t polled = net_.poll(b_).size();
+  const FaultStats& fs = net_.fault_stats(b_);
+  EXPECT_GT(net_.pending_count(b_), 0u);
+  // Wire side: every unique frame offered was either enqueued or lost.
+  EXPECT_EQ(net_.offered_frames(b_),
+            net_.ingress_frames(b_) - fs.duplicated + fs.dropped.loss);
+  // Receiver side: every enqueued copy was polled, is pending, or was wiped.
+  EXPECT_EQ(net_.ingress_frames(b_), polled + net_.pending_count(b_) +
+                                         fs.dropped.disconnect + fs.dropped.crash);
 }
 
 }  // namespace
