@@ -24,7 +24,8 @@ inline std::vector<std::string> common_flag_names() {
           "warmup",           "seed",
           "view",             "workload",
           "faults",           "fault-seed",
-          trace::kTraceFlag,  trace::kTraceBufferFlag,
+          "threads",          trace::kTraceFlag,
+          trace::kTraceBufferFlag,
           "help"};
 }
 
@@ -73,6 +74,9 @@ inline bots::SimulationConfig base_config(const Flags& flags) {
     }
   }
   cfg.fault_seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 0));
+  // --threads=1 (default) is the serial oracle; >1 shards flush/serialize
+  // work across a pool with byte-identical wire output (DESIGN.md §9).
+  cfg.flush_threads = static_cast<std::size_t>(flags.get_int("threads", 1));
   return cfg;
 }
 

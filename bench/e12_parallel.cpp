@@ -1,0 +1,119 @@
+// E12 — Parallel flush/serialize pipeline (DESIGN.md §9): tick CPU vs
+// --threads, with the byte-identity check against the single-threaded
+// oracle run inline (every row's wire hash must equal the threads=1 row's).
+//
+// The flush pipeline shards per-subscriber flush work (take + pack +
+// serialize) across a thread pool and merges in canonical order, so the
+// tick thread's flush phase shrinks toward the merge cost while the wire
+// stream stays byte-identical. Speedup requires real cores: on a
+// single-core host (common in CI containers) the sweep degenerates into a
+// determinism check plus a measurement of the sharding overhead.
+//
+//   e12_parallel [--threads-list=1,2,4,8] [--players=500] [--duration=45]
+#include <sstream>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace dyconits;
+using namespace dyconits::bench;
+
+namespace {
+
+double phase_mean(const trace::TickProfiler::Report& r, const std::string& name) {
+  for (const auto& p : r.phases) {
+    if (p.name == name) return p.ms.mean();
+  }
+  return 0.0;
+}
+
+struct Row {
+  std::size_t threads = 0;
+  bots::SimulationResult result;
+  std::uint64_t wire_hash = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  check_flags(flags, {"threads-list"});
+
+  std::vector<std::size_t> thread_counts;
+  {
+    std::stringstream ss(flags.get_string("threads-list", "1,2,4,8"));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      thread_counts.push_back(static_cast<std::size_t>(std::stoul(tok)));
+    }
+  }
+
+  std::vector<Row> rows;
+  for (const std::size_t threads : thread_counts) {
+    auto cfg = base_config(flags);
+    cfg.players = static_cast<std::size_t>(flags.get_int("players", 500));
+    cfg.policy = "director";
+    cfg.mobs = 50;
+    cfg.env_ticks = 4;
+    cfg.profile_phases = true;
+    cfg.flush_threads = threads;
+    // Keep the byte-identity column meaningful on any host: the director
+    // adapts on the modeled (deterministic) load signal, while the CPU
+    // columns still report real measured time.
+    cfg.deterministic_load = true;
+    std::fprintf(stderr, "  running threads=%zu players=%zu ...", threads,
+                 cfg.players);
+    std::fflush(stderr);
+    Row row;
+    row.threads = threads;
+    // Simulation (not bench::run) so the network's wire hash is readable
+    // after the run for the byte-identity column.
+    bots::Simulation sim(cfg);
+    row.result = sim.run();
+    row.wire_hash = sim.network().wire_hash();
+    std::fprintf(stderr, " done (tick p99 %.2f ms)\n",
+                 row.result.tick_ms.percentile(0.99));
+    rows.push_back(std::move(row));
+  }
+
+  print_title("E12: parallel flush pipeline vs serial oracle");
+  std::printf("host hardware concurrency: %u (speedup needs real cores; "
+              "byte-identity holds regardless)\n\n",
+              std::thread::hardware_concurrency());
+  std::printf("%8s %10s %10s %10s %10s %10s %10s %8s %18s %5s\n", "threads",
+              "tick mean", "tick p99", "dispatch", "flush", "workers", "merge",
+              "speedup", "wire hash", "match");
+  print_rule(108);
+
+  // Speedup of the work the pipeline parallelizes: dispatch (enqueue) +
+  // the tick thread's flush phase (serial: take+account+pack+send; parallel:
+  // shard wait + merge+send).
+  double base_ms = 0.0;
+  std::uint64_t oracle_hash = 0;
+  bool all_match = true;
+  for (const Row& row : rows) {
+    const auto& ph = row.result.phases;
+    const double dispatch = phase_mean(ph, "server.dispatch");
+    const double flush = phase_mean(ph, "server.dyconit_flush");
+    const double work = dispatch + flush;
+    if (row.threads == thread_counts.front()) {
+      base_ms = work;
+      oracle_hash = row.wire_hash;
+    }
+    const bool match = row.wire_hash == oracle_hash;
+    all_match = all_match && match;
+    std::printf("%8zu %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f %7.2fx   %016llx %5s\n",
+                row.threads, row.result.tick_ms.mean(),
+                row.result.tick_ms.percentile(0.99), dispatch, flush,
+                phase_mean(ph, "dyconit.flush_workers"),
+                phase_mean(ph, "dyconit.flush_merge"),
+                work > 0 ? base_ms / work : 0.0,
+                (unsigned long long)row.wire_hash, match ? "OK" : "DIFF");
+  }
+  print_rule(108);
+  std::printf("wire streams %s across thread counts\n",
+              all_match ? "byte-identical" : "DIVERGED — determinism bug");
+
+  finish_trace(flags);
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates the golden serial wire baseline (tests/golden/serial_wire.txt)
+# from the single-threaded oracle. Run this after any *intended* change to
+# the update/wire path, and commit the new baseline together with the change
+# so the diff is reviewable (see GoldenRun.SerialWireBaselineUnchanged in
+# tests/determinism_test.cpp).
+#
+#   scripts/rebaseline.sh [build-dir]   # default: build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build="${1:-build}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$build" -S .
+cmake --build "$build" -j "$jobs" --target determinism_test
+
+DYCONITS_REBASELINE=1 "$build/tests/determinism_test" --gtest_filter='GoldenRun.*'
+
+echo "rebaseline: wrote tests/golden/serial_wire.txt"
+git --no-pager diff --stat -- tests/golden/serial_wire.txt || true

@@ -2,8 +2,9 @@
 # Full verification: tier-1 build + tests, then the chaos suite across a
 # fault-seed matrix, then the unit-test suite again under AddressSanitizer +
 # UBSan (DYCONITS_SANITIZE) including a 100k-iteration protocol fuzz pass,
-# then a check that the compile-out switch (DYCONITS_TRACING=OFF) still
-# builds.
+# then the determinism + chaos suites under ThreadSanitizer with the
+# parallel flush pipeline on (--threads=4; DESIGN.md §9), then a check that
+# the compile-out switch (DYCONITS_TRACING=OFF) still builds.
 #
 #   scripts/verify.sh [build-dir-prefix]   # default: build
 set -euo pipefail
@@ -36,6 +37,17 @@ ctest --test-dir "$prefix-sanitize" --output-on-failure
 # zero sanitizer reports (the default iteration count is much smaller).
 DYCONITS_FUZZ_ITERS=100000 \
   ctest --test-dir "$prefix-sanitize" --output-on-failure -R protocol_fuzz_test
+
+echo "== tsan: determinism + chaos suites, parallel flush pipeline =="
+# TSan and ASan cannot share a build; a dedicated tree runs the two suites
+# that exercise the sharded flush path. Threads forced to 4 so worker code
+# actually runs concurrently; ticks/seeds trimmed — TSan is ~10x slower and
+# the full matrix already ran in the tier-1 pass.
+cmake -B "$prefix-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDYCONITS_SANITIZE=thread
+cmake --build "$prefix-tsan" -j "$jobs"
+DYCONITS_CHAOS_THREADS=4 DYCONITS_DET_TICKS=300 DYCONITS_DET_SEEDS=2 \
+  ctest --test-dir "$prefix-tsan" --output-on-failure -L "determinism|chaos"
 
 echo "== tracing compiled out: build + ctest =="
 cmake -B "$prefix-notrace" -S . -DCMAKE_BUILD_TYPE=Release -DDYCONITS_TRACING=OFF

@@ -44,6 +44,8 @@ Simulation::Simulation(SimulationConfig cfg)
   scfg.survival_mode = cfg_.survival;
   scfg.mob_seed = cfg_.seed ^ 0x30B5ull;
   scfg.profile_ticks = cfg_.profile_phases;
+  scfg.flush_threads = cfg_.flush_threads;
+  scfg.deterministic_load = cfg_.deterministic_load;
   scfg.mob_spawn_radius =
       std::max(cfg_.workload.spread_radius, cfg_.workload.village_radius * 3.0);
   scfg.spawn_provider = [homes, world = world_.get()](const std::string& name) {

@@ -1,6 +1,24 @@
 #include "dyconit/dyconit.h"
 
+#include <algorithm>
+
 namespace dyconits::dyconit {
+
+void account_flush(const PendingFlush& p, SimTime now, Stats& stats) {
+  switch (p.reason) {
+    case FlushReason::Staleness: ++stats.flushes_staleness; break;
+    case FlushReason::Numerical: ++stats.flushes_numerical; break;
+    case FlushReason::Forced: ++stats.flushes_forced; break;
+  }
+  for (const Update& u : p.updates) {
+    ++stats.delivered;
+    stats.weight_delivered += u.weight;
+    if (stats.record_staleness) {
+      stats.staleness_ms.push_back(
+          static_cast<double>((now - u.created).count_micros()) / 1000.0);
+    }
+  }
+}
 
 bool SubscriberQueue::enqueue(const Update& u) {
   total_weight_ += u.weight;
@@ -33,6 +51,7 @@ Dyconit::Dyconit(DyconitId id, Bounds default_bounds)
 
 void Dyconit::subscribe(SubscriberId sub, Bounds b) {
   subs_[sub].bounds = b;  // creates if absent, keeps existing queue if present
+  subs_dirty_ = true;
 }
 
 void Dyconit::unsubscribe(SubscriberId sub, Stats& stats) {
@@ -40,6 +59,18 @@ void Dyconit::unsubscribe(SubscriberId sub, Stats& stats) {
   if (it == subs_.end()) return;
   stats.dropped_unsubscribe += it->second.queue.size();
   subs_.erase(it);
+  subs_dirty_ = true;
+}
+
+const std::vector<SubscriberId>& Dyconit::sorted_subscribers() const {
+  if (subs_dirty_) {
+    sorted_subs_.clear();
+    sorted_subs_.reserve(subs_.size());
+    for (const auto& [sub, s] : subs_) sorted_subs_.push_back(sub);
+    std::sort(sorted_subs_.begin(), sorted_subs_.end());
+    subs_dirty_ = false;
+  }
+  return sorted_subs_;
 }
 
 void Dyconit::set_bounds(SubscriberId sub, Bounds b) {
@@ -64,55 +95,69 @@ void Dyconit::enqueue(const Update& u, SubscriberId exclude, Stats& stats) {
   }
 }
 
-void Dyconit::do_flush(SubscriberId sub, Sub& s, SimTime now, FlushSink& sink,
-                       Stats& stats, FlushReason reason) {
-  if (s.queue.empty()) return;
-  switch (reason) {
-    case FlushReason::Staleness: ++stats.flushes_staleness; break;
-    case FlushReason::Numerical: ++stats.flushes_numerical; break;
-    case FlushReason::Forced: ++stats.flushes_forced; break;
+PendingFlush Dyconit::take_due(SubscriberId sub, SimTime now,
+                               std::size_t snapshot_threshold) {
+  PendingFlush p;
+  const auto it = subs_.find(sub);
+  if (it == subs_.end()) return p;
+  Sub& s = it->second;
+  if (snapshot_threshold > 0 && s.queue.size() > snapshot_threshold) {
+    // Too far behind: a fresh snapshot is cheaper than the delta flood.
+    p.kind = PendingFlush::Kind::Snapshot;
+    p.dropped = s.queue.size();
+    s.queue.take_all();
+    return p;
   }
-  const std::vector<Update> updates = s.queue.take_all();
+  if (s.queue.violates(s.bounds, now)) {
+    p.kind = PendingFlush::Kind::Flush;
+    p.reason = s.queue.violation_reason(s.bounds, now);
+    p.updates = s.queue.take_all();
+  }
+  return p;
+}
+
+void Dyconit::settle(SubscriberId sub, PendingFlush&& p, SimTime now, FlushSink& sink,
+                     Stats& stats) {
+  if (p.kind == PendingFlush::Kind::Snapshot) {
+    stats.dropped_snapshot += p.dropped;
+    ++stats.snapshots_requested;
+    sink.request_snapshot(sub, id_);
+    return;
+  }
+  if (p.kind != PendingFlush::Kind::Flush || p.updates.empty()) return;
+  account_flush(p, now, stats);
   std::vector<FlushSink::FlushedUpdate> flushed;
-  flushed.reserve(updates.size());
-  for (const Update& u : updates) {
-    flushed.push_back({&u.msg, u.created, u.weight});
-    ++stats.delivered;
-    stats.weight_delivered += u.weight;
-    if (stats.record_staleness) {
-      stats.staleness_ms.push_back(static_cast<double>((now - u.created).count_micros()) /
-                                   1000.0);
-    }
-  }
+  flushed.reserve(p.updates.size());
+  for (const Update& u : p.updates) flushed.push_back({&u.msg, u.created, u.weight});
   sink.deliver(sub, flushed);
 }
 
 void Dyconit::flush_due(SimTime now, FlushSink& sink, Stats& stats,
                         std::size_t snapshot_threshold) {
-  for (auto& [sub, s] : subs_) {
-    if (snapshot_threshold > 0 && s.queue.size() > snapshot_threshold) {
-      // Too far behind: a fresh snapshot is cheaper than the delta flood.
-      stats.dropped_snapshot += s.queue.size();
-      ++stats.snapshots_requested;
-      s.queue.take_all();
-      sink.request_snapshot(sub, id_);
-      continue;
-    }
-    if (s.queue.violates(s.bounds, now)) {
-      do_flush(sub, s, now, sink, stats, s.queue.violation_reason(s.bounds, now));
-    }
+  // Canonical order: the serial oracle settles subscribers in the same
+  // ascending order the parallel merge phase uses (DESIGN.md §9). Sink
+  // callbacks must not touch this dyconit's subscription set.
+  for (const SubscriberId sub : sorted_subscribers()) {
+    PendingFlush p = take_due(sub, now, snapshot_threshold);
+    if (p.kind != PendingFlush::Kind::None) settle(sub, std::move(p), now, sink, stats);
   }
 }
 
 void Dyconit::flush_subscriber(SubscriberId sub, SimTime now, FlushSink& sink,
                                Stats& stats, FlushReason reason) {
   const auto it = subs_.find(sub);
-  if (it == subs_.end()) return;
-  do_flush(sub, it->second, now, sink, stats, reason);
+  if (it == subs_.end() || it->second.queue.empty()) return;
+  PendingFlush p;
+  p.kind = PendingFlush::Kind::Flush;
+  p.reason = reason;
+  p.updates = it->second.queue.take_all();
+  settle(sub, std::move(p), now, sink, stats);
 }
 
 void Dyconit::flush_all(SimTime now, FlushSink& sink, Stats& stats) {
-  for (auto& [sub, s] : subs_) do_flush(sub, s, now, sink, stats, FlushReason::Forced);
+  for (const SubscriberId sub : sorted_subscribers()) {
+    flush_subscriber(sub, now, sink, stats, FlushReason::Forced);
+  }
 }
 
 void Dyconit::for_each_subscriber(

@@ -50,6 +50,30 @@ struct Stats {
   }
 };
 
+/// Flush work taken from one (dyconit, subscriber) queue but not yet
+/// accounted or delivered. The flush path is split in two so it can run
+/// sharded (DESIGN.md §9): Dyconit::take_due produces a PendingFlush on a
+/// worker thread (touching only that subscriber's queue), and the tick
+/// thread settles it — stats, sink — in canonical order, so counters and
+/// wire bytes match the serial oracle exactly.
+struct PendingFlush {
+  enum class Kind : std::uint8_t {
+    None = 0,      ///< nothing due
+    Flush = 1,     ///< `updates` must be delivered
+    Snapshot = 2,  ///< queue was dropped; ask the sink for a snapshot
+  };
+  Kind kind = Kind::None;
+  FlushReason reason = FlushReason::Forced;
+  std::vector<Update> updates;  ///< Flush: queue contents in enqueue order
+  std::size_t dropped = 0;      ///< Snapshot: updates discarded with the queue
+};
+
+/// Folds one pending flush into the aggregate counters. Must run on the
+/// tick thread in canonical settle order: weight_delivered is a floating-
+/// point sum, so the summation order has to match the serial oracle
+/// exactly (FP addition is not associative).
+void account_flush(const PendingFlush& p, SimTime now, Stats& stats);
+
 /// Insertion-ordered outgoing queue with in-place coalescing.
 class SubscriberQueue {
  public:
@@ -115,11 +139,28 @@ class Dyconit {
   /// which already knows its own action).
   void enqueue(const Update& u, SubscriberId exclude, Stats& stats);
 
-  /// Flushes every subscriber queue that violates its bounds at `now`.
-  /// If `snapshot_threshold` > 0, a queue holding more updates than that is
-  /// dropped and the sink is asked for a snapshot instead.
+  /// Flushes every subscriber queue that violates its bounds at `now`, in
+  /// canonical (ascending subscriber id) order. If `snapshot_threshold` > 0,
+  /// a queue holding more updates than that is dropped and the sink is
+  /// asked for a snapshot instead.
   void flush_due(SimTime now, FlushSink& sink, Stats& stats,
                  std::size_t snapshot_threshold = 0);
+
+  /// Phase 1 of a sharded flush (safe off the tick thread): decides whether
+  /// `sub`'s queue is due at `now` and, if so, takes its contents. Touches
+  /// only this subscriber's queue slot — no stats, no sink, no shared
+  /// state — so distinct subscribers may be taken concurrently.
+  PendingFlush take_due(SubscriberId sub, SimTime now, std::size_t snapshot_threshold);
+
+  /// Phase 2 (tick thread, canonical order): accounts `p` and hands it to
+  /// the sink (deliver or request_snapshot). No-op for Kind::None.
+  void settle(SubscriberId sub, PendingFlush&& p, SimTime now, FlushSink& sink,
+              Stats& stats);
+
+  /// Subscriber ids in canonical (ascending) order — the order flush work
+  /// is settled in on both the serial and the parallel path. Lazily rebuilt
+  /// after subscribe/unsubscribe; the reference is invalidated by either.
+  const std::vector<SubscriberId>& sorted_subscribers() const;
 
   /// Unconditionally flushes one subscriber (no-op if queue empty).
   void flush_subscriber(SubscriberId sub, SimTime now, FlushSink& sink, Stats& stats,
@@ -141,12 +182,11 @@ class Dyconit {
     SubscriberQueue queue;
   };
 
-  void do_flush(SubscriberId sub, Sub& s, SimTime now, FlushSink& sink, Stats& stats,
-                FlushReason reason);
-
   DyconitId id_;
   Bounds default_bounds_;
   std::unordered_map<SubscriberId, Sub> subs_;
+  mutable std::vector<SubscriberId> sorted_subs_;
+  mutable bool subs_dirty_ = true;
 };
 
 }  // namespace dyconits::dyconit

@@ -1,14 +1,53 @@
 #include "dyconit/system.h"
 
+#include <algorithm>
+
 #include "trace/trace.h"
+#include "util/thread_pool.h"
 
 namespace dyconits::dyconit {
+
+std::size_t flush_shard_of(SubscriberId sub, std::size_t shards) {
+  if (shards <= 1) return 0;
+  std::uint64_t z = static_cast<std::uint64_t>(sub) + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return static_cast<std::size_t>(z % shards);
+}
 
 Dyconit& DyconitSystem::get_or_create(DyconitId id, Bounds default_bounds) {
   auto it = dyconits_.find(id);
   if (it != dyconits_.end()) return *it->second;
   auto [ins, _] = dyconits_.emplace(id, std::make_unique<Dyconit>(id, default_bounds));
+  dyconits_dirty_ = true;
   return *ins->second;
+}
+
+const std::vector<Dyconit*>& DyconitSystem::sorted_dyconits() {
+  if (dyconits_dirty_) {
+    sorted_cache_.clear();
+    sorted_cache_.reserve(dyconits_.size());
+    for (auto& [id, d] : dyconits_) sorted_cache_.push_back(d.get());
+    std::sort(sorted_cache_.begin(), sorted_cache_.end(),
+              [](const Dyconit* a, const Dyconit* b) { return a->id() < b->id(); });
+    dyconits_dirty_ = false;
+  }
+  return sorted_cache_;
+}
+
+void DyconitSystem::gc() {
+  // GC: a dyconit with no subscribers holds no queues (enqueue drops when
+  // subscriber-less), so it can be removed without losing updates.
+  TRACE_SCOPE("dyconit.gc");
+  for (auto it = dyconits_.begin(); it != dyconits_.end();) {
+    if (it->second->idle()) {
+      it = dyconits_.erase(it);
+      dyconits_dirty_ = true;
+    } else {
+      ++it;
+    }
+  }
 }
 
 Dyconit* DyconitSystem::find(DyconitId id) {
@@ -48,41 +87,101 @@ void DyconitSystem::update(DyconitId id, Update u, SubscriberId exclude) {
   get_or_create(id).enqueue(u, exclude, stats_);
 }
 
-void DyconitSystem::tick(FlushSink& sink) {
+void DyconitSystem::tick(FlushSink& sink) { tick(sink, nullptr, nullptr); }
+
+void DyconitSystem::tick(FlushSink& sink, util::ThreadPool* pool,
+                         ParallelFlushHost* host) {
   const SimTime now = clock_.now();
-  {
+  const std::size_t shards =
+      (pool != nullptr && host != nullptr) ? pool->concurrency() : 1;
+
+  if (shards <= 1) {
     TRACE_SCOPE("dyconit.flush_due");
-    for (auto& [id, d] : dyconits_) d->flush_due(now, sink, stats_, snapshot_threshold_);
+    for (Dyconit* d : sorted_dyconits()) {
+      d->flush_due(now, sink, stats_, snapshot_threshold_);
+    }
+    gc();
+    return;
   }
-  // GC: a dyconit with no subscribers holds no queues (enqueue drops when
-  // subscriber-less), so it can be removed without losing updates.
-  TRACE_SCOPE("dyconit.gc");
-  for (auto it = dyconits_.begin(); it != dyconits_.end();) {
-    if (it->second->idle()) {
-      it = dyconits_.erase(it);
-    } else {
-      ++it;
+
+  // Phase 1 (workers): every (dyconit, subscriber) pair is checked and, if
+  // due, taken and packed into shard-local staging. A pair's shard is a
+  // pure function of the subscriber id, so no two shards ever touch the
+  // same subscriber's queue or session, and sessions/stats stay read-only.
+  plan_.clear();
+  for (Dyconit* d : sorted_dyconits()) {
+    for (const SubscriberId sub : d->sorted_subscribers()) {
+      plan_.push_back({d, sub});
     }
   }
+  results_.resize(plan_.size());
+  host->begin_flush_round(shards);
+  {
+    TRACE_SCOPE("dyconit.flush_workers");
+    pool->run_shards([&](std::size_t shard) {
+      TRACE_SCOPE("dyconit.flush_shard");
+      std::vector<FlushSink::FlushedUpdate> views;
+      for (std::size_t i = 0; i < plan_.size(); ++i) {
+        if (flush_shard_of(plan_[i].sub, shards) != shard) continue;
+        FlushResult& r = results_[i];
+        r.pending = plan_[i].d->take_due(plan_[i].sub, now, snapshot_threshold_);
+        r.shard = static_cast<std::uint32_t>(shard);
+        r.handle = 0;
+        if (r.pending.kind == PendingFlush::Kind::Flush) {
+          views.clear();
+          views.reserve(r.pending.updates.size());
+          for (const Update& u : r.pending.updates) {
+            views.push_back({&u.msg, u.created, u.weight});
+          }
+          r.handle = host->pack_flush(shard, plan_[i].sub, views);
+        }
+      }
+    });
+  }
+
+  // Phase 2 (tick thread): settle in canonical order — the exact order the
+  // serial oracle uses — so stats (including the non-associative
+  // weight_delivered sum) and the wire byte stream are identical.
+  {
+    TRACE_SCOPE("dyconit.flush_merge");
+    for (std::size_t i = 0; i < plan_.size(); ++i) {
+      FlushResult& r = results_[i];
+      switch (r.pending.kind) {
+        case PendingFlush::Kind::None:
+          break;
+        case PendingFlush::Kind::Snapshot:
+          stats_.dropped_snapshot += r.pending.dropped;
+          ++stats_.snapshots_requested;
+          sink.request_snapshot(plan_[i].sub, plan_[i].d->id());
+          break;
+        case PendingFlush::Kind::Flush:
+          account_flush(r.pending, now, stats_);
+          host->emit_packed(r.shard, r.handle, plan_[i].sub);
+          break;
+      }
+      r.pending = PendingFlush{};  // release update storage
+    }
+  }
+  gc();
 }
 
 void DyconitSystem::flush_all(FlushSink& sink) {
   const SimTime now = clock_.now();
-  for (auto& [id, d] : dyconits_) d->flush_all(now, sink, stats_);
+  for (Dyconit* d : sorted_dyconits()) d->flush_all(now, sink, stats_);
 }
 
 void DyconitSystem::flush_subscriber(SubscriberId sub, FlushSink& sink) {
   const SimTime now = clock_.now();
-  for (auto& [id, d] : dyconits_) d->flush_subscriber(sub, now, sink, stats_);
+  for (Dyconit* d : sorted_dyconits()) d->flush_subscriber(sub, now, sink, stats_);
 }
 
 void DyconitSystem::resync_subscriber(SubscriberId sub, FlushSink& sink) {
   TRACE_SCOPE("dyconit.resync");
   const SimTime now = clock_.now();
-  for (auto& [id, d] : dyconits_) {
+  for (Dyconit* d : sorted_dyconits()) {
     if (!d->subscribed(sub)) continue;
     d->flush_subscriber(sub, now, sink, stats_);
-    sink.request_snapshot(sub, id);
+    sink.request_snapshot(sub, d->id());
     ++stats_.snapshots_requested;
   }
   ++stats_.resyncs;

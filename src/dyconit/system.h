@@ -8,14 +8,52 @@
 // enforcement, coalescing — is internal.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "dyconit/dyconit.h"
 #include "util/sim_time.h"
 
+namespace dyconits::util {
+class ThreadPool;
+}
+
 namespace dyconits::dyconit {
+
+/// Server-side half of the parallel flush pipeline (DESIGN.md §9). Workers
+/// call pack_flush concurrently — one call per due (dyconit, subscriber)
+/// pair, staging serialized frames shard-locally and reading shared server
+/// state only — and the tick thread then calls emit_packed in canonical
+/// order to stamp sequence numbers and put the staged frames on the wire.
+/// The split keeps net/session types out of the dyconit layer and keeps
+/// every shared-state mutation on the tick thread.
+class ParallelFlushHost {
+ public:
+  virtual ~ParallelFlushHost() = default;
+
+  /// Tick thread, before workers start: size per-shard staging for a round.
+  virtual void begin_flush_round(std::size_t shards) = 0;
+
+  /// Worker context: packs one flushed batch into shard `shard`'s staging
+  /// and returns a handle for emit_packed. Must not write anything outside
+  /// that shard's staging.
+  virtual std::uint32_t pack_flush(
+      std::size_t shard, SubscriberId to,
+      const std::vector<FlushSink::FlushedUpdate>& updates) = 0;
+
+  /// Tick thread, canonical order: sends the frames staged under `handle`.
+  virtual void emit_packed(std::size_t shard, std::uint32_t handle,
+                           SubscriberId to) = 0;
+};
+
+/// Deterministic shard assignment for a subscriber's flush work: a
+/// splitmix64 finalizer over the id, mod `shards`. Never std::hash — its
+/// value is implementation-defined and the shard function is part of the
+/// determinism contract (DESIGN.md §9).
+std::size_t flush_shard_of(SubscriberId sub, std::size_t shards);
 
 class DyconitSystem {
  public:
@@ -40,9 +78,18 @@ class DyconitSystem {
   void update(DyconitId id, Update u, SubscriberId exclude = kNoSubscriber);
 
   /// One middleware tick: flushes every (dyconit, subscriber) queue that
-  /// violates its bounds at clock.now(), then garbage-collects dyconits
-  /// with no subscribers.
+  /// violates its bounds at clock.now() in canonical (dyconit, subscriber)
+  /// order, then garbage-collects dyconits with no subscribers.
   void tick(FlushSink& sink);
+
+  /// The same tick, sharded (DESIGN.md §9): flush work is partitioned by
+  /// flush_shard_of(subscriber) across `pool`; workers take due queues and
+  /// pack frames into `host`'s per-shard staging, then the calling thread
+  /// merges — stats accounting and frame emission — in the same canonical
+  /// order the serial path uses, so wire bytes and counters are identical
+  /// byte for byte. Falls back to the serial path when pool/host is null or
+  /// the pool has one executor.
+  void tick(FlushSink& sink, util::ThreadPool* pool, ParallelFlushHost* host);
 
   /// Forced full flush (server shutdown, snapshot, tests).
   void flush_all(FlushSink& sink);
@@ -72,10 +119,33 @@ class DyconitSystem {
   std::size_t total_queued() const;
 
  private:
+  /// Dyconits in canonical (DyconitId::operator<) order; lazily rebuilt
+  /// after create/GC. Pointers stay valid across rebuilds (unique_ptr).
+  const std::vector<Dyconit*>& sorted_dyconits();
+  void gc();
+
   const SimClock& clock_;
   std::unordered_map<DyconitId, std::unique_ptr<Dyconit>> dyconits_;
   Stats stats_;
   std::size_t snapshot_threshold_ = 0;
+
+  mutable std::vector<Dyconit*> sorted_cache_;
+  mutable bool dyconits_dirty_ = true;
+
+  // Parallel-tick scratch, reused across rounds to avoid steady-state
+  // allocation. plan_ lists due-check work in canonical order; results_[i]
+  // is written by exactly one worker (the shard owning plan_[i].sub).
+  struct FlushTask {
+    Dyconit* d = nullptr;
+    SubscriberId sub = kNoSubscriber;
+  };
+  struct FlushResult {
+    PendingFlush pending;
+    std::uint32_t handle = 0;
+    std::uint32_t shard = 0;
+  };
+  std::vector<FlushTask> plan_;
+  std::vector<FlushResult> results_;
 };
 
 }  // namespace dyconits::dyconit

@@ -144,6 +144,13 @@ class SimNetwork {
   std::uint64_t total_bytes() const { return total_bytes_; }
   std::uint64_t total_frames() const { return total_frames_; }
 
+  /// Order-sensitive FNV-1a digest over every frame that got on the wire
+  /// (from, to, tag, seq, payload — pre-corruption, including frames the
+  /// fault layer later loses; refused sends excluded). Two runs emitted
+  /// byte-identical traffic in the same order iff their hashes match —
+  /// the oracle check behind the parallel flush pipeline (DESIGN.md §9).
+  std::uint64_t wire_hash() const { return wire_hash_; }
+
   /// Frames that got on the wire addressed to `id` (delivered, lost, or in
   /// flight; duplicate copies not counted). Conservation, per endpoint
   /// (ingress counts every enqueued copy, including ones later wiped):
@@ -223,6 +230,7 @@ class SimNetwork {
   std::uint64_t total_dropped_frames_ = 0;
   std::uint64_t total_dropped_bytes_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t wire_hash_ = 14695981039346656037ull;  // FNV-1a offset basis
 };
 
 }  // namespace dyconits::net

@@ -36,6 +36,13 @@ struct ServerConfig {
   /// Chunk streaming throttle: ChunkData frames per player per tick.
   int max_chunk_sends_per_tick = 24;
 
+  /// Parallel flush pipeline (DESIGN.md §9): executors for the dyconit
+  /// flush/serialize phase, including the tick thread. 1 (default) is the
+  /// serial oracle; N > 1 shards flush work by subscriber hash across a
+  /// persistent thread pool, with wire output byte-identical to 1 for the
+  /// same seed. Ignored when use_dyconits is false.
+  std::size_t flush_threads = 1;
+
   /// Reject client moves longer than this per message (anti-teleport).
   double max_move_per_message = 12.0;
 
@@ -71,6 +78,17 @@ struct ServerConfig {
   /// (substitution table).
   SimDuration net_cost_per_frame = SimDuration::micros(8);
   double net_cost_per_byte_ns = 25.0;
+
+  /// Feed adaptive policies the modeled tick cost only (frames/bytes sent,
+  /// via the net_cost_* model) instead of measured wall-clock CPU plus
+  /// modeled. Measured CPU is the one host-dependent input in the
+  /// simulation: with it in the loop, a slow host (or a sanitizer build)
+  /// can push the director over its tick-pressure threshold and change
+  /// what goes on the wire. Setting this makes policy decisions — and
+  /// therefore wire bytes — a pure function of simulation state, which the
+  /// differential determinism suite requires (DESIGN.md §9). Reported tick
+  /// CPU metrics (tick_cpu_ms) always remain the real measurement.
+  bool deterministic_load = false;
 
   /// Aggregate tick spans into the per-phase profiler (GameServer::
   /// profiler()). Off by default: an installed profiler makes every

@@ -21,6 +21,57 @@ namespace {
 
 world::Vec3 default_spawn(const std::string&) { return {8.5, 40.0, 8.5}; }
 
+// Packs one flushed batch into protocol messages: entity moves into one
+// EntityMoveBatch (a single move stays EntityMove), block changes into
+// per-chunk MultiBlockChange (a single change stays BlockChange), anything
+// else passed through in order. Each frame's origin is the oldest
+// constituent update, so measured latency is the worst case in the batch.
+// Shared by the serial deliver() path and the parallel pack_flush() stage
+// (DESIGN.md §9): both invoke emit(msg, origin) in the exact same sequence,
+// which is what makes the staged frames byte-identical to the serial ones.
+template <typename Emit>
+void pack_update_batch(const std::vector<dyconit::FlushSink::FlushedUpdate>& updates,
+                       Emit&& emit) {
+  std::vector<protocol::EntityMove> moves;
+  SimTime moves_origin = SimTime::zero();
+  std::unordered_map<ChunkPos, protocol::MultiBlockChange> blocks;
+  std::unordered_map<ChunkPos, SimTime> blocks_origin;
+
+  for (const dyconit::FlushSink::FlushedUpdate& u : updates) {
+    if (const auto* mv = std::get_if<protocol::EntityMove>(u.msg)) {
+      if (moves.empty() || u.created < moves_origin) moves_origin = u.created;
+      moves.push_back(*mv);
+    } else if (const auto* bc = std::get_if<protocol::BlockChange>(u.msg)) {
+      const ChunkPos c = ChunkPos::of_block(bc->pos);
+      auto& mbc = blocks[c];
+      mbc.chunk = c;
+      mbc.entries.push_back({static_cast<std::uint8_t>(world::floor_mod(bc->pos.x, 16)),
+                             static_cast<std::uint8_t>(bc->pos.y),
+                             static_cast<std::uint8_t>(world::floor_mod(bc->pos.z, 16)),
+                             bc->block});
+      auto [oit, inserted] = blocks_origin.emplace(c, u.created);
+      if (!inserted && u.created < oit->second) oit->second = u.created;
+    } else {
+      emit(*u.msg, u.created);
+    }
+  }
+
+  if (moves.size() == 1) {
+    emit(protocol::AnyMessage(moves.front()), moves_origin);
+  } else if (!moves.empty()) {
+    emit(protocol::AnyMessage(protocol::EntityMoveBatch{std::move(moves)}), moves_origin);
+  }
+  for (auto& [c, mbc] : blocks) {
+    if (mbc.entries.size() == 1) {
+      const auto& e = mbc.entries.front();
+      const world::BlockPos pos{c.x * 16 + e.x, e.y, c.z * 16 + e.z};
+      emit(protocol::AnyMessage(protocol::BlockChange{pos, e.block}), blocks_origin[c]);
+    } else {
+      emit(protocol::AnyMessage(std::move(mbc)), blocks_origin[c]);
+    }
+  }
+}
+
 }  // namespace
 
 GameServer::GameServer(SimClock& clock, net::SimNetwork& net, world::World& world,
@@ -51,8 +102,13 @@ GameServer::GameServer(SimClock& clock, net::SimNetwork& net, world::World& worl
   }
   for (const char* nested :
        {"server.serialize_send", "dyconit.enqueue", "dyconit.flush_due",
-        "dyconit.gc", "net.send", "net.poll"}) {
+        "dyconit.flush_workers", "dyconit.flush_merge", "dyconit.gc", "net.send",
+        "net.poll"}) {
     profiler_.add_phase(nested, trace::TickProfiler::PhaseKind::Nested);
+  }
+
+  if (cfg_.use_dyconits && cfg_.flush_threads > 1) {
+    flush_pool_ = std::make_unique<util::ThreadPool>(cfg_.flush_threads);
   }
 
   mob_rng_ = Rng(cfg_.mob_seed);
@@ -88,13 +144,9 @@ void GameServer::tick() {
     { TRACE_SCOPE("server.dispatch"); dispatch_moved_entities(); }
     { TRACE_SCOPE("server.chunks"); stream_chunks(); }
     { TRACE_SCOPE("server.keepalive"); send_keepalives(); }
-    if (cfg_.use_dyconits) {
-      TRACE_SCOPE("server.dyconit_flush");
-      dyconits_.tick(*this);
-    }
+    if (cfg_.use_dyconits) flush_dyconits();
     { TRACE_SCOPE("server.policy"); run_policy(); }
     if (cfg_.use_dyconits) {
-      TRACE_SCOPE("server.dyconit_flush");
       // A policy retune must not widen bounds for a subscriber that is
       // still resyncing: re-pin them at zero until its snapshot drains.
       for (auto& [id, s] : sessions_) {
@@ -106,7 +158,7 @@ void GameServer::tick() {
       // A retune that tightened bounds (including the re-pin above) takes
       // effect this tick, not next: flush whatever the new bounds make
       // overdue. A no-op when the policy widened or left bounds alone.
-      dyconits_.tick(*this);
+      flush_dyconits();
     }
 
     const auto elapsed = std::chrono::steady_clock::now() - t0;
@@ -119,7 +171,9 @@ void GameServer::tick() {
     modeled += static_cast<std::int64_t>(static_cast<double>(bytes) *
                                          cfg_.net_cost_per_byte_ns / 1000.0);
     micros += modeled;
-    last_tick_cpu_ = SimDuration::micros(micros);
+    // The policy's load signal: host wall clock is nondeterministic, so
+    // deterministic_load confines it to the modeled share (see config.h).
+    last_tick_cpu_ = SimDuration::micros(cfg_.deterministic_load ? modeled : micros);
     tick_cpu_ms_.add(static_cast<double>(micros) / 1000.0);
     if (cfg_.profile_ticks) {
       profiler_.add_modeled_ms("net.modeled", static_cast<double>(modeled) / 1000.0);
@@ -628,51 +682,58 @@ void GameServer::rebuild_subscriptions() {
 
 // ---------------------------------------------------------------- flushing
 
+void GameServer::flush_dyconits() {
+  TRACE_SCOPE("server.dyconit_flush");
+  dyconits_.tick(*this, flush_pool_.get(), flush_pool_ != nullptr ? this : nullptr);
+}
+
 void GameServer::deliver(SubscriberId to, const std::vector<FlushedUpdate>& updates) {
   Session* s = session_of(to);
   if (s == nullptr) return;
+  pack_update_batch(updates, [&](const protocol::AnyMessage& m, SimTime origin) {
+    send_to(*s, m, origin);
+  });
+}
 
-  // Pack flushed updates into batch frames: entity moves into one
-  // EntityMoveBatch, block changes into per-chunk MultiBlockChange. The
-  // frame's trace origin is the oldest constituent update, so measured
-  // latency is the worst case within the batch.
-  std::vector<protocol::EntityMove> moves;
-  SimTime moves_origin = SimTime::zero();
-  std::unordered_map<ChunkPos, protocol::MultiBlockChange> blocks;
-  std::unordered_map<ChunkPos, SimTime> blocks_origin;
-
-  for (const FlushedUpdate& u : updates) {
-    if (const auto* mv = std::get_if<protocol::EntityMove>(u.msg)) {
-      if (moves.empty() || u.created < moves_origin) moves_origin = u.created;
-      moves.push_back(*mv);
-    } else if (const auto* bc = std::get_if<protocol::BlockChange>(u.msg)) {
-      const ChunkPos c = ChunkPos::of_block(bc->pos);
-      auto& mbc = blocks[c];
-      mbc.chunk = c;
-      mbc.entries.push_back({static_cast<std::uint8_t>(world::floor_mod(bc->pos.x, 16)),
-                             static_cast<std::uint8_t>(bc->pos.y),
-                             static_cast<std::uint8_t>(world::floor_mod(bc->pos.z, 16)),
-                             bc->block});
-      auto [oit, inserted] = blocks_origin.emplace(c, u.created);
-      if (!inserted && u.created < oit->second) oit->second = u.created;
-    } else {
-      send_to(*s, *u.msg, u.created);
-    }
+void GameServer::begin_flush_round(std::size_t shards) {
+  if (stages_.size() != shards) stages_.resize(shards);
+  for (ShardStage& stage : stages_) {
+    stage.frames.clear();
+    stage.batches.clear();
   }
+}
 
-  if (moves.size() == 1) {
-    send_to(*s, moves.front(), moves_origin);
-  } else if (!moves.empty()) {
-    send_to(*s, protocol::EntityMoveBatch{std::move(moves)}, moves_origin);
+std::uint32_t GameServer::pack_flush(std::size_t shard, SubscriberId to,
+                                     const std::vector<FlushedUpdate>& updates) {
+  // Worker context: read-only on sessions_ (concurrent lookups are safe —
+  // nothing mutates the session table during the flush phase); all writes
+  // go to this shard's staging only.
+  ShardStage& stage = stages_[shard];
+  const auto handle = static_cast<std::uint32_t>(stage.batches.size());
+  StagedBatch batch;
+  batch.begin = static_cast<std::uint32_t>(stage.frames.size());
+  if (session_of(to) != nullptr) {
+    pack_update_batch(updates, [&](const protocol::AnyMessage& m, SimTime origin) {
+      TRACE_SCOPE("server.serialize_send");
+      stage.frames.push_back({protocol::encode(m), origin});
+    });
   }
-  for (auto& [c, mbc] : blocks) {
-    if (mbc.entries.size() == 1) {
-      const auto& e = mbc.entries.front();
-      const world::BlockPos pos{c.x * 16 + e.x, e.y, c.z * 16 + e.z};
-      send_to(*s, protocol::BlockChange{pos, e.block}, blocks_origin[c]);
-    } else {
-      send_to(*s, std::move(mbc), blocks_origin[c]);
-    }
+  batch.end = static_cast<std::uint32_t>(stage.frames.size());
+  stage.batches.push_back(batch);
+  return handle;
+}
+
+void GameServer::emit_packed(std::size_t shard, std::uint32_t handle, SubscriberId to) {
+  Session* s = session_of(to);
+  const StagedBatch batch = stages_[shard].batches[handle];
+  for (std::uint32_t i = batch.begin; i < batch.end; ++i) {
+    if (s == nullptr) break;  // mirrors deliver()'s null-session no-op
+    StagedFrame& f = stages_[shard].frames[i];
+    // Seq is stamped here, not at pack time, so it counts frames in
+    // canonical wire order exactly as the serial send_to path does.
+    f.frame.seq = ++s->out_seq;
+    f.frame.trace_origin = f.origin;
+    net_.send(endpoint_, s->endpoint, std::move(f.frame));
   }
 }
 

@@ -25,13 +25,14 @@
 #include "trace/tick_profiler.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 #include "world/world.h"
 
 namespace dyconits::server {
 
 using dyconit::SubscriberId;
 
-class GameServer final : public dyconit::FlushSink {
+class GameServer final : public dyconit::FlushSink, public dyconit::ParallelFlushHost {
  public:
   /// `policy` may be null only when cfg.use_dyconits is false.
   GameServer(SimClock& clock, net::SimNetwork& net, world::World& world,
@@ -55,6 +56,12 @@ class GameServer final : public dyconit::FlushSink {
   // -- FlushSink --
   void deliver(SubscriberId to, const std::vector<FlushedUpdate>& updates) override;
   void request_snapshot(SubscriberId to, const dyconit::DyconitId& unit) override;
+
+  // -- ParallelFlushHost (DESIGN.md §9) --
+  void begin_flush_round(std::size_t shards) override;
+  std::uint32_t pack_flush(std::size_t shard, SubscriberId to,
+                           const std::vector<FlushedUpdate>& updates) override;
+  void emit_packed(std::size_t shard, std::uint32_t handle, SubscriberId to) override;
 
   // -- introspection --
   std::size_t player_count() const { return sessions_.size(); }
@@ -189,6 +196,9 @@ class GameServer final : public dyconit::FlushSink {
   void announce_spawn(const entity::Entity& e);
 
   // -- sending --
+  /// Flushes due dyconit queues through the serial path (flush_threads <=
+  /// 1) or the sharded pipeline; both produce byte-identical wire output.
+  void flush_dyconits();
   void send_to(Session& s, const protocol::AnyMessage& m, SimTime trace_origin = {});
   void send_entity_spawn(Session& s, const entity::Entity& e);
   const std::string& display_name_of(entity::EntityId id) const;
@@ -240,6 +250,26 @@ class GameServer final : public dyconit::FlushSink {
   };
   std::vector<Mob> mobs_;
   Rng mob_rng_{1};
+
+  /// Parallel flush staging (DESIGN.md §9): workers serialize flushed
+  /// batches into their shard's stage; the tick thread emits them in
+  /// canonical order. Frames staged without sequence numbers — the seq is
+  /// stamped at emit time so it reflects canonical wire order. Capacity is
+  /// kept across rounds; alignment avoids false sharing between shards.
+  struct StagedFrame {
+    net::Frame frame;
+    SimTime origin;
+  };
+  struct StagedBatch {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+  struct alignas(64) ShardStage {
+    std::vector<StagedFrame> frames;
+    std::vector<StagedBatch> batches;
+  };
+  std::vector<ShardStage> stages_;
+  std::unique_ptr<util::ThreadPool> flush_pool_;  // null when flush_threads <= 1
 
   struct DroppedItem {
     entity::EntityId id = entity::kInvalidEntity;

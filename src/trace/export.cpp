@@ -46,7 +46,7 @@ void write_chrome_trace(std::ostream& os, const std::vector<TraceRecord>& record
       std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(r.wall_dur_ns) / 1e3);
       os << ",\"dur\":" << buf;
     }
-    os << ",\"pid\":1,\"tid\":1,\"args\":{\"sim_us\":" << r.sim_us
+    os << ",\"pid\":1,\"tid\":" << r.tid << ",\"args\":{\"sim_us\":" << r.sim_us
        << ",\"tick\":" << r.tick << "}}";
   }
   os << "\n]}\n";

@@ -1,5 +1,7 @@
 #include "trace/trace.h"
 
+#include <algorithm>
+
 #include "trace/tick_profiler.h"
 
 namespace dyconits::trace {
@@ -10,60 +12,118 @@ Tracer& Tracer::instance() {
 }
 
 void Tracer::start_recording(std::size_t capacity) {
-  if (capacity == 0) capacity = 1;
-  ring_.assign(capacity, TraceRecord{});
-  head_ = 0;
-  count_ = 0;
-  dropped_ = 0;
-  recording_ = true;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  rings_.clear();
+  // New session: stale thread-local ring pointers become invalid and every
+  // thread re-registers on its next push.
+  session_.fetch_add(1, std::memory_order_release);
+  recording_.store(true, std::memory_order_relaxed);
 }
 
 void Tracer::clear() {
-  ring_.clear();
-  head_ = 0;
-  count_ = 0;
-  dropped_ = 0;
-  recording_ = false;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  rings_.clear();
+  session_.fetch_add(1, std::memory_order_release);
+  recording_.store(false, std::memory_order_relaxed);
 }
 
 std::vector<TraceRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
   std::vector<TraceRecord> out;
-  out.reserve(count_);
-  if (count_ == 0) return out;
-  // Oldest record sits at head_ once the ring has wrapped.
-  const std::size_t start = count_ == ring_.size() ? head_ : 0;
-  for (std::size_t i = 0; i < count_; ++i) {
-    out.push_back(ring_[(start + i) % ring_.size()]);
+  for (const auto& r : rings_) {
+    if (r->count == 0) continue;
+    // Oldest record sits at head once the ring has wrapped.
+    const std::size_t start = r->count == r->ring.size() ? r->head : 0;
+    for (std::size_t i = 0; i < r->count; ++i) {
+      out.push_back(r->ring[(start + i) % r->ring.size()]);
+    }
   }
+  // Merge in emission order (a span is emitted when it ends). Within one
+  // thread this is exactly the old single-ring push order; stable_sort
+  // keeps it so for ties.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.wall_start_ns + a.wall_dur_ns <
+                            b.wall_start_ns + b.wall_dur_ns;
+                   });
   return out;
+}
+
+std::size_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::size_t n = 0;
+  for (const auto& r : rings_) n += r->count;
+  return n;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) n += r->dropped;
+  return n;
+}
+
+Tracer::ThreadRing& Tracer::local_ring() {
+  struct Cache {
+    ThreadRing* ring = nullptr;
+    std::uint64_t session = 0;
+  };
+  thread_local Cache cache;
+  const std::uint64_t session = session_.load(std::memory_order_acquire);
+  if (cache.ring == nullptr || cache.session != session) {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto ring = std::make_unique<ThreadRing>();
+    ring->ring.assign(capacity_, TraceRecord{});
+    ring->tid = static_cast<std::uint32_t>(rings_.size());
+    cache.ring = ring.get();
+    cache.session = session;
+    rings_.push_back(std::move(ring));
+  }
+  return *cache.ring;
 }
 
 void Tracer::push(const char* name, std::int64_t start_ns, std::int64_t dur_ns,
                   bool instant) {
-  TraceRecord& r = ring_[head_];
+  ThreadRing& tr = local_ring();
+  TraceRecord& r = tr.ring[tr.head];
   r.name = name;
   r.wall_start_ns = start_ns;
   r.wall_dur_ns = dur_ns;
-  r.sim_us = sim_clock_ != nullptr ? sim_clock_->now().count_micros() : -1;
-  r.tick = tick_;
+  const SimClock* clock = sim_clock_.load(std::memory_order_relaxed);
+  r.sim_us = clock != nullptr ? clock->now().count_micros() : -1;
+  r.tick = tick_.load(std::memory_order_relaxed);
+  r.tid = tr.tid;
   r.instant = instant;
-  head_ = (head_ + 1) % ring_.size();
-  if (count_ < ring_.size()) {
-    ++count_;
+  tr.head = (tr.head + 1) % tr.ring.size();
+  if (tr.count < tr.ring.size()) {
+    ++tr.count;
   } else {
-    ++dropped_;
+    ++tr.dropped;
   }
+}
+
+void Tracer::set_profiler(TickProfiler* p) {
+  // The installer owns the profiler: spans from other threads are not
+  // observed (TickProfiler is single-threaded, and only the tick thread's
+  // phases tile the tick).
+  profiler_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  profiler_.store(p, std::memory_order_relaxed);
 }
 
 void Tracer::end_span(const char* name, std::chrono::steady_clock::time_point start) {
   const auto end = std::chrono::steady_clock::now();
   const auto dur_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(end - start);
-  if (profiler_ != nullptr) profiler_->observe(name, dur_ns.count());
-  if (recording_) push(name, since_epoch_ns(start), dur_ns.count(), /*instant=*/false);
+  TickProfiler* p = profiler_.load(std::memory_order_relaxed);
+  if (p != nullptr &&
+      profiler_owner_.load(std::memory_order_relaxed) == std::this_thread::get_id()) {
+    p->observe(name, dur_ns.count());
+  }
+  if (recording()) push(name, since_epoch_ns(start), dur_ns.count(), /*instant=*/false);
 }
 
 void Tracer::instant(const char* name) {
-  if (!recording_) return;
+  if (!recording()) return;
   push(name, since_epoch_ns(std::chrono::steady_clock::now()), 0, /*instant=*/true);
 }
 

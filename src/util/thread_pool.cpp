@@ -1,0 +1,60 @@
+#include "util/thread_pool.h"
+
+namespace dyconits::util {
+
+ThreadPool::ThreadPool(std::size_t threads) : threads_(threads == 0 ? 1 : threads) {
+  workers_.reserve(threads_ - 1);
+  for (std::size_t shard = 1; shard < threads_; ++shard) {
+    workers_.emplace_back([this, shard] { worker_loop(shard); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(std::size_t shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(shard);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run_shards(const std::function<void(std::size_t)>& fn) {
+  if (threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    outstanding_ = threads_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  fn(0);  // the caller is executor 0
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace dyconits::util

@@ -1,0 +1,58 @@
+// Persistent worker pool for statically sharded tick work (DESIGN.md §9).
+//
+// Deliberately minimal — no task queue, no work stealing: run_shards(fn)
+// invokes fn(shard) exactly once per executor and blocks until every shard
+// returns. Static sharding is what keeps the parallel flush pipeline
+// deterministic: the shard a piece of work lands on is a pure function of
+// its key, never of scheduling. The caller thread is executor 0 (a pool of
+// size 1 spawns no threads and degenerates to a plain call), so the tick
+// thread is never idle while workers run.
+//
+// Memory ordering: run_shards() returning establishes happens-before from
+// every worker's writes to the caller (mutex + condition variable), which
+// is what lets workers fill per-shard staging buffers that the merge phase
+// then reads without further synchronization.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dyconits::util {
+
+class ThreadPool {
+ public:
+  /// Total executor count including the calling thread; spawns threads-1
+  /// persistent workers. 0 is treated as 1.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t concurrency() const { return threads_; }
+
+  /// Runs fn(shard) for shard in [0, concurrency()): shard 0 on the
+  /// calling thread, the rest on the workers. Returns once all shards have
+  /// completed. Not reentrant; one round at a time.
+  void run_shards(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t shard);
+
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;  // bumps per round; workers wait on it
+  std::size_t outstanding_ = 0;   // workers still inside the current round
+  bool stop_ = false;
+};
+
+}  // namespace dyconits::util

@@ -1,0 +1,427 @@
+// Differential determinism suite (DESIGN.md §9): the parallel flush /
+// serialize pipeline must be *byte-identical* to the single-threaded
+// oracle. Every run here drives the full stack (server + bots + simulated
+// network) from a fixed seed and compares, across --threads values:
+//
+//   - the network's order-sensitive wire hash (every frame that got on the
+//     wire: from, to, tag, seq, payload — see SimNetwork::wire_hash),
+//   - a final-state digest (entities, edited ground-truth chunks, wire
+//     totals),
+//   - the middleware's full Stats ledger, including the FP-sensitive
+//     weight_delivered accumulator (equal iff accounting ran in the same
+//     order), and per-dyconit end-state counters.
+//
+// Knobs (all optional, for scripts/verify.sh and local soak):
+//   DYCONITS_DET_SEED=N    run only seed N instead of the built-in matrix
+//   DYCONITS_DET_SEEDS=K   run only the first K seeds of the matrix
+//   DYCONITS_DET_TICKS=N   measured ticks per run (default 1000)
+//   DYCONITS_REBASELINE=1  rewrite the golden serial baseline and skip
+//
+// The GoldenRun baseline pins the *serial* wire stream over time, so a
+// behavior change anywhere in the update path shows up as a readable diff
+// (first divergent tick + which byte family moved) rather than a silent
+// re-agreement between serial and parallel. Regenerate deliberately with
+// scripts/rebaseline.sh.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bots/simulation.h"
+#include "dyconit/system.h"
+
+namespace dyconits::bots {
+namespace {
+
+constexpr std::uint64_t kSeedMatrix[] = {42, 7, 1337, 2024, 99};
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : fallback;
+}
+
+std::size_t det_ticks() {
+  return static_cast<std::size_t>(env_u64("DYCONITS_DET_TICKS", 1000));
+}
+
+std::vector<std::uint64_t> det_seeds() {
+  const char* one = std::getenv("DYCONITS_DET_SEED");
+  if (one != nullptr) return {std::strtoull(one, nullptr, 10)};
+  std::size_t n = static_cast<std::size_t>(
+      env_u64("DYCONITS_DET_SEEDS", std::size(kSeedMatrix)));
+  n = std::min(n, std::size(kSeedMatrix));
+  return {std::begin(kSeedMatrix), std::begin(kSeedMatrix) + n};
+}
+
+/// E2-style workload: a village hotspot, NPC mobs, environmental block
+/// ticks, staggered joins — enough cross-dyconit traffic that any ordering
+/// bug in the sharded flush shows up in the wire stream.
+SimulationConfig det_config(std::uint64_t seed, std::size_t threads,
+                            std::size_t ticks) {
+  SimulationConfig cfg;
+  cfg.players = 16;
+  cfg.policy = "director";
+  cfg.seed = seed;
+  cfg.view_distance = 4;
+  cfg.link_latency = SimDuration::millis(25);
+  cfg.link_jitter = 0.1;
+  cfg.workload.kind = WorkloadKind::Village;
+  cfg.joins_per_tick = 4;
+  cfg.mobs = 8;
+  cfg.env_ticks = 2;
+  cfg.warmup = SimDuration::seconds(5);
+  // run() executes duration / tick_interval ticks total (warmup included).
+  cfg.duration = cfg.warmup + SimDuration::millis(static_cast<std::int64_t>(ticks) * 50);
+  cfg.flush_threads = threads;
+  // The director's load input must be the modeled tick cost: with measured
+  // wall clock in the loop, a slow host (e.g. a TSan build on one core)
+  // crosses the tick-pressure threshold differently per thread count and
+  // legitimately changes the wire bytes. Byte-identity is only defined over
+  // deterministic inputs (DESIGN.md §9).
+  cfg.deterministic_load = true;
+  return cfg;
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * 1099511628211ull;
+}
+
+/// Order-independent digest of final game state (same scheme as the chaos
+/// suite): entities sorted by id, per-chunk digests XOR-combined.
+std::uint64_t world_digest(Simulation& sim) {
+  std::uint64_t h = 1469598103934665603ull;
+  std::vector<const entity::Entity*> ents;
+  sim.server().entities().for_each(
+      [&](const entity::Entity& e) { ents.push_back(&e); });
+  std::sort(ents.begin(), ents.end(),
+            [](const entity::Entity* a, const entity::Entity* b) { return a->id < b->id; });
+  for (const entity::Entity* e : ents) {
+    h = fnv_mix(h, e->id);
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &e->pos.x, sizeof(double));
+    h = fnv_mix(h, bits);
+    std::memcpy(&bits, &e->pos.y, sizeof(double));
+    h = fnv_mix(h, bits);
+    std::memcpy(&bits, &e->pos.z, sizeof(double));
+    h = fnv_mix(h, bits);
+  }
+  std::uint64_t chunks = 0;
+  sim.world().for_each_chunk([&](const world::Chunk& c) {
+    std::uint64_t ch = 1469598103934665603ull;
+    ch = fnv_mix(ch, static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.pos().x)));
+    ch = fnv_mix(ch, static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.pos().z)));
+    for (int x = 0; x < world::kChunkSize; ++x) {
+      for (int z = 0; z < world::kChunkSize; ++z) {
+        for (int y = 0; y < 10; ++y) {  // edits happen near the ground
+          ch = fnv_mix(ch, static_cast<std::uint64_t>(c.get_local(x, y, z)));
+        }
+      }
+    }
+    chunks ^= ch;
+  });
+  return fnv_mix(h, chunks);
+}
+
+/// Everything a run must reproduce exactly, regardless of thread count.
+struct RunDigest {
+  std::uint64_t wire_hash = 0;
+  std::uint64_t world = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_frames = 0;
+  std::uint64_t server_egress_bytes = 0;
+  std::uint64_t resyncs_served = 0;
+
+  // Middleware ledger; weight_delivered is FP and therefore only equal when
+  // flush accounting ran in the exact same order as the oracle.
+  dyconit::Stats stats;
+
+  // Per-dyconit end state, in canonical id order.
+  struct DyconitRow {
+    std::string id;
+    std::size_t subscribers = 0;
+    std::size_t queued = 0;
+  };
+  std::vector<DyconitRow> dyconits;
+};
+
+RunDigest run_digest(std::uint64_t seed, std::size_t threads, std::size_t ticks) {
+  Simulation sim(det_config(seed, threads, ticks));
+  sim.run();
+  RunDigest d;
+  d.wire_hash = sim.network().wire_hash();
+  d.world = world_digest(sim);
+  d.total_bytes = sim.network().total_bytes();
+  d.total_frames = sim.network().total_frames();
+  d.server_egress_bytes = sim.network().egress_bytes(sim.server().endpoint());
+  d.resyncs_served = sim.server().resyncs_served();
+  d.stats = sim.server().dyconit_stats();
+  sim.server().dyconits().for_each([&](dyconit::Dyconit& dy) {
+    d.dyconits.push_back({dy.id().to_string(), dy.subscriber_count(), dy.total_queued()});
+  });
+  std::sort(d.dyconits.begin(), d.dyconits.end(),
+            [](const RunDigest::DyconitRow& a, const RunDigest::DyconitRow& b) {
+              return a.id < b.id;
+            });
+  return d;
+}
+
+void expect_same_run(const RunDigest& oracle, const RunDigest& got,
+                     const std::string& label) {
+  EXPECT_EQ(oracle.wire_hash, got.wire_hash) << label << ": wire bytes diverged";
+  EXPECT_EQ(oracle.world, got.world) << label << ": final world state diverged";
+  EXPECT_EQ(oracle.total_bytes, got.total_bytes) << label;
+  EXPECT_EQ(oracle.total_frames, got.total_frames) << label;
+  EXPECT_EQ(oracle.server_egress_bytes, got.server_egress_bytes) << label;
+  EXPECT_EQ(oracle.resyncs_served, got.resyncs_served) << label;
+
+  const dyconit::Stats& a = oracle.stats;
+  const dyconit::Stats& b = got.stats;
+  EXPECT_EQ(a.enqueued, b.enqueued) << label;
+  EXPECT_EQ(a.coalesced, b.coalesced) << label;
+  EXPECT_EQ(a.delivered, b.delivered) << label;
+  EXPECT_EQ(a.dropped_no_subscriber, b.dropped_no_subscriber) << label;
+  EXPECT_EQ(a.dropped_unsubscribe, b.dropped_unsubscribe) << label;
+  EXPECT_EQ(a.flushes_staleness, b.flushes_staleness) << label;
+  EXPECT_EQ(a.flushes_numerical, b.flushes_numerical) << label;
+  EXPECT_EQ(a.flushes_forced, b.flushes_forced) << label;
+  EXPECT_EQ(a.snapshots_requested, b.snapshots_requested) << label;
+  EXPECT_EQ(a.dropped_snapshot, b.dropped_snapshot) << label;
+  EXPECT_EQ(a.resyncs, b.resyncs) << label;
+  // Bitwise, not approximate: same additions in the same order.
+  EXPECT_EQ(a.weight_delivered, b.weight_delivered)
+      << label << ": flush accounting order diverged";
+
+  ASSERT_EQ(oracle.dyconits.size(), got.dyconits.size()) << label;
+  for (std::size_t i = 0; i < oracle.dyconits.size(); ++i) {
+    EXPECT_EQ(oracle.dyconits[i].id, got.dyconits[i].id) << label;
+    EXPECT_EQ(oracle.dyconits[i].subscribers, got.dyconits[i].subscribers)
+        << label << " " << oracle.dyconits[i].id;
+    EXPECT_EQ(oracle.dyconits[i].queued, got.dyconits[i].queued)
+        << label << " " << oracle.dyconits[i].id;
+  }
+}
+
+// ------------------------------------------------- threads-vs-oracle matrix
+
+TEST(ParallelFlush, MatchesSerialOracleAcrossThreadCounts) {
+  const std::size_t ticks = det_ticks();
+  for (const std::uint64_t seed : det_seeds()) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const RunDigest oracle = run_digest(seed, 1, ticks);
+    // Non-trivial run or the comparison proves nothing.
+    ASSERT_GT(oracle.stats.delivered, 0u);
+    ASSERT_GT(oracle.total_frames, 0u);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      const RunDigest got = run_digest(seed, threads, ticks);
+      expect_same_run(oracle, got,
+                      "seed " + std::to_string(seed) + " threads " +
+                          std::to_string(threads));
+    }
+  }
+}
+
+// ----------------------------------------------------- resync mid-tick
+
+/// Resyncs requested while flush work is sharded across workers must still
+/// be served in canonical order: snapshot streams ride the same wire as
+/// regular flushes, so any ordering slip breaks byte-identity.
+TEST(ParallelFlush, ResyncMidRunDrainsCanonically) {
+  const std::size_t ticks = std::min<std::size_t>(det_ticks(), 600);
+  auto run_with_resyncs = [&](std::size_t threads) {
+    SimulationConfig cfg = det_config(7, threads, ticks);
+    cfg.faults.link.loss = 0.03;  // lost frames → gap detection → resyncs too
+    Simulation sim(cfg);
+    std::uint64_t tick_no = 0;
+    sim.set_tick_hook([&](Simulation& s, SimTime) {
+      ++tick_no;
+      if (tick_no == 150 || tick_no == 151 || tick_no == 320) {
+        auto& bots = s.bots();
+        if (!bots.empty()) bots[tick_no % bots.size()]->request_resync();
+      }
+    });
+    sim.run();
+    RunDigest d;
+    d.wire_hash = sim.network().wire_hash();
+    d.world = world_digest(sim);
+    d.total_frames = sim.network().total_frames();
+    d.resyncs_served = sim.server().resyncs_served();
+    d.stats = sim.server().dyconit_stats();
+    return d;
+  };
+
+  const RunDigest oracle = run_with_resyncs(1);
+  ASSERT_GT(oracle.resyncs_served, 0u) << "scenario never exercised resync";
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const RunDigest got = run_with_resyncs(threads);
+    const std::string label = "threads " + std::to_string(threads);
+    EXPECT_EQ(oracle.wire_hash, got.wire_hash) << label;
+    EXPECT_EQ(oracle.world, got.world) << label;
+    EXPECT_EQ(oracle.total_frames, got.total_frames) << label;
+    EXPECT_EQ(oracle.resyncs_served, got.resyncs_served) << label;
+    EXPECT_EQ(oracle.stats.weight_delivered, got.stats.weight_delivered) << label;
+  }
+}
+
+// ----------------------------------------------------- shard function
+
+TEST(ParallelFlush, ShardFunctionIsStableAndCoversAllShards) {
+  // Pinned values: the shard assignment is part of no determinism contract
+  // (any assignment merges back into canonical order), but changing it
+  // silently would reshuffle which thread does what — make that a
+  // deliberate, visible change.
+  EXPECT_EQ(dyconit::flush_shard_of(1, 4), dyconit::flush_shard_of(1, 4));
+  EXPECT_EQ(dyconit::flush_shard_of(0, 1), 0u);
+  EXPECT_EQ(dyconit::flush_shard_of(12345, 1), 0u);
+
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    std::vector<std::size_t> hits(shards, 0);
+    for (std::uint64_t sub = 0; sub < 1000; ++sub) {
+      const std::size_t s = dyconit::flush_shard_of(sub, shards);
+      ASSERT_LT(s, shards);
+      hits[s] += 1;
+    }
+    // splitmix64 scrambles dense ids well: every shard gets meaningful work.
+    for (std::size_t s = 0; s < shards; ++s) {
+      EXPECT_GT(hits[s], 1000 / shards / 2) << "shard " << s << " of " << shards;
+    }
+  }
+}
+
+// ----------------------------------------------------- golden serial run
+
+struct Checkpoint {
+  std::uint64_t tick = 0;
+  std::uint64_t wire_hash = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t move_bytes = 0;   // EntityMove + EntityMoveBatch
+  std::uint64_t block_bytes = 0;  // BlockChange + MultiBlockChange
+  std::uint64_t chunk_bytes = 0;  // ChunkData
+};
+
+constexpr std::uint64_t kGoldenSeed = 42;
+constexpr std::uint64_t kGoldenTicks = 600;
+constexpr std::uint64_t kGoldenEvery = 25;
+
+std::vector<Checkpoint> golden_run() {
+  Simulation sim(det_config(kGoldenSeed, 1, kGoldenTicks));
+  const auto server = sim.server().endpoint();
+  auto family = [&](protocol::MessageType a, protocol::MessageType b) {
+    std::uint64_t n = sim.network().egress_bytes_by_tag(
+        server, static_cast<std::uint8_t>(a));
+    if (b != a) {
+      n += sim.network().egress_bytes_by_tag(server, static_cast<std::uint8_t>(b));
+    }
+    return n;
+  };
+  std::vector<Checkpoint> out;
+  for (std::uint64_t t = 1; t <= kGoldenTicks; ++t) {
+    sim.step_tick();
+    if (t % kGoldenEvery != 0) continue;
+    Checkpoint c;
+    c.tick = t;
+    c.wire_hash = sim.network().wire_hash();
+    c.frames = sim.network().total_frames();
+    c.bytes = sim.network().total_bytes();
+    c.move_bytes = family(protocol::MessageType::EntityMove,
+                          protocol::MessageType::EntityMoveBatch);
+    c.block_bytes = family(protocol::MessageType::BlockChange,
+                           protocol::MessageType::MultiBlockChange);
+    c.chunk_bytes = family(protocol::MessageType::ChunkData,
+                           protocol::MessageType::ChunkData);
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_baseline(const std::string& path, const std::vector<Checkpoint>& cps) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+  out << "# Serial-oracle wire baseline: seed " << kGoldenSeed << ", "
+      << kGoldenTicks << " ticks, checkpoint every " << kGoldenEvery << ".\n"
+      << "# Regenerate deliberately with scripts/rebaseline.sh after any\n"
+      << "# intended change to the update/wire path.\n"
+      << "# tick wire_hash frames bytes move_bytes block_bytes chunk_bytes\n";
+  char line[160];
+  for (const Checkpoint& c : cps) {
+    std::snprintf(line, sizeof(line), "%llu %016llx %llu %llu %llu %llu %llu\n",
+                  (unsigned long long)c.tick, (unsigned long long)c.wire_hash,
+                  (unsigned long long)c.frames, (unsigned long long)c.bytes,
+                  (unsigned long long)c.move_bytes, (unsigned long long)c.block_bytes,
+                  (unsigned long long)c.chunk_bytes);
+    out << line;
+  }
+}
+
+bool read_baseline(const std::string& path, std::vector<Checkpoint>* out) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    Checkpoint c;
+    std::istringstream ss(line);
+    ss >> c.tick >> std::hex >> c.wire_hash >> std::dec >> c.frames >> c.bytes >>
+        c.move_bytes >> c.block_bytes >> c.chunk_bytes;
+    if (ss.fail()) return false;
+    out->push_back(c);
+  }
+  return true;
+}
+
+TEST(GoldenRun, SerialWireBaselineUnchanged) {
+  const std::string path = DYCONITS_GOLDEN_FILE;
+  const std::vector<Checkpoint> got = golden_run();
+
+  if (env_u64("DYCONITS_REBASELINE", 0) != 0) {
+    write_baseline(path, got);
+    GTEST_SKIP() << "rebaselined " << path << " (" << got.size() << " checkpoints)";
+  }
+
+  std::vector<Checkpoint> want;
+  ASSERT_TRUE(read_baseline(path, &want))
+      << "missing or unreadable golden baseline " << path
+      << " — run scripts/rebaseline.sh";
+  ASSERT_EQ(want.size(), got.size()) << "checkpoint count changed";
+
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    const Checkpoint& w = want[i];
+    const Checkpoint& g = got[i];
+    if (w.wire_hash == g.wire_hash && w.frames == g.frames && w.bytes == g.bytes) {
+      continue;
+    }
+    // First divergence: say when and *what kind* of traffic moved, so the
+    // diff points at a subsystem instead of just "hash changed".
+    std::string hint;
+    if (g.move_bytes != w.move_bytes) {
+      hint += " move_bytes " + std::to_string(w.move_bytes) + " -> " +
+              std::to_string(g.move_bytes) + " (entity movement path)";
+    }
+    if (g.block_bytes != w.block_bytes) {
+      hint += " block_bytes " + std::to_string(w.block_bytes) + " -> " +
+              std::to_string(g.block_bytes) + " (block-edit path)";
+    }
+    if (g.chunk_bytes != w.chunk_bytes) {
+      hint += " chunk_bytes " + std::to_string(w.chunk_bytes) + " -> " +
+              std::to_string(g.chunk_bytes) + " (chunk streaming/snapshot path)";
+    }
+    if (hint.empty()) hint = " same per-family byte totals (ordering or non-update frames)";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%016llx vs %016llx",
+                  (unsigned long long)w.wire_hash, (unsigned long long)g.wire_hash);
+    FAIL() << "serial wire stream diverged from golden baseline at tick " << w.tick
+           << " (first divergent checkpoint): wire_hash " << buf << ", frames "
+           << w.frames << " -> " << g.frames << ", bytes " << w.bytes << " -> "
+           << g.bytes << ";" << hint
+           << ". If this change is intended, run scripts/rebaseline.sh.";
+  }
+}
+
+}  // namespace
+}  // namespace dyconits::bots

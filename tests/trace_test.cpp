@@ -17,6 +17,7 @@
 #include "trace/export.h"
 #include "trace/tick_profiler.h"
 #include "trace/trace.h"
+#include "util/thread_pool.h"
 
 namespace dyconits::trace {
 namespace {
@@ -273,6 +274,75 @@ TEST_F(TraceTest, StampsSimTimeAndTick) {
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].sim_us, 250'000);
   EXPECT_EQ(records[0].tick, 7u);
+}
+
+TEST_F(TraceTest, WorkerThreadSpansMergeWithoutCorruption) {
+  auto& t = Tracer::instance();
+  t.start_recording(1 << 12);
+  constexpr std::size_t kShards = 4;
+  constexpr int kSpansPerShard = 50;
+  {
+    TRACE_SCOPE("test.main");
+    util::ThreadPool pool(kShards);
+    pool.run_shards([](std::size_t) {
+      for (int i = 0; i < kSpansPerShard; ++i) {
+        TRACE_SCOPE("test.worker");
+      }
+    });
+  }
+  const auto records = t.snapshot();
+  // Every span from every executor survives: nothing lost, nothing torn.
+  ASSERT_EQ(records.size(), kShards * kSpansPerShard + 1);
+  std::map<std::uint32_t, int> by_tid;
+  int workers = 0;
+  for (const auto& r : records) {
+    ASSERT_NE(r.name, nullptr);
+    if (std::string(r.name) == "test.worker") {
+      ++workers;
+      by_tid[r.tid] += 1;
+    } else {
+      EXPECT_STREQ(r.name, "test.main");
+    }
+    EXPECT_GE(r.wall_dur_ns, 0);
+  }
+  EXPECT_EQ(workers, kShards * kSpansPerShard);
+  // One ring per executor (the caller ran shard 0), each fully populated.
+  ASSERT_EQ(by_tid.size(), kShards);
+  for (const auto& [tid, n] : by_tid) EXPECT_EQ(n, kSpansPerShard) << "tid " << tid;
+
+  // The merged stream still exports as valid Chrome JSON.
+  std::ostringstream os;
+  write_chrome_trace(os, records);
+  JsonParser parser(os.str());
+  const Json root = parser.parse();
+  EXPECT_EQ(root.at("traceEvents").items.size(), records.size() + 1);  // + metadata
+}
+
+TEST_F(TraceTest, ProfilerOnlyObservesInstallingThreadSpans) {
+  TickProfiler p;
+  p.add_phase("test.phase");
+  p.begin_tick(1);
+  {
+    ProfilerScope scope(p);  // installed on this (the "tick") thread
+    {
+      TRACE_SCOPE("test.phase");
+      busy_spin_ns(1000);
+    }
+    // A worker emitting the same phase name for much longer must not feed
+    // the profiler: per-phase tick accounting is the tick thread's story.
+    util::ThreadPool pool(2);
+    pool.run_shards([](std::size_t shard) {
+      if (shard == 1) {
+        TRACE_SCOPE("test.phase");
+        busy_spin_ns(3'000'000);
+      }
+    });
+  }
+  p.end_tick(0.001);
+  const auto r = p.report();
+  ASSERT_EQ(r.phases.size(), 1u);
+  EXPECT_GT(r.phases[0].ms.max(), 0.0);
+  EXPECT_LT(r.phases[0].ms.max(), 3.0) << "worker span leaked into the tick profiler";
 }
 
 // ------------------------------------------------------------ TickProfiler
