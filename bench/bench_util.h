@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bots/faults.h"
+#include "bots/overload_schedule.h"
 #include "bots/simulation.h"
 #include "trace/trace_flags.h"
 #include "util/flags.h"
@@ -24,8 +25,8 @@ inline std::vector<std::string> common_flag_names() {
           "warmup",           "seed",
           "view",             "workload",
           "faults",           "fault-seed",
-          "threads",          trace::kTraceFlag,
-          trace::kTraceBufferFlag,
+          "overload",         "threads",
+          trace::kTraceFlag,  trace::kTraceBufferFlag,
           "help"};
 }
 
@@ -74,6 +75,16 @@ inline bots::SimulationConfig base_config(const Flags& flags) {
     }
   }
   cfg.fault_seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 0));
+  // --overload=FILE schedules stalled clients / flash crowds / spam bursts
+  // (see bots/overload_schedule.h for the format).
+  const std::string overload_file = flags.get_string("overload", "");
+  if (!overload_file.empty()) {
+    std::string error;
+    if (!bots::load_overload_schedule(overload_file, &cfg.overload_schedule, &error)) {
+      std::fprintf(stderr, "--overload: %s\n", error.c_str());
+      std::exit(2);
+    }
+  }
   // --threads=1 (default) is the serial oracle; >1 shards flush/serialize
   // work across a pool with byte-identical wire output (DESIGN.md §9).
   cfg.flush_threads = static_cast<std::size_t>(flags.get_int("threads", 1));

@@ -1,0 +1,124 @@
+// E13 — Overload control: the degradation curve under offered load
+// (DESIGN.md §10, EXPERIMENTS.md E13). Sweeps an offered-load multiplier
+// over a fixed overload scenario — one stalled (frozen) client, a spam
+// burst, and a flash crowd arriving mid-run — and reports, with and without
+// the overload subsystem, how the server degrades: tick cost, update
+// latency, and (with it on) where the degradation ladder settled and what
+// each rung shed. Per-subscriber egress queues must stay under the cap at
+// every load point.
+//
+//   e13_overload [--players=30] [--duration=45] [--load=1,2,4,8]
+//                [--overload=FILE]   # replaces the built-in scenario
+#include <algorithm>
+#include <sstream>
+
+#include "bench_util.h"
+
+using namespace dyconits;
+using namespace dyconits::bench;
+
+namespace {
+
+struct OverloadOutcome {
+  bots::SimulationResult result;
+  std::uint64_t max_queue_bytes = 0;  // max per-subscriber egress queue seen
+  std::uint64_t cap_violations = 0;   // ticks where any queue exceeded the cap
+};
+
+OverloadOutcome run_overload(const Flags& flags, double load, bool enabled) {
+  auto cfg = base_config(flags);
+  cfg.players = static_cast<std::size_t>(flags.get_int("players", 30));
+  cfg.deterministic_load = true;
+  cfg.record_timelines = true;
+  cfg.server_egress_rate = 256 * 1024;  // constrained uplink: backlog is possible
+  cfg.overload.enabled = enabled;
+  // Engage the ladder when the modeled send cost outruns what the 256 KB/s
+  // uplink can drain (~13 KB/tick ~= 0.33 ms of the 50 ms budget), not when
+  // the CPU budget itself is gone — the uplink saturates first here.
+  cfg.overload.budget_engage = 0.010;
+  cfg.overload.budget_release = 0.004;
+
+  if (cfg.overload_schedule.events.empty()) {
+    // Built-in scenario: bot 0 freezes for the back half, everyone spams
+    // `load`x from warmup+5s, and a flash crowd of 25% arrives at +10s.
+    const double w = cfg.warmup.as_seconds();
+    const double end = cfg.duration.as_seconds();
+    cfg.overload_schedule.events.push_back(
+        {bots::ScheduledOverload::Kind::Stall, w, end, 0, 0, 1.0});
+    if (load > 1.0) {
+      cfg.overload_schedule.events.push_back(
+          {bots::ScheduledOverload::Kind::Spam, w + 5.0, end, 0, 0, load});
+    }
+    cfg.overload_schedule.events.push_back(
+        {bots::ScheduledOverload::Kind::Flash, w + 10.0, 0, 0,
+         std::max<std::size_t>(1, cfg.players / 4), 1.0});
+  }
+
+  OverloadOutcome out;
+  bots::Simulation sim(cfg);
+  const std::uint64_t cap = cfg.overload.queue_cap_bytes;
+  sim.set_tick_hook([&](bots::Simulation& s, SimTime) {
+    bool over = false;
+    for (const auto& bot : s.bots()) {
+      if (!bot->joined()) continue;
+      // Subscriber id == client endpoint id (see GameServer::handle_join).
+      const std::uint64_t q = s.server().egress_queue_bytes(bot->endpoint());
+      out.max_queue_bytes = std::max(out.max_queue_bytes, q);
+      if (enabled && q > cap) over = true;
+    }
+    if (over) ++out.cap_violations;
+  });
+  const auto ticks =
+      static_cast<std::uint64_t>(cfg.duration.count_micros() /
+                                 sim.server().config().tick_interval.count_micros());
+  for (std::uint64_t i = 0; i < ticks; ++i) sim.step_tick();
+  sim.finalize();
+  out.result = std::move(sim.result());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  check_flags(flags, {"load"});
+
+  std::vector<double> loads;
+  {
+    std::stringstream ss(flags.get_string("load", "1,2,4,8"));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) loads.push_back(std::stod(tok));
+  }
+
+  print_title("E13: degradation ladder vs offered load");
+  std::printf("(scenario per run: one frozen client, spam burst at LOADx, flash crowd\n"
+              " of 25%% mid-run; constrained 256 KB/s uplink; off = overload control\n"
+              " disabled at the same load)\n");
+  std::printf("%5s %9s %9s %4s %6s %9s %9s %8s %8s %7s %7s %8s %9s\n", "load",
+              "tick_off", "tick_on", "rung", "trans", "coalesce", "shed", "defer",
+              "refuse", "kick", "capXs", "peakQ_KB", "lat_p95");
+  print_rule(112);
+  for (const double load : loads) {
+    const auto off = run_overload(flags, load, false);
+    const auto on = run_overload(flags, load, true);
+    const auto& r = on.result;
+    std::printf("%5.1f %9.2f %9.2f %4d %6llu %9llu %9llu %8llu %8llu %7llu %7llu %8.1f %9.1f\n",
+                load, off.result.tick_ms.percentile(0.95), r.tick_ms.percentile(0.95),
+                r.final_rung, static_cast<unsigned long long>(r.ladder_transitions),
+                static_cast<unsigned long long>(r.egress_coalesced),
+                static_cast<unsigned long long>(r.egress_shed),
+                static_cast<unsigned long long>(r.chunks_deferred),
+                static_cast<unsigned long long>(r.joins_refused),
+                static_cast<unsigned long long>(r.overload_disconnects),
+                static_cast<unsigned long long>(on.cap_violations),
+                static_cast<double>(on.max_queue_bytes) / 1024.0,
+                r.update_latency_ms.percentile(0.95));
+  }
+  std::printf(
+      "(tick_*: p95 modeled+measured tick cost ms; rung: final ladder rung;\n"
+      " shed: moves evicted/dropped at the queue cap; capXs: ticks with any\n"
+      " per-subscriber queue over the cap — must be 0; peakQ_KB: largest\n"
+      " per-subscriber egress queue observed)\n");
+  finish_trace(flags);
+  return 0;
+}

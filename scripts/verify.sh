@@ -37,17 +37,27 @@ ctest --test-dir "$prefix-sanitize" --output-on-failure
 # zero sanitizer reports (the default iteration count is much smaller).
 DYCONITS_FUZZ_ITERS=100000 \
   ctest --test-dir "$prefix-sanitize" --output-on-failure -R protocol_fuzz_test
+# Acceptance floor for overload control (DESIGN.md §10): the full 10k-tick
+# saturating-load run — queue caps, sustained tick cost, and the
+# threads-{1,2,4} byte-identity check — must also hold with ASan+UBSan
+# watching the egress-queue memory churn.
+DYCONITS_OVERLOAD_TICKS=10000 \
+  ctest --test-dir "$prefix-sanitize" --output-on-failure -L overload
 
-echo "== tsan: determinism + chaos suites, parallel flush pipeline =="
-# TSan and ASan cannot share a build; a dedicated tree runs the two suites
+echo "== tsan: determinism + chaos + overload suites, parallel flush pipeline =="
+# TSan and ASan cannot share a build; a dedicated tree runs the suites
 # that exercise the sharded flush path. Threads forced to 4 so worker code
 # actually runs concurrently; ticks/seeds trimmed — TSan is ~10x slower and
-# the full matrix already ran in the tier-1 pass.
+# the full matrix already ran in the tier-1 pass. The determinism label now
+# includes the overload-ladder scenario (rung transitions byte-identical at
+# --threads=4), and the overload acceptance run re-checks the egress-queue
+# path under concurrent flush workers.
 cmake -B "$prefix-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDYCONITS_SANITIZE=thread
 cmake --build "$prefix-tsan" -j "$jobs"
 DYCONITS_CHAOS_THREADS=4 DYCONITS_DET_TICKS=300 DYCONITS_DET_SEEDS=2 \
-  ctest --test-dir "$prefix-tsan" --output-on-failure -L "determinism|chaos"
+  DYCONITS_OVERLOAD_TICKS=2000 \
+  ctest --test-dir "$prefix-tsan" --output-on-failure -L "determinism|chaos|overload"
 
 echo "== tracing compiled out: build + ctest =="
 cmake -B "$prefix-notrace" -S . -DCMAKE_BUILD_TYPE=Release -DDYCONITS_TRACING=OFF

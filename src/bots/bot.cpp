@@ -93,6 +93,7 @@ void BotClient::track_seq(std::uint32_t seq, SimTime now) {
 }
 
 void BotClient::tick() {
+  if (stalled_) return;  // frozen client: nothing polled, nothing sent
   const SimTime now = clock_.now();
   for (const net::Delivery& d : net_.poll(endpoint_)) {
     ++frames_received_;
@@ -126,8 +127,9 @@ void BotClient::tick() {
     next_resync_ok_ = now + kResyncInterval;
   }
   if (!joined_ && join_sent_at_ != SimTime::zero() &&
-      cfg_.join_retry.count_micros() > 0 && now - join_sent_at_ >= cfg_.join_retry) {
-    connect();  // the JoinRequest or its ack was lost
+      cfg_.join_retry.count_micros() > 0 && now - join_sent_at_ >= cfg_.join_retry &&
+      now >= join_backoff_until_) {
+    connect();  // the JoinRequest or its ack was lost (or refused; backoff over)
   }
   if (joined_ && cfg_.liveness_timeout.count_micros() > 0 &&
       last_rx_ != SimTime::zero() && now - last_rx_ > cfg_.liveness_timeout) {
@@ -142,7 +144,10 @@ void BotClient::tick() {
   walk();
   if (clock_.now() >= next_action_) {
     act();
-    next_action_ = clock_.now() + cfg_.action_interval;
+    next_action_ = clock_.now() +
+                   SimDuration::micros(static_cast<std::int64_t>(
+                       static_cast<double>(cfg_.action_interval.count_micros()) /
+                       action_scale_));
   }
 }
 
@@ -192,6 +197,13 @@ void BotClient::apply(const AnyMessage& msg, const net::Delivery& d) {
     next_action_ = clock_.now() + SimDuration::micros(static_cast<std::int64_t>(
                                       rng_.next_double() *
                                       static_cast<double>(cfg_.action_interval.count_micros())));
+  } else if (const auto* ref = std::get_if<protocol::JoinRefused>(&msg)) {
+    // Admission control turned us away (DESIGN.md §10): honor the server's
+    // suggested backoff before the join-retry loop tries again.
+    ++join_refusals_;
+    const SimDuration wait = SimDuration::millis(
+        ref->retry_after_ms > 0 ? static_cast<std::int64_t>(ref->retry_after_ms) : 1000);
+    join_backoff_until_ = d.arrival + wait;
   } else if (const auto* cd = std::get_if<protocol::ChunkData>(&msg)) {
     loaded_chunks_.insert(cd->pos);
     // Always exercise the decode path; keep the result only when replicating.

@@ -97,6 +97,16 @@ class BotClient {
   /// keep-alives — used to quiesce a simulation before convergence checks.
   void set_paused(bool paused) { paused_ = paused; }
   bool paused() const { return paused_; }
+  /// Stalled bots stop entirely — no polling, no sends — modeling a frozen
+  /// client or saturated last-mile link. The server-side inbox grows until
+  /// overload control isolates the subscriber (DESIGN.md §10).
+  void set_stalled(bool stalled) { stalled_ = stalled; }
+  bool stalled() const { return stalled_; }
+  /// Behavior-rate multiplier: actions fire every action_interval / scale.
+  /// The overload schedule's `spam` directive multiplies offered load with
+  /// this mid-run; 1.0 restores the configured cadence.
+  void set_action_scale(double scale) { action_scale_ = scale > 0.0 ? scale : 1.0; }
+  double action_scale() const { return action_scale_; }
   const BotConfig& config() const { return cfg_; }
 
   /// Asks for a server resync on the next tick (tests force a final
@@ -154,6 +164,9 @@ class BotClient {
   /// Ghost replica entities removed at resync (despawns lost on the wire).
   std::uint64_t replica_pruned() const { return replica_pruned_; }
   std::uint64_t liveness_resets() const { return liveness_resets_; }
+  /// JoinRequests the server refused under overload (DESIGN.md §10). The
+  /// bot backs off for the server-suggested interval before retrying.
+  std::uint64_t join_refusals() const { return join_refusals_; }
 
  private:
   void apply(const protocol::AnyMessage& msg, const net::Delivery& d);
@@ -177,6 +190,8 @@ class BotClient {
 
   bool joined_ = false;
   bool paused_ = false;
+  bool stalled_ = false;
+  double action_scale_ = 1.0;
   entity::EntityId self_ = entity::kInvalidEntity;
   world::Vec3 pos_;
   world::Vec3 waypoint_;
@@ -215,6 +230,7 @@ class BotClient {
   bool pending_resync_ = false;
   SimTime next_resync_ok_;
   SimTime join_sent_at_;
+  SimTime join_backoff_until_;  ///< no JoinRequest before this (JoinRefused)
   SimTime last_rx_;
   std::uint64_t gaps_detected_ = 0;
   std::uint64_t resyncs_requested_ = 0;
@@ -222,6 +238,7 @@ class BotClient {
   std::uint64_t dup_or_old_frames_ = 0;
   std::uint64_t replica_pruned_ = 0;
   std::uint64_t liveness_resets_ = 0;
+  std::uint64_t join_refusals_ = 0;
 };
 
 }  // namespace dyconits::bots

@@ -1,0 +1,105 @@
+#include "bots/overload_schedule.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dyconits::bots {
+namespace {
+
+bool fail(std::string* error, int line, const std::string& what) {
+  if (error != nullptr) {
+    *error = "overload schedule line " + std::to_string(line) + ": " + what;
+  }
+  return false;
+}
+
+bool parse_nonneg(const std::string& tok, double* out) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size() || v < 0.0) return false;
+    *out = v;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_count(const std::string& tok, std::size_t* out) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(tok, &used);
+    if (used != tok.size()) return false;
+    *out = static_cast<std::size_t>(v);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+bool parse_overload_schedule(const std::string& text, OverloadScheduleConfig* out,
+                             std::string* error) {
+  OverloadScheduleConfig cfg;
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string cmd;
+    if (!(tokens >> cmd)) continue;  // blank / comment-only line
+
+    std::vector<std::string> args;
+    for (std::string tok; tokens >> tok;) args.push_back(tok);
+
+    if (cmd == "stall") {
+      ScheduledOverload ev;
+      ev.kind = ScheduledOverload::Kind::Stall;
+      if (args.size() != 3 || !parse_nonneg(args[0], &ev.start_s) ||
+          !parse_nonneg(args[1], &ev.end_s) || !parse_count(args[2], &ev.bot) ||
+          ev.end_s <= ev.start_s) {
+        return fail(error, line_no, "stall expects: T0 T1 BOT (with T1 > T0)");
+      }
+      cfg.events.push_back(ev);
+    } else if (cmd == "flash") {
+      ScheduledOverload ev;
+      ev.kind = ScheduledOverload::Kind::Flash;
+      if (args.size() != 2 || !parse_nonneg(args[0], &ev.start_s) ||
+          !parse_count(args[1], &ev.count) || ev.count == 0) {
+        return fail(error, line_no, "flash expects: T COUNT (COUNT > 0)");
+      }
+      cfg.events.push_back(ev);
+    } else if (cmd == "spam") {
+      ScheduledOverload ev;
+      ev.kind = ScheduledOverload::Kind::Spam;
+      if (args.size() != 3 || !parse_nonneg(args[0], &ev.start_s) ||
+          !parse_nonneg(args[1], &ev.end_s) || !parse_nonneg(args[2], &ev.factor) ||
+          ev.end_s <= ev.start_s || ev.factor <= 0.0) {
+        return fail(error, line_no, "spam expects: T0 T1 FACTOR (T1 > T0, FACTOR > 0)");
+      }
+      cfg.events.push_back(ev);
+    } else {
+      return fail(error, line_no, "unknown directive '" + cmd + "'");
+    }
+  }
+  *out = std::move(cfg);
+  return true;
+}
+
+bool load_overload_schedule(const std::string& path, OverloadScheduleConfig* out,
+                            std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open overload schedule file: " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_overload_schedule(text.str(), out, error);
+}
+
+}  // namespace dyconits::bots

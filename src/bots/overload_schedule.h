@@ -1,0 +1,50 @@
+// Overload scenarios expressed as a schedule, the way faults.h expresses
+// fault scenarios: what an experiment means by "bot 3 freezes for 20 s, a
+// flash crowd of 40 arrives at t=30s, and everyone spams 4x from t=40s".
+// The Simulation translates bot indices and seconds into stall windows,
+// held-back join cohorts, and action-rate multipliers. Loadable from a text
+// file so bench binaries take --overload=FILE.
+//
+// File format — one directive per line, '#' starts a comment:
+//
+//   stall T0 T1 BOT   # bot BOT freezes (no poll, no send) from T0 to T1 (s)
+//   flash T COUNT     # COUNT bots held out of the join ramp all join at T
+//   spam T0 T1 FACTOR # every bot acts FACTOR x faster from T0 to T1
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dyconits::bots {
+
+struct ScheduledOverload {
+  enum class Kind : std::uint8_t { Stall, Flash, Spam };
+
+  Kind kind = Kind::Stall;
+  double start_s = 0.0;
+  double end_s = 0.0;  ///< unused for Flash
+  /// Stall: which bot (index into the simulation's bot list).
+  std::size_t bot = 0;
+  /// Flash: how many held-back bots join at start_s.
+  std::size_t count = 0;
+  /// Spam: action-rate multiplier (> 0).
+  double factor = 1.0;
+};
+
+struct OverloadScheduleConfig {
+  std::vector<ScheduledOverload> events;
+
+  bool any() const { return !events.empty(); }
+};
+
+/// Parses the directive text format above. Returns false and sets *error
+/// (with a line number) on malformed input; *out is untouched on failure.
+bool parse_overload_schedule(const std::string& text, OverloadScheduleConfig* out,
+                             std::string* error);
+
+/// Reads and parses an overload schedule file (the --overload=FILE flag).
+bool load_overload_schedule(const std::string& path, OverloadScheduleConfig* out,
+                            std::string* error);
+
+}  // namespace dyconits::bots

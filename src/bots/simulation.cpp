@@ -46,6 +46,7 @@ Simulation::Simulation(SimulationConfig cfg)
   scfg.profile_ticks = cfg_.profile_phases;
   scfg.flush_threads = cfg_.flush_threads;
   scfg.deterministic_load = cfg_.deterministic_load;
+  scfg.overload = cfg_.overload;
   scfg.mob_spawn_radius =
       std::max(cfg_.workload.spread_radius, cfg_.workload.village_radius * 3.0);
   scfg.spawn_provider = [homes, world = world_.get()](const std::string& name) {
@@ -55,6 +56,7 @@ Simulation::Simulation(SimulationConfig cfg)
                                  static_cast<std::int32_t>(home.z));
   };
 
+  if (cfg_.tweak_server) cfg_.tweak_server(scfg);
   server_ = std::make_unique<GameServer>(clock_, net_, *world_, std::move(policy), scfg);
   server_->dyconits().set_record_staleness(cfg_.record_staleness);
 
@@ -77,6 +79,7 @@ Simulation::Simulation(SimulationConfig cfg)
   next_second_ = clock_.now() + SimDuration::seconds(1);
 
   if (cfg_.faults.any()) install_fault_plan();
+  if (cfg_.overload_schedule.any()) install_overload_schedule();
 
   // Stamp trace records with this run's simulated time.
   trace::Tracer::instance().set_sim_clock(&clock_);
@@ -180,9 +183,75 @@ void Simulation::maybe_churn() {
   }
 }
 
+void Simulation::install_overload_schedule() {
+  const auto at_secs = [](double s) {
+    return SimTime::zero() + SimDuration::micros(static_cast<std::int64_t>(s * 1e6));
+  };
+  // Flash cohorts are carved off the tail of the fleet, latest event
+  // first-come: they skip the normal join ramp and arrive together.
+  std::size_t hold_cursor = bots_.size();
+  for (const auto& ev : cfg_.overload_schedule.events) {
+    switch (ev.kind) {
+      case ScheduledOverload::Kind::Stall: {
+        if (ev.bot >= bots_.size()) continue;
+        OverloadStep on{at_secs(ev.start_s), ev.kind, true, ev.bot, 1.0, {}};
+        OverloadStep off{at_secs(ev.end_s), ev.kind, false, ev.bot, 1.0, {}};
+        overload_queue_.push_back(std::move(on));
+        overload_queue_.push_back(std::move(off));
+        break;
+      }
+      case ScheduledOverload::Kind::Flash: {
+        OverloadStep step{at_secs(ev.start_s), ev.kind, true, 0, 1.0, {}};
+        for (std::size_t i = 0; i < ev.count && hold_cursor > 0; ++i) {
+          --hold_cursor;
+          if (held_back_.insert(hold_cursor).second) step.cohort.push_back(hold_cursor);
+        }
+        if (!step.cohort.empty()) overload_queue_.push_back(std::move(step));
+        break;
+      }
+      case ScheduledOverload::Kind::Spam: {
+        OverloadStep on{at_secs(ev.start_s), ev.kind, true, 0, ev.factor, {}};
+        OverloadStep off{at_secs(ev.end_s), ev.kind, false, 0, 1.0, {}};
+        overload_queue_.push_back(std::move(on));
+        overload_queue_.push_back(std::move(off));
+        break;
+      }
+    }
+  }
+  std::stable_sort(overload_queue_.begin(), overload_queue_.end(),
+                   [](const OverloadStep& a, const OverloadStep& b) { return a.at < b.at; });
+}
+
+void Simulation::apply_overload_schedule() {
+  const SimTime now = clock_.now();
+  while (next_overload_ < overload_queue_.size() &&
+         overload_queue_[next_overload_].at <= now) {
+    const OverloadStep& ev = overload_queue_[next_overload_++];
+    switch (ev.kind) {
+      case ScheduledOverload::Kind::Stall:
+        if (ev.bot < bots_.size()) bots_[ev.bot]->set_stalled(ev.begin);
+        break;
+      case ScheduledOverload::Kind::Flash:
+        for (const std::size_t i : ev.cohort) {
+          if (i < bots_.size()) bots_[i]->connect();
+        }
+        break;
+      case ScheduledOverload::Kind::Spam:
+        for (auto& bot : bots_) bot->set_action_scale(ev.begin ? ev.factor : 1.0);
+        break;
+    }
+  }
+}
+
 void Simulation::maybe_join_next() {
-  for (std::size_t i = 0; i < cfg_.joins_per_tick && next_join_ < bots_.size(); ++i) {
+  std::size_t started = 0;
+  while (started < cfg_.joins_per_tick && next_join_ < bots_.size()) {
+    if (held_back_.count(next_join_) > 0) {
+      ++next_join_;  // flash-cohort member: joins at its scheduled time
+      continue;
+    }
     bots_[next_join_++]->connect();
+    ++started;
   }
 }
 
@@ -191,6 +260,7 @@ void Simulation::step_tick() {
   clock_.advance(server_->config().tick_interval);
   net_.advance_faults();  // fire scheduled flaps/partitions/crashes on time
   apply_bot_faults();
+  apply_overload_schedule();
   maybe_join_next();
   maybe_churn();
   {
@@ -284,6 +354,9 @@ void Simulation::on_second() {
     if (!result_.pos_error_mean.values().empty()) {
       reg.series("pos_error_mean").add(now, result_.pos_error_mean.values().back());
     }
+    if (server_->config().overload.enabled) {
+      reg.series("overload_rung").add(now, static_cast<double>(server_->overload_rung()));
+    }
   }
 }
 
@@ -352,6 +425,7 @@ void Simulation::finalize() {
     result_.dup_or_old_frames += bot->dup_or_old_frames();
     result_.replica_pruned += bot->replica_pruned();
     result_.liveness_resets += bot->liveness_resets();
+    result_.join_refusals += bot->join_refusals();
     const net::FaultStats& fs = net_.fault_stats(bot->endpoint());
     result_.frames_corrupted += fs.corrupted;
     result_.frames_duplicated += fs.duplicated;
@@ -359,6 +433,18 @@ void Simulation::finalize() {
   result_.resyncs_served = server_->resyncs_served();
   result_.reconnects = server_->reconnects();
   result_.malformed_frames = server_->malformed_frames();
+  {
+    const server::OverloadStats& os = server_->overload_stats();
+    result_.joins_refused = os.joins_refused;
+    result_.egress_coalesced = os.egress_coalesced;
+    result_.egress_shed =
+        os.egress_evicted_moves + os.egress_dropped_moves + os.egress_dropped_ordered;
+    result_.chunks_deferred = os.chunks_deferred;
+    result_.overload_disconnects = os.overload_disconnects;
+    result_.ladder_transitions = os.ladder_transitions;
+    result_.peak_queue_bytes = os.peak_queue_bytes;
+    result_.final_rung = server_->overload_rung();
+  }
   result_.frames_dropped = net_.total_dropped_frames();
   {
     const net::FaultStats& fs = net_.fault_stats(server_->endpoint());

@@ -9,10 +9,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "bots/bot.h"
 #include "bots/faults.h"
+#include "bots/overload_schedule.h"
 #include "bots/workload.h"
 #include "metrics/metrics.h"
 #include "server/game_server.h"
@@ -71,6 +73,15 @@ struct SimulationConfig {
   /// Same seed + same schedule replays the run byte-identically.
   std::uint64_t fault_seed = 0;
 
+  /// Server-side overload control knobs (DESIGN.md §10), passed through to
+  /// ServerConfig::overload. Disabled by default.
+  server::OverloadConfig overload;
+  /// Overload scenario schedule (stalled clients, flash crowds, spam
+  /// bursts). See bots/overload_schedule.h for the --overload=FILE format.
+  /// Flash cohorts are held out of the normal join ramp and all join at
+  /// their scheduled time.
+  OverloadScheduleConfig overload_schedule;
+
   bool record_staleness = false;
   bool keep_chunk_replica = false;
   /// Record per-second timeline series into the registry (E7/E9).
@@ -88,6 +99,11 @@ struct SimulationConfig {
   /// instead of measured wall-clock CPU — required for byte-exact replay
   /// across hosts and thread counts (see ServerConfig::deterministic_load).
   bool deterministic_load = false;
+
+  /// Test hook: last-chance edit of the derived ServerConfig before the
+  /// server is constructed (e.g. disabling keep-alive teardown so a test
+  /// isolates what bounds memory for a stalled client).
+  std::function<void(server::ServerConfig&)> tweak_server;
 };
 
 struct SimulationResult {
@@ -138,6 +154,18 @@ struct SimulationResult {
   std::uint64_t resyncs_served = 0;
   std::uint64_t reconnects = 0;
   std::uint64_t malformed_frames = 0;
+
+  // Overload control (DESIGN.md §10): whole-run server counters plus the
+  // client-side refusal count, read at finalize.
+  std::uint64_t join_refusals = 0;        ///< summed over bots
+  std::uint64_t joins_refused = 0;        ///< server-side refusals sent
+  std::uint64_t egress_coalesced = 0;     ///< queued updates superseded in place
+  std::uint64_t egress_shed = 0;          ///< moves evicted or dropped at the cap
+  std::uint64_t chunks_deferred = 0;      ///< chunk sends pushed to later ticks
+  std::uint64_t overload_disconnects = 0; ///< rung-4 worst-offender disconnects
+  std::uint64_t ladder_transitions = 0;
+  std::uint64_t peak_queue_bytes = 0;     ///< largest per-subscriber egress queue
+  int final_rung = 0;                     ///< ladder rung when the run ended
   std::uint64_t frames_dropped = 0;  ///< on-wire frames never delivered
   std::uint64_t frames_corrupted = 0;
   std::uint64_t frames_duplicated = 0;
@@ -183,6 +211,8 @@ class Simulation {
   void maybe_churn();
   void install_fault_plan();
   void apply_bot_faults();
+  void install_overload_schedule();
+  void apply_overload_schedule();
   void on_second();
   void begin_measurement();
 
@@ -207,6 +237,21 @@ class Simulation {
   };
   std::vector<BotFaultEvent> bot_fault_queue_;  // sorted by `at`
   std::size_t next_bot_fault_ = 0;
+
+  /// Scheduled overload steps (stall on/off, spam on/off, flash-cohort
+  /// joins), expanded from cfg_.overload_schedule at construction.
+  struct OverloadStep {
+    SimTime at;
+    ScheduledOverload::Kind kind = ScheduledOverload::Kind::Stall;
+    bool begin = false;               // stall/spam: window start vs end
+    std::size_t bot = 0;              // stall
+    double factor = 1.0;              // spam
+    std::vector<std::size_t> cohort;  // flash: bot indices joining at `at`
+  };
+  std::vector<OverloadStep> overload_queue_;  // sorted by `at`
+  std::size_t next_overload_ = 0;
+  /// Flash-cohort members: excluded from the normal join ramp.
+  std::unordered_set<std::size_t> held_back_;
 
   SimulationResult result_;
   bool measuring_ = false;

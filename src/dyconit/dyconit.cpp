@@ -46,6 +46,31 @@ std::vector<Update> SubscriberQueue::take_all() {
   return out;
 }
 
+std::size_t SubscriberQueue::shed_entity_moves(double* weight) {
+  if (updates_.empty()) return 0;
+  std::size_t removed = 0;
+  double removed_weight = 0.0;
+  std::vector<Update> kept;
+  kept.reserve(updates_.size());
+  for (Update& u : updates_) {
+    if ((u.coalesce_key >> 56) == 1) {
+      ++removed;
+      removed_weight += u.weight;
+    } else {
+      kept.push_back(std::move(u));
+    }
+  }
+  if (removed == 0) return 0;
+  updates_ = std::move(kept);
+  by_key_.clear();
+  for (std::size_t i = 0; i < updates_.size(); ++i) {
+    if (updates_[i].coalesce_key != 0) by_key_.emplace(updates_[i].coalesce_key, i);
+  }
+  total_weight_ -= removed_weight;
+  if (weight != nullptr) *weight += removed_weight;
+  return removed;
+}
+
 Dyconit::Dyconit(DyconitId id, Bounds default_bounds)
     : id_(id), default_bounds_(default_bounds) {}
 
@@ -96,11 +121,19 @@ void Dyconit::enqueue(const Update& u, SubscriberId exclude, Stats& stats) {
 }
 
 PendingFlush Dyconit::take_due(SubscriberId sub, SimTime now,
-                               std::size_t snapshot_threshold) {
+                               std::size_t snapshot_threshold,
+                               const ShedDirective& shed) {
   PendingFlush p;
   const auto it = subs_.find(sub);
   if (it == subs_.end()) return p;
   Sub& s = it->second;
+  if (shed.shed_entity_moves && !s.queue.empty()) {
+    p.shed = s.queue.shed_entity_moves(&p.shed_weight);
+  }
+  if (shed.snapshot_threshold_override > 0 &&
+      (snapshot_threshold == 0 || shed.snapshot_threshold_override < snapshot_threshold)) {
+    snapshot_threshold = shed.snapshot_threshold_override;
+  }
   if (snapshot_threshold > 0 && s.queue.size() > snapshot_threshold) {
     // Too far behind: a fresh snapshot is cheaper than the delta flood.
     p.kind = PendingFlush::Kind::Snapshot;
@@ -118,6 +151,10 @@ PendingFlush Dyconit::take_due(SubscriberId sub, SimTime now,
 
 void Dyconit::settle(SubscriberId sub, PendingFlush&& p, SimTime now, FlushSink& sink,
                      Stats& stats) {
+  if (p.shed > 0) {
+    stats.shed_updates += p.shed;
+    stats.shed_weight += p.shed_weight;
+  }
   if (p.kind == PendingFlush::Kind::Snapshot) {
     stats.dropped_snapshot += p.dropped;
     ++stats.snapshots_requested;
@@ -133,13 +170,21 @@ void Dyconit::settle(SubscriberId sub, PendingFlush&& p, SimTime now, FlushSink&
 }
 
 void Dyconit::flush_due(SimTime now, FlushSink& sink, Stats& stats,
-                        std::size_t snapshot_threshold) {
+                        std::size_t snapshot_threshold, const ShedDirectiveMap* shed) {
   // Canonical order: the serial oracle settles subscribers in the same
   // ascending order the parallel merge phase uses (DESIGN.md §9). Sink
   // callbacks must not touch this dyconit's subscription set.
+  static const ShedDirective kNoShed;
   for (const SubscriberId sub : sorted_subscribers()) {
-    PendingFlush p = take_due(sub, now, snapshot_threshold);
-    if (p.kind != PendingFlush::Kind::None) settle(sub, std::move(p), now, sink, stats);
+    const ShedDirective* d = &kNoShed;
+    if (shed != nullptr) {
+      const auto it = shed->find(sub);
+      if (it != shed->end()) d = &it->second;
+    }
+    PendingFlush p = take_due(sub, now, snapshot_threshold, *d);
+    if (p.kind != PendingFlush::Kind::None || p.shed > 0) {
+      settle(sub, std::move(p), now, sink, stats);
+    }
   }
 }
 

@@ -39,6 +39,12 @@ struct Stats {
   std::uint64_t dropped_snapshot = 0;
   /// Recovery handshakes served (DyconitSystem::resync_subscriber calls).
   std::uint64_t resyncs = 0;
+  /// Overload shedding (DESIGN.md §10): updates dropped from queues by a
+  /// ShedDirective instead of being delivered, and their total weight.
+  /// Shed entity moves are absolute state superseded by the next move;
+  /// shed block backlog is converted into a snapshot request.
+  std::uint64_t shed_updates = 0;
+  double shed_weight = 0.0;
 
   /// When enabled (see DyconitSystem::set_record_staleness), per-update
   /// queueing delay in ms at flush time.
@@ -49,6 +55,28 @@ struct Stats {
     return flushes_staleness + flushes_numerical + flushes_forced;
   }
 };
+
+/// Overload-shedding directive for one subscriber (DESIGN.md §10). The
+/// host's overload controller installs these before a flush round; they
+/// are consulted inside take_due on both the serial and the sharded path,
+/// so shed work is a pure function of the queue contents and identical
+/// for any thread count.
+struct ShedDirective {
+  /// Drop queued entity-move updates (coalesce-key namespace 1). Safe to
+  /// shed: moves carry absolute positions, so the next enqueued move for
+  /// the same entity supersedes anything dropped.
+  bool shed_entity_moves = false;
+  /// Snapshot-threshold override (tighter wins over the global threshold):
+  /// converts a deep backlog into a snapshot request — the game resends
+  /// fresh state, repairing consistency instead of replaying the flood.
+  std::size_t snapshot_threshold_override = 0;
+
+  bool any() const { return shed_entity_moves || snapshot_threshold_override > 0; }
+};
+
+/// Per-subscriber shed directives, keyed by subscriber id. Read-only
+/// during a flush round (workers look directives up concurrently).
+using ShedDirectiveMap = std::unordered_map<SubscriberId, ShedDirective>;
 
 /// Flush work taken from one (dyconit, subscriber) queue but not yet
 /// accounted or delivered. The flush path is split in two so it can run
@@ -66,6 +94,11 @@ struct PendingFlush {
   FlushReason reason = FlushReason::Forced;
   std::vector<Update> updates;  ///< Flush: queue contents in enqueue order
   std::size_t dropped = 0;      ///< Snapshot: updates discarded with the queue
+  /// Updates (and weight) removed by a ShedDirective in this take. Carried
+  /// here — not accounted on the worker — so shed counters fold into Stats
+  /// on the tick thread in canonical order like everything else.
+  std::size_t shed = 0;
+  double shed_weight = 0.0;
 };
 
 /// Folds one pending flush into the aggregate counters. Must run on the
@@ -102,6 +135,11 @@ class SubscriberQueue {
 
   /// Moves out all queued updates in enqueue order and resets the queue.
   std::vector<Update> take_all();
+
+  /// Overload shedding: removes every queued entity-move update (coalesce
+  /// key namespace 1), preserving the order of survivors. Returns how many
+  /// were removed and adds their total weight to *weight.
+  std::size_t shed_entity_moves(double* weight);
 
   const std::vector<Update>& peek() const { return updates_; }
 
@@ -142,15 +180,19 @@ class Dyconit {
   /// Flushes every subscriber queue that violates its bounds at `now`, in
   /// canonical (ascending subscriber id) order. If `snapshot_threshold` > 0,
   /// a queue holding more updates than that is dropped and the sink is
-  /// asked for a snapshot instead.
+  /// asked for a snapshot instead. `shed` (optional) applies per-subscriber
+  /// overload directives before the due check.
   void flush_due(SimTime now, FlushSink& sink, Stats& stats,
-                 std::size_t snapshot_threshold = 0);
+                 std::size_t snapshot_threshold = 0,
+                 const ShedDirectiveMap* shed = nullptr);
 
-  /// Phase 1 of a sharded flush (safe off the tick thread): decides whether
-  /// `sub`'s queue is due at `now` and, if so, takes its contents. Touches
-  /// only this subscriber's queue slot — no stats, no sink, no shared
-  /// state — so distinct subscribers may be taken concurrently.
-  PendingFlush take_due(SubscriberId sub, SimTime now, std::size_t snapshot_threshold);
+  /// Phase 1 of a sharded flush (safe off the tick thread): applies `shed`,
+  /// then decides whether `sub`'s queue is due at `now` and, if so, takes
+  /// its contents. Touches only this subscriber's queue slot — no stats, no
+  /// sink, no shared state — so distinct subscribers may be taken
+  /// concurrently.
+  PendingFlush take_due(SubscriberId sub, SimTime now, std::size_t snapshot_threshold,
+                        const ShedDirective& shed = {});
 
   /// Phase 2 (tick thread, canonical order): accounts `p` and hands it to
   /// the sink (deliver or request_snapshot). No-op for Kind::None.

@@ -42,7 +42,10 @@ void DirectorPolicy::on_tick(PolicyContext& ctx) {
   }
 
   const double old_scale = scale_;
-  if (tick_pressure > params_.tick_high || bw_pressure > params_.bandwidth_high) {
+  if (load.overload_rung >= 1 || tick_pressure > params_.tick_high ||
+      bw_pressure > params_.bandwidth_high) {
+    // An engaged overload ladder overrides the MIMD thresholds: the
+    // watchdog already decided the bounds must widen, so spend scale.
     scale_ = std::min(scale_ * params_.increase, params_.max_scale);
   } else if (tick_pressure < params_.tick_low &&
              (load.bandwidth_budget_bps <= 0.0 || bw_pressure < params_.bandwidth_low)) {

@@ -44,6 +44,10 @@ struct LoadSample {
   double egress_bytes_per_sec = 0.0;   // server uplink, recent window
   double bandwidth_budget_bps = 0.0;   // 0 = unconstrained
   std::size_t players = 0;
+  /// Current overload-ladder rung (0 = Normal; see server::OverloadConfig).
+  /// Adaptive policies treat any rung >= 1 as a hard pressure signal —
+  /// the watchdog has already decided bounds must widen.
+  int overload_rung = 0;
 };
 
 class PolicyContext {

@@ -87,6 +87,19 @@ void DyconitSystem::update(DyconitId id, Update u, SubscriberId exclude) {
   get_or_create(id).enqueue(u, exclude, stats_);
 }
 
+void DyconitSystem::set_shed_directive(SubscriberId sub, ShedDirective d) {
+  if (d.any()) {
+    shed_[sub] = d;
+  } else {
+    shed_.erase(sub);
+  }
+}
+
+const ShedDirective* DyconitSystem::shed_directive(SubscriberId sub) const {
+  const auto it = shed_.find(sub);
+  return it == shed_.end() ? nullptr : &it->second;
+}
+
 void DyconitSystem::tick(FlushSink& sink) { tick(sink, nullptr, nullptr); }
 
 void DyconitSystem::tick(FlushSink& sink, util::ThreadPool* pool,
@@ -95,10 +108,12 @@ void DyconitSystem::tick(FlushSink& sink, util::ThreadPool* pool,
   const std::size_t shards =
       (pool != nullptr && host != nullptr) ? pool->concurrency() : 1;
 
+  const ShedDirectiveMap* shed = shed_.empty() ? nullptr : &shed_;
+
   if (shards <= 1) {
     TRACE_SCOPE("dyconit.flush_due");
     for (Dyconit* d : sorted_dyconits()) {
-      d->flush_due(now, sink, stats_, snapshot_threshold_);
+      d->flush_due(now, sink, stats_, snapshot_threshold_, shed);
     }
     gc();
     return;
@@ -120,11 +135,17 @@ void DyconitSystem::tick(FlushSink& sink, util::ThreadPool* pool,
     TRACE_SCOPE("dyconit.flush_workers");
     pool->run_shards([&](std::size_t shard) {
       TRACE_SCOPE("dyconit.flush_shard");
+      static const ShedDirective kNoShed;
       std::vector<FlushSink::FlushedUpdate> views;
       for (std::size_t i = 0; i < plan_.size(); ++i) {
         if (flush_shard_of(plan_[i].sub, shards) != shard) continue;
         FlushResult& r = results_[i];
-        r.pending = plan_[i].d->take_due(plan_[i].sub, now, snapshot_threshold_);
+        const ShedDirective* dir = &kNoShed;
+        if (shed != nullptr) {
+          const auto it = shed->find(plan_[i].sub);
+          if (it != shed->end()) dir = &it->second;
+        }
+        r.pending = plan_[i].d->take_due(plan_[i].sub, now, snapshot_threshold_, *dir);
         r.shard = static_cast<std::uint32_t>(shard);
         r.handle = 0;
         if (r.pending.kind == PendingFlush::Kind::Flush) {
@@ -146,6 +167,12 @@ void DyconitSystem::tick(FlushSink& sink, util::ThreadPool* pool,
     TRACE_SCOPE("dyconit.flush_merge");
     for (std::size_t i = 0; i < plan_.size(); ++i) {
       FlushResult& r = results_[i];
+      // Shed counters fold in before the kind switch, mirroring settle():
+      // canonical order keeps the shed_weight FP sum oracle-identical.
+      if (r.pending.shed > 0) {
+        stats_.shed_updates += r.pending.shed;
+        stats_.shed_weight += r.pending.shed_weight;
+      }
       switch (r.pending.kind) {
         case PendingFlush::Kind::None:
           break;

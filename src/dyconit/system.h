@@ -114,6 +114,14 @@ class DyconitSystem {
   void set_snapshot_threshold(std::size_t n) { snapshot_threshold_ = n; }
   std::size_t snapshot_threshold() const { return snapshot_threshold_; }
 
+  /// Overload control (DESIGN.md §10): installs the shed directive applied
+  /// to every queue owed to `sub` at subsequent tick()s (both serial and
+  /// sharded paths), until cleared. A directive with any()==false clears.
+  void set_shed_directive(SubscriberId sub, ShedDirective d);
+  void clear_shed_directives() { shed_.clear(); }
+  /// The directive for `sub`, or nullptr if none installed.
+  const ShedDirective* shed_directive(SubscriberId sub) const;
+
   const SimClock& clock() const { return clock_; }
   std::size_t dyconit_count() const { return dyconits_.size(); }
   std::size_t total_queued() const;
@@ -128,6 +136,9 @@ class DyconitSystem {
   std::unordered_map<DyconitId, std::unique_ptr<Dyconit>> dyconits_;
   Stats stats_;
   std::size_t snapshot_threshold_ = 0;
+  /// Read-only during a flush round; workers look directives up
+  /// concurrently, the tick thread mutates between rounds.
+  ShedDirectiveMap shed_;
 
   mutable std::vector<Dyconit*> sorted_cache_;
   mutable bool dyconits_dirty_ = true;

@@ -70,13 +70,17 @@ struct FaultPlan {
 
 /// Undelivered-frame accounting at the receiving endpoint. `frames`/`bytes`
 /// total every frame that got onto the wire but was never delivered;
-/// the cause counters partition `frames`.
+/// the cause counters partition `frames` and the `*_bytes` counters
+/// partition `bytes` the same way, so conservation closes in bytes too.
 struct DropStats {
   std::uint64_t frames = 0;
   std::uint64_t bytes = 0;
   std::uint64_t loss = 0;        ///< random in-flight loss
   std::uint64_t disconnect = 0;  ///< in flight when the link was cut
   std::uint64_t crash = 0;       ///< wiped by an endpoint crash
+  std::uint64_t loss_bytes = 0;
+  std::uint64_t disconnect_bytes = 0;
+  std::uint64_t crash_bytes = 0;
 };
 
 /// Per-endpoint fault observability (receiver side). `refused` counts send

@@ -96,7 +96,7 @@ bool SimNetwork::crashed(EndpointId id) const { return endpoints_.at(id).crashed
 
 void SimNetwork::set_link_down(EndpointId a, EndpointId b) {
   bool any = false;
-  for (const auto [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
+  for (const auto& [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
     const auto it = links_.find(pair_key(src, dst));
     if (it == links_.end()) continue;
     downed_links_[pair_key(src, dst)] = it->second;
@@ -109,7 +109,7 @@ void SimNetwork::set_link_down(EndpointId a, EndpointId b) {
 
 void SimNetwork::set_link_up(EndpointId a, EndpointId b) {
   bool any = false;
-  for (const auto [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
+  for (const auto& [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
     const auto it = downed_links_.find(pair_key(src, dst));
     if (it == downed_links_.end()) continue;
     links_[pair_key(src, dst)] = it->second;
@@ -130,9 +130,18 @@ void SimNetwork::account_drop(EndpointState& dst, const Frame& frame, DropCause 
   dst.faults.dropped.frames += 1;
   dst.faults.dropped.bytes += size;
   switch (cause) {
-    case DropCause::Loss: dst.faults.dropped.loss += 1; break;
-    case DropCause::Disconnect: dst.faults.dropped.disconnect += 1; break;
-    case DropCause::Crash: dst.faults.dropped.crash += 1; break;
+    case DropCause::Loss:
+      dst.faults.dropped.loss += 1;
+      dst.faults.dropped.loss_bytes += size;
+      break;
+    case DropCause::Disconnect:
+      dst.faults.dropped.disconnect += 1;
+      dst.faults.dropped.disconnect_bytes += size;
+      break;
+    case DropCause::Crash:
+      dst.faults.dropped.crash += 1;
+      dst.faults.dropped.crash_bytes += size;
+      break;
   }
   if (frame.tag < kMaxTags) dst.dropped_by_tag[frame.tag] += size;
   total_dropped_frames_ += 1;
@@ -148,6 +157,7 @@ void SimNetwork::drop_in_flight(EndpointId from, EndpointId to, DropCause cause)
     // never read the moved-from element.
     auto& pf = const_cast<PendingFrame&>(dst.inbox.top());
     if (pf.delivery.from == from) {
+      dst.pending_bytes -= pf.delivery.frame.wire_size();
       account_drop(dst, pf.delivery.frame, cause);
     } else {
       kept.push(std::move(pf));
@@ -160,6 +170,7 @@ void SimNetwork::drop_in_flight(EndpointId from, EndpointId to, DropCause cause)
 void SimNetwork::wipe_inbox(EndpointId id, DropCause cause) {
   EndpointState& dst = endpoints_.at(id);
   while (!dst.inbox.empty()) {
+    dst.pending_bytes -= dst.inbox.top().delivery.frame.wire_size();
     account_drop(dst, dst.inbox.top().delivery.frame, cause);
     dst.inbox.pop();
   }
@@ -295,10 +306,12 @@ bool SimNetwork::send(EndpointId from, EndpointId to, Frame frame) {
     dst.ingress_bytes += size;
     dst.ingress_frames += 1;
     dst.faults.duplicated += 1;
+    dst.pending_bytes += size;
     dst.inbox.push(PendingFrame{dup_arrival, next_seq_++,
                                 Delivery{from, frame, now, dup_arrival}});
     TRACE_INSTANT("net.fault.duplicate");
   }
+  dst.pending_bytes += size;
   dst.inbox.push(PendingFrame{arrival, next_seq_++,
                               Delivery{from, std::move(frame), now, arrival}});
   return true;
@@ -314,6 +327,9 @@ std::vector<Delivery> SimNetwork::poll(EndpointId to) {
   while (!dst.inbox.empty() && dst.inbox.top().arrival <= now) {
     out.push_back(std::move(const_cast<PendingFrame&>(dst.inbox.top()).delivery));
     dst.inbox.pop();
+    const std::size_t size = out.back().frame.wire_size();
+    dst.pending_bytes -= size;
+    dst.polled_bytes += size;
   }
   return out;
 }
@@ -352,6 +368,14 @@ std::uint64_t SimNetwork::dropped_bytes_by_tag(EndpointId id, std::uint8_t tag) 
 
 std::size_t SimNetwork::pending_count(EndpointId to) const {
   return endpoints_.at(to).inbox.size();
+}
+
+std::uint64_t SimNetwork::pending_bytes(EndpointId to) const {
+  return endpoints_.at(to).pending_bytes;
+}
+
+std::uint64_t SimNetwork::polled_bytes(EndpointId to) const {
+  return endpoints_.at(to).polled_bytes;
 }
 
 }  // namespace dyconits::net

@@ -156,6 +156,10 @@ class SimNetwork {
   /// (ingress counts every enqueued copy, including ones later wiped):
   ///   offered == ingress_frames - duplicated + dropped.loss
   ///   ingress_frames == polled + pending + dropped.disconnect + dropped.crash
+  /// and identically in bytes (loss bytes excluded: lost frames are
+  /// accounted before they ever ingress):
+  ///   ingress_bytes == polled_bytes + pending_bytes
+  ///                    + dropped.disconnect_bytes + dropped.crash_bytes
   std::uint64_t offered_frames(EndpointId id) const;
 
   /// Receiver-side fault counters, including undelivered-frame accounting.
@@ -167,6 +171,12 @@ class SimNetwork {
 
   /// Frames enqueued but not yet polled by `to`.
   std::size_t pending_count(EndpointId to) const;
+  /// Wire bytes enqueued but not yet polled by `to` — the backpressure
+  /// signal the server's overload controller reads: a subscriber whose
+  /// inbox bytes keep growing is not draining its downlink.
+  std::uint64_t pending_bytes(EndpointId to) const;
+  /// Wire bytes `to` has polled out of its inbox so far.
+  std::uint64_t polled_bytes(EndpointId to) const;
 
  private:
   struct PendingFrame {
@@ -197,6 +207,8 @@ class SimNetwork {
     std::uint64_t egress_rate = 0;  // bytes/sec, 0 = unlimited
     SimTime egress_free;            // uplink busy until this time
     Inbox inbox;
+    std::uint64_t pending_bytes = 0;  // wire bytes currently in the inbox
+    std::uint64_t polled_bytes = 0;
   };
 
   enum class DropCause { Loss, Disconnect, Crash };

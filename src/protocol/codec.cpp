@@ -147,6 +147,10 @@ struct Encoder {
     w.varint(m.count);
   }
   void operator()(const ResyncAck& m) { w.varint(m.epoch); }
+  void operator()(const JoinRefused& m) {
+    w.u8(m.rung);
+    w.varint(m.retry_after_ms);
+  }
 };
 
 template <typename T>
@@ -311,6 +315,15 @@ std::optional<AnyMessage> decode_payload(MessageType type, ByteReader& r) {
       m.epoch = static_cast<std::uint32_t>(epoch);
       return finish(r, m);
     }
+    case MessageType::JoinRefused: {
+      JoinRefused m;
+      std::uint64_t retry;
+      if (!r.u8(m.rung) || !r.varint(retry) || retry > 0xFFFFFFFFull) {
+        return std::nullopt;
+      }
+      m.retry_after_ms = static_cast<std::uint32_t>(retry);
+      return finish(r, m);
+    }
   }
   return std::nullopt;
 }
@@ -340,6 +353,7 @@ struct TypeOf {
     return MessageType::InventoryUpdate;
   }
   MessageType operator()(const ResyncAck&) const { return MessageType::ResyncAck; }
+  MessageType operator()(const JoinRefused&) const { return MessageType::JoinRefused; }
 };
 
 }  // namespace
@@ -366,6 +380,7 @@ const char* message_type_name(MessageType t) {
     case MessageType::ChatBroadcast: return "ChatBroadcast";
     case MessageType::InventoryUpdate: return "InventoryUpdate";
     case MessageType::ResyncAck: return "ResyncAck";
+    case MessageType::JoinRefused: return "JoinRefused";
   }
   return "Unknown";
 }

@@ -40,6 +40,7 @@ enum class MessageType : std::uint8_t {
   ChatBroadcast = 20,
   InventoryUpdate = 21,
   ResyncAck = 22,
+  JoinRefused = 23,
 };
 
 const char* message_type_name(MessageType t);
@@ -161,10 +162,22 @@ struct ResyncAck {
   std::uint32_t epoch = 0;
 };
 
+/// Server -> client: admission control turned a JoinRequest away because
+/// the overload ladder is at or above the configured admission rung
+/// (DESIGN.md §10). Sent unsequenced (seq 0 — no session exists yet);
+/// well-behaved clients back off for at least retry_after_ms before
+/// retrying the join.
+struct JoinRefused {
+  /// The ladder rung the server was at when it refused (diagnostics).
+  std::uint8_t rung = 0;
+  /// Suggested client backoff before the next JoinRequest, milliseconds.
+  std::uint32_t retry_after_ms = 0;
+};
+
 using AnyMessage =
     std::variant<JoinRequest, PlayerMove, PlayerDig, PlayerPlace, KeepAliveReply, ChatSend,
                  ResyncRequest, JoinAck, ChunkData, UnloadChunk, BlockChange,
                  MultiBlockChange, EntitySpawn, EntityDespawn, EntityMove, EntityMoveBatch,
-                 KeepAlive, ChatBroadcast, InventoryUpdate, ResyncAck>;
+                 KeepAlive, ChatBroadcast, InventoryUpdate, ResyncAck, JoinRefused>;
 
 }  // namespace dyconits::protocol

@@ -5,6 +5,7 @@
 #include <functional>
 #include <string>
 
+#include "server/overload.h"
 #include "util/sim_time.h"
 #include "world/geometry.h"
 
@@ -106,6 +107,12 @@ struct ServerConfig {
   /// instance is authoritative; its changes arrive via the federation
   /// layer). Unset = owns everything (single-instance).
   std::function<bool(world::ChunkPos)> owns_chunk;
+
+  /// Overload control (DESIGN.md §10): bounded per-subscriber egress
+  /// queues, the tick watchdog + degradation ladder, and join-time
+  /// admission control. Disabled by default — with overload.enabled false
+  /// the wire output is byte-identical to builds without the subsystem.
+  OverloadConfig overload;
 
   /// Server-driven NPC entities (mobs): random-waypoint wanderers whose
   /// movement goes through the same update-dispatch path as players. They

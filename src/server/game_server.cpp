@@ -96,7 +96,7 @@ GameServer::GameServer(SimClock& clock, net::SimNetwork& net, world::World& worl
   // top-level phase and are reported separately (no double counting).
   for (const char* phase :
        {"server.inbound", "server.mobs", "server.environment", "server.items",
-        "server.dispatch", "server.chunks", "server.keepalive",
+        "server.dispatch", "server.chunks", "server.keepalive", "server.overload",
         "server.dyconit_flush", "server.policy", "net.modeled"}) {
     profiler_.add_phase(phase);
   }
@@ -144,9 +144,13 @@ void GameServer::tick() {
     { TRACE_SCOPE("server.dispatch"); dispatch_moved_entities(); }
     { TRACE_SCOPE("server.chunks"); stream_chunks(); }
     { TRACE_SCOPE("server.keepalive"); send_keepalives(); }
+    { TRACE_SCOPE("server.overload"); tick_overload(); }
     if (cfg_.use_dyconits) flush_dyconits();
     { TRACE_SCOPE("server.policy"); run_policy(); }
     if (cfg_.use_dyconits) {
+      // Overload widening first, then the resync re-pin: a subscriber that
+      // is both backlogged and resyncing stays pinned at zero.
+      apply_overload_bounds();
       // A policy retune must not widen bounds for a subscriber that is
       // still resyncing: re-pin them at zero until its snapshot drains.
       for (auto& [id, s] : sessions_) {
@@ -174,6 +178,10 @@ void GameServer::tick() {
     // The policy's load signal: host wall clock is nondeterministic, so
     // deterministic_load confines it to the modeled share (see config.h).
     last_tick_cpu_ = SimDuration::micros(cfg_.deterministic_load ? modeled : micros);
+    // The watchdog consumes the cost sample now that it is known; its
+    // decisions (rung moves, shed directives, the next disconnect) apply
+    // from the next tick, and it sends nothing itself.
+    overload_watchdog();
     tick_cpu_ms_.add(static_cast<double>(micros) / 1000.0);
     if (cfg_.profile_ticks) {
       profiler_.add_modeled_ms("net.modeled", static_cast<double>(modeled) / 1000.0);
@@ -225,6 +233,21 @@ void GameServer::process_inbound() {
 }
 
 void GameServer::handle_join(net::EndpointId from, const protocol::JoinRequest& m) {
+  // Admission control (DESIGN.md §10): at or above the refusal rung the
+  // server will not take on a new replica to keep consistent. No session
+  // exists, so the refusal goes out unsequenced (seq 0); clients back off
+  // for the suggested interval and retry.
+  if (cfg_.overload.enabled && cfg_.overload.admission_refuse_rung > 0 &&
+      ladder_.rung() >= cfg_.overload.admission_refuse_rung) {
+    ++overload_stats_.joins_refused;
+    TRACE_INSTANT("server.overload.join_refused");
+    net_.send(endpoint_, from,
+              protocol::encode(protocol::JoinRefused{
+                  static_cast<std::uint8_t>(ladder_.rung()),
+                  cfg_.overload.admission_retry_ms}));
+    return;
+  }
+
   Session s;
   s.id = from;  // subscriber id == client endpoint id (both unique, nonzero)
   s.endpoint = from;
@@ -266,7 +289,7 @@ void GameServer::handle_message(Session& s, const protocol::AnyMessage& m) {
         const auto it = s.inventory.find(place->block);
         if (it == s.inventory.end() || it->second == 0) return;  // nothing to place
         --it->second;
-        send_to(s, protocol::InventoryUpdate{place->block, it->second});
+        send_or_queue(s, protocol::InventoryUpdate{place->block, it->second});
       }
       world_.set_block(place->pos, place->block);
     }
@@ -284,7 +307,7 @@ void GameServer::handle_message(Session& s, const protocol::AnyMessage& m) {
   } else if (const auto* chat = std::get_if<protocol::ChatSend>(&m)) {
     // Chat is low-rate and latency-critical: vanilla broadcast in both modes.
     const protocol::ChatBroadcast out{s.entity, chat->text};
-    for (auto& [id, other] : sessions_) send_to(other, out, clock_.now());
+    for (auto& [id, other] : sessions_) send_or_queue(other, out, clock_.now());
   } else if (std::get_if<protocol::ResyncRequest>(&m) != nullptr) {
     begin_resync(s);
   }
@@ -319,7 +342,7 @@ void GameServer::begin_resync(Session& s) {
     const Entity* e = registry_.find(id);
     if (e != nullptr) send_entity_spawn(s, *e);
   }
-  send_to(s, protocol::ResyncAck{++resync_epoch_}, clock_.now());
+  send_or_queue(s, protocol::ResyncAck{++resync_epoch_}, clock_.now());
 }
 
 void GameServer::apply_player_move(Session& s, const protocol::PlayerMove& m) {
@@ -423,7 +446,7 @@ void GameServer::on_block_change(const world::BlockChange& change) {
   if (it == viewers_.end()) return;
   for (const SubscriberId sub : it->second) {
     if (sub == current_actor_) continue;
-    if (Session* s = session_of(sub)) send_to(*s, msg, clock_.now());
+    if (Session* s = session_of(sub)) send_or_queue(*s, msg, clock_.now());
   }
 }
 
@@ -460,7 +483,7 @@ void GameServer::dispatch_entity_move(const Entity& e, double weight) {
     if (sub == own) continue;
     Session* s = session_of(sub);
     if (s != nullptr && s->known_entities.count(e.id) > 0) {
-      send_to(*s, msg, clock_.now());
+      send_or_queue(*s, msg, clock_.now());
     }
   }
 }
@@ -531,12 +554,12 @@ void GameServer::remove_interest_chunk(Session& s, ChunkPos c) {
   if (s.chunk_queued.erase(c) > 0) {
     // Leave the stale entry in chunk_queue; stream_chunks skips it.
   } else {
-    send_to(s, protocol::UnloadChunk{c});
+    send_or_queue(s, protocol::UnloadChunk{c});
   }
 
   if (const auto* ids = registry_.entities_in_chunk(c)) {
     for (const EntityId id : *ids) {
-      if (s.known_entities.erase(id) > 0) send_to(s, protocol::EntityDespawn{id});
+      if (s.known_entities.erase(id) > 0) send_or_queue(s, protocol::EntityDespawn{id});
     }
   }
 
@@ -575,7 +598,7 @@ void GameServer::entity_crossed_chunk(Entity& e, ChunkPos from, ChunkPos to) {
       if (new_viewers != nullptr && new_viewers->count(sub) > 0) continue;
       Session* s = session_of(sub);
       if (s != nullptr && s->entity != e.id && s->known_entities.erase(e.id) > 0) {
-        send_to(*s, protocol::EntityDespawn{e.id});
+        send_or_queue(*s, protocol::EntityDespawn{e.id});
       }
     }
   }
@@ -593,14 +616,27 @@ void GameServer::entity_crossed_chunk(Entity& e, ChunkPos from, ChunkPos to) {
 // ------------------------------------------------------------- tick phases
 
 void GameServer::stream_chunks() {
+  // Rung DeferChunks clamps the per-player throttle: chunk payloads are
+  // the heaviest frames, so they are the first whole class deferred.
+  int max_sends = cfg_.max_chunk_sends_per_tick;
+  if (cfg_.overload.enabled && ladder_.rung() >= kRungDeferChunks) {
+    max_sends = std::min(max_sends, cfg_.overload.defer_chunk_sends_per_tick);
+  }
   for (auto& [id, s] : sessions_) {
+    if (cfg_.overload.enabled && s.backlogged) {
+      // Slow-subscriber isolation: no chunk payloads onto a link that is
+      // already saturated. The queue keeps its place until the inbox
+      // recovers (or the egress queue bounces them back here).
+      if (!s.chunk_queue.empty()) ++overload_stats_.chunks_deferred;
+      continue;
+    }
     int sent = 0;
-    while (sent < cfg_.max_chunk_sends_per_tick && !s.chunk_queue.empty()) {
+    while (sent < max_sends && !s.chunk_queue.empty()) {
       const ChunkPos c = s.chunk_queue.front();
       s.chunk_queue.pop_front();
       if (s.chunk_queued.erase(c) == 0) continue;  // interest moved on
       world::Chunk& chunk = world_.chunk_at(c);
-      send_to(s, protocol::ChunkData{c, chunk.encode_rle()});
+      send_or_queue(s, protocol::ChunkData{c, chunk.encode_rle()});
       ++sent;
     }
     if (s.resync_tighten && s.chunk_queue.empty()) {
@@ -625,7 +661,7 @@ void GameServer::send_keepalives() {
     }
     ++s.keepalive_pending;
     s.keepalive_sent_at = clock_.now();
-    send_to(s, protocol::KeepAlive{static_cast<std::uint32_t>(tick_number_)});
+    send_or_queue(s, protocol::KeepAlive{static_cast<std::uint32_t>(tick_number_)});
     ++keepalives_sent_;
   }
   for (const SubscriberId id : timed_out) {
@@ -652,6 +688,7 @@ void GameServer::run_policy() {
   load.egress_bytes_per_sec = egress_bytes_per_sec_;
   load.bandwidth_budget_bps = cfg_.bandwidth_budget_bps;
   load.players = sessions_.size();
+  load.overload_rung = cfg_.overload.enabled ? ladder_.rung() : 0;
 
   const std::vector<dyconit::PlayerView> views = player_views();
   dyconit::PolicyContext ctx(dyconits_, views, load);
@@ -691,7 +728,7 @@ void GameServer::deliver(SubscriberId to, const std::vector<FlushedUpdate>& upda
   Session* s = session_of(to);
   if (s == nullptr) return;
   pack_update_batch(updates, [&](const protocol::AnyMessage& m, SimTime origin) {
-    send_to(*s, m, origin);
+    send_or_queue(*s, m, origin);
   });
 }
 
@@ -699,6 +736,7 @@ void GameServer::begin_flush_round(std::size_t shards) {
   if (stages_.size() != shards) stages_.resize(shards);
   for (ShardStage& stage : stages_) {
     stage.frames.clear();
+    stage.msgs.clear();
     stage.batches.clear();
   }
 }
@@ -711,14 +749,31 @@ std::uint32_t GameServer::pack_flush(std::size_t shard, SubscriberId to,
   ShardStage& stage = stages_[shard];
   const auto handle = static_cast<std::uint32_t>(stage.batches.size());
   StagedBatch batch;
-  batch.begin = static_cast<std::uint32_t>(stage.frames.size());
-  if (session_of(to) != nullptr) {
+  Session* s = session_of(to);
+  // Backlogged subscribers (or ones still draining staged frames) must go
+  // through the egress-queue gate, which coalesces at the message level —
+  // so their batches are staged unencoded. The backlog flag and queue
+  // emptiness are stable for the whole flush round, so every batch of a
+  // subscriber makes the same choice, and it matches what the serial
+  // oracle's send_or_queue would decide at settle time.
+  batch.deferred = s != nullptr && cfg_.overload.enabled &&
+                   (s->backlogged || !s->egress.empty());
+  if (batch.deferred) {
+    batch.begin = static_cast<std::uint32_t>(stage.msgs.size());
     pack_update_batch(updates, [&](const protocol::AnyMessage& m, SimTime origin) {
-      TRACE_SCOPE("server.serialize_send");
-      stage.frames.push_back({protocol::encode(m), origin});
+      stage.msgs.push_back({m, origin});
     });
+    batch.end = static_cast<std::uint32_t>(stage.msgs.size());
+  } else {
+    batch.begin = static_cast<std::uint32_t>(stage.frames.size());
+    if (s != nullptr) {
+      pack_update_batch(updates, [&](const protocol::AnyMessage& m, SimTime origin) {
+        TRACE_SCOPE("server.serialize_send");
+        stage.frames.push_back({protocol::encode(m), origin});
+      });
+    }
+    batch.end = static_cast<std::uint32_t>(stage.frames.size());
   }
-  batch.end = static_cast<std::uint32_t>(stage.frames.size());
   stage.batches.push_back(batch);
   return handle;
 }
@@ -726,6 +781,16 @@ std::uint32_t GameServer::pack_flush(std::size_t shard, SubscriberId to,
 void GameServer::emit_packed(std::size_t shard, std::uint32_t handle, SubscriberId to) {
   Session* s = session_of(to);
   const StagedBatch batch = stages_[shard].batches[handle];
+  if (batch.deferred) {
+    // Canonical-order merge on the tick thread: route through the same
+    // gate the serial deliver() uses, so queue contents (and therefore
+    // every later wire byte) match the serial oracle exactly.
+    for (std::uint32_t i = batch.begin; i < batch.end && s != nullptr; ++i) {
+      StagedMsg& m = stages_[shard].msgs[i];
+      send_or_queue(*s, m.msg, m.origin);
+    }
+    return;
+  }
   for (std::uint32_t i = batch.begin; i < batch.end; ++i) {
     if (s == nullptr) break;  // mirrors deliver()'s null-session no-op
     StagedFrame& f = stages_[shard].frames[i];
@@ -786,7 +851,7 @@ void GameServer::tick_items() {
 void GameServer::pickup_item(Session& s, const Entity& item) {
   const auto block = static_cast<world::Block>(item.data);
   const std::uint32_t count = ++s.inventory[block];
-  send_to(s, protocol::InventoryUpdate{block, count});
+  send_or_queue(s, protocol::InventoryUpdate{block, count});
   ++items_picked_up_;
   despawn_entity_everywhere(item.id, item.chunk());
   registry_.remove(item.id);
@@ -798,7 +863,7 @@ void GameServer::despawn_entity_everywhere(EntityId id, ChunkPos chunk) {
   for (const SubscriberId sub : vit->second) {
     Session* s = session_of(sub);
     if (s != nullptr && s->known_entities.erase(id) > 0) {
-      send_to(*s, protocol::EntityDespawn{id});
+      send_or_queue(*s, protocol::EntityDespawn{id});
     }
   }
 }
@@ -877,8 +942,8 @@ void GameServer::request_snapshot(SubscriberId to, const dyconit::DyconitId& uni
         for (const EntityId id : *ids) {
           const Entity* e = registry_.find(id);
           if (e != nullptr && s->known_entities.count(id) > 0) {
-            send_to(*s, protocol::EntityMove{e->id, e->pos, e->yaw, e->pitch},
-                    clock_.now());
+            send_or_queue(*s, protocol::EntityMove{e->id, e->pos, e->yaw, e->pitch},
+                          clock_.now());
           }
         }
       }
@@ -886,6 +951,259 @@ void GameServer::request_snapshot(SubscriberId to, const dyconit::DyconitId& uni
       s->chunk_queue.push_back(c);  // full chunk resend via the throttle
     }
   }
+}
+
+// -------------------------------------------------- overload (DESIGN.md §10)
+
+void GameServer::tick_overload() {
+  if (!cfg_.overload.enabled) return;
+
+  // Execute disconnects decided since the last overload phase: the
+  // watchdog's worst offender plus any session whose egress queue had to
+  // drop an order-critical frame. Sorted so the wire-visible despawn
+  // fan-out happens in a deterministic order.
+  std::vector<SubscriberId> to_drop;
+  if (pending_overload_disconnect_ != dyconit::kNoSubscriber) {
+    to_drop.push_back(pending_overload_disconnect_);
+    pending_overload_disconnect_ = dyconit::kNoSubscriber;
+  }
+  for (auto& [id, s] : sessions_) {
+    if (s.overload_poisoned) to_drop.push_back(id);
+  }
+  std::sort(to_drop.begin(), to_drop.end());
+  to_drop.erase(std::unique(to_drop.begin(), to_drop.end()), to_drop.end());
+  for (const SubscriberId id : to_drop) {
+    if (sessions_.count(id) == 0) continue;
+    ++overload_stats_.overload_disconnects;
+    last_overload_disconnect_tick_ = tick_number_;
+    TRACE_INSTANT("server.overload.disconnect");
+    Log::warn("server: overload disconnect of session %u (rung %s)", id,
+              ladder_rung_name(ladder_.rung()));
+    disconnect(id);
+  }
+
+  // Recompute backlog flags once per tick, then drain recovered
+  // subscribers in ascending id order. The flag stays fixed for the rest
+  // of the tick, so the serial and sharded flush paths (whose workers read
+  // it concurrently) make identical divert decisions.
+  std::vector<SubscriberId> ids;
+  ids.reserve(sessions_.size());
+  for (auto& [id, s] : sessions_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const SubscriberId id : ids) {
+    Session& s = sessions_.at(id);
+    const std::size_t backlog = net_.pending_bytes(s.endpoint) + s.egress.bytes();
+    s.backlogged = backlog > cfg_.overload.backlog_threshold_bytes;
+    // Drain only while the transport inbox has recovered: pushing staged
+    // frames into a still-full inbox would just move the backlog back.
+    if (!s.backlogged && !s.egress.empty()) drain_egress(s);
+  }
+}
+
+void GameServer::overload_watchdog() {
+  if (!cfg_.overload.enabled) return;
+  const int before = ladder_.rung();
+  if (ladder_.on_tick(last_tick_cpu_, cfg_.tick_interval, cfg_.overload)) {
+    ++overload_stats_.ladder_transitions;
+    TRACE_INSTANT("server.overload.rung");
+    Log::info("server: overload ladder %s -> %s (tick cost %lld us)",
+              ladder_rung_name(before), ladder_rung_name(ladder_.rung()),
+              static_cast<long long>(last_tick_cpu_.count_micros()));
+  }
+  const int rung = ladder_.rung();
+
+  if (cfg_.use_dyconits) {
+    // Rung ShedLowPriority and above: shed queued entity moves for
+    // backlogged subscribers (the next move supersedes them) and tighten
+    // their snapshot threshold so block backlog converts into snapshot
+    // requests. Cleared the moment the subscriber recovers or the ladder
+    // descends; per-subscriber map writes, so iteration order is free.
+    for (auto& [id, s] : sessions_) {
+      dyconit::ShedDirective d;
+      if (rung >= kRungShedLowPriority && s.backlogged && !s.resync_tighten) {
+        d.shed_entity_moves = true;
+        d.snapshot_threshold_override = cfg_.overload.shed_snapshot_threshold;
+      }
+      dyconits_.set_shed_directive(id, d);
+    }
+  }
+
+  // Rung Disconnect: pick the worst offender — largest transport + staged
+  // backlog, ties to the lowest id — for the next overload phase. One at a
+  // time, spaced disconnect_interval_ticks apart, so the ladder re-observes
+  // between evictions.
+  if (rung >= kRungDisconnect &&
+      pending_overload_disconnect_ == dyconit::kNoSubscriber &&
+      tick_number_ - last_overload_disconnect_tick_ >=
+          cfg_.overload.disconnect_interval_ticks) {
+    SubscriberId worst = dyconit::kNoSubscriber;
+    std::size_t worst_score = 0;
+    for (auto& [id, s] : sessions_) {
+      const std::size_t score = net_.pending_bytes(s.endpoint) + s.egress.bytes();
+      if (score == 0) continue;
+      if (worst == dyconit::kNoSubscriber || score > worst_score ||
+          (score == worst_score && id < worst)) {
+        worst = id;
+        worst_score = score;
+      }
+    }
+    if (worst != dyconit::kNoSubscriber) pending_overload_disconnect_ = worst;
+  }
+}
+
+void GameServer::apply_overload_bounds() {
+  if (!cfg_.overload.enabled || !cfg_.use_dyconits) return;
+  if (ladder_.rung() < kRungWidenBounds) return;
+  const double f = cfg_.overload.widen_factor;
+  for (auto& [id, s] : sessions_) {
+    if (!s.backlogged || s.resync_tighten) continue;
+    const Entity* e = registry_.find(s.entity);
+    if (e == nullptr) continue;
+    for (const auto& [unit, refs] : s.unit_refs) {
+      Bounds b = policy_->bounds_for(unit, e->pos);
+      // Re-derived from the policy every tick (not compounded in place);
+      // clamp keeps an already-huge staleness bound from overflowing.
+      b.staleness = SimDuration::micros(static_cast<std::int64_t>(std::min(
+          static_cast<double>(b.staleness.count_micros()) * f, 9.0e15)));
+      b.numerical *= f;
+      dyconits_.set_bounds(unit, id, b);
+    }
+  }
+}
+
+void GameServer::send_or_queue(Session& s, const protocol::AnyMessage& m,
+                               SimTime trace_origin) {
+  // Pass-through until the session is backlogged or has staged frames;
+  // after that everything appends so relative order is preserved.
+  if (!cfg_.overload.enabled || (!s.backlogged && s.egress.empty())) {
+    send_to(s, m, trace_origin);
+    return;
+  }
+  enqueue_egress(s, m, trace_origin);
+}
+
+void GameServer::enqueue_egress(Session& s, const protocol::AnyMessage& m,
+                                SimTime origin) {
+  // Batch frames decompose into atomic updates so coalescing is a per-key
+  // replace; drain_egress regroups consecutive runs back into batches.
+  if (const auto* batch = std::get_if<protocol::EntityMoveBatch>(&m)) {
+    for (const protocol::EntityMove& mv : batch->moves) {
+      enqueue_egress_atomic(s, mv, origin, dyconit::coalesce_key_entity(mv.id));
+    }
+    return;
+  }
+  if (const auto* mbc = std::get_if<protocol::MultiBlockChange>(&m)) {
+    for (const auto& e : mbc->entries) {
+      const world::BlockPos pos{mbc->chunk.x * 16 + e.x, e.y, mbc->chunk.z * 16 + e.z};
+      enqueue_egress_atomic(s, protocol::BlockChange{pos, e.block}, origin,
+                            dyconit::coalesce_key_block(pos));
+    }
+    return;
+  }
+  std::uint64_t key = 0;
+  if (const auto* mv = std::get_if<protocol::EntityMove>(&m)) {
+    key = dyconit::coalesce_key_entity(mv->id);
+  } else if (const auto* bc = std::get_if<protocol::BlockChange>(&m)) {
+    key = dyconit::coalesce_key_block(bc->pos);
+  }
+  enqueue_egress_atomic(s, m, origin, key);
+}
+
+void GameServer::enqueue_egress_atomic(Session& s, const protocol::AnyMessage& m,
+                                       SimTime origin, std::uint64_t key) {
+  // Byte accounting uses the encoded frame with a worst-case sequence
+  // varint (4 bytes wider than the probe's seq 0), so the cap is
+  // conservative with respect to actual wire bytes.
+  const std::size_t bytes = protocol::encode(m).wire_size() + 4;
+  switch (s.egress.push(m, origin, key, bytes, cfg_.overload, overload_stats_)) {
+    case EgressQueue::PushResult::Queued:
+    case EgressQueue::PushResult::Coalesced:
+    case EgressQueue::PushResult::DroppedMove:
+      break;
+    case EgressQueue::PushResult::DeferChunk:
+      // Chunk payloads never occupy queue space: hand the position back to
+      // the chunk streamer, which re-sends it once the link recovers.
+      ++overload_stats_.chunks_deferred;
+      if (const auto* cd = std::get_if<protocol::ChunkData>(&m)) {
+        if (s.chunk_queued.insert(cd->pos).second) s.chunk_queue.push_back(cd->pos);
+      }
+      break;
+    case EgressQueue::PushResult::DroppedPoison:
+      // An order-critical frame was lost; incremental repair is impossible.
+      // The next overload phase disconnects the session and rejoin-resync
+      // rebuilds the replica from scratch.
+      s.overload_poisoned = true;
+      break;
+  }
+}
+
+void GameServer::drain_egress(Session& s) {
+  std::size_t budget = cfg_.overload.drain_bytes_per_tick;
+  if (budget == 0) budget = static_cast<std::size_t>(-1);
+  while (!s.egress.empty() && budget > 0) {
+    EgressQueue::Item first = s.egress.pop_front();
+    ++overload_stats_.egress_drained;
+    std::size_t spent = first.bytes;
+    if (std::get_if<protocol::EntityMove>(&first.msg) != nullptr) {
+      // Regroup a consecutive run of moves into one batch frame.
+      std::vector<protocol::EntityMove> moves;
+      moves.push_back(std::get<protocol::EntityMove>(first.msg));
+      SimTime origin = first.origin;
+      while (!s.egress.empty() && spent < budget &&
+             std::get_if<protocol::EntityMove>(&s.egress.front().msg) != nullptr) {
+        EgressQueue::Item next = s.egress.pop_front();
+        ++overload_stats_.egress_drained;
+        spent += next.bytes;
+        if (next.origin < origin) origin = next.origin;
+        moves.push_back(std::get<protocol::EntityMove>(next.msg));
+      }
+      if (moves.size() == 1) {
+        send_to(s, moves.front(), origin);
+      } else {
+        send_to(s, protocol::EntityMoveBatch{std::move(moves)}, origin);
+      }
+    } else if (const auto* bc = std::get_if<protocol::BlockChange>(&first.msg)) {
+      // Regroup consecutive same-chunk block ops into a MultiBlockChange.
+      const ChunkPos c = ChunkPos::of_block(bc->pos);
+      protocol::MultiBlockChange mbc;
+      mbc.chunk = c;
+      SimTime origin = first.origin;
+      auto push_entry = [&mbc](const protocol::BlockChange& b) {
+        mbc.entries.push_back(
+            {static_cast<std::uint8_t>(world::floor_mod(b.pos.x, 16)),
+             static_cast<std::uint8_t>(b.pos.y),
+             static_cast<std::uint8_t>(world::floor_mod(b.pos.z, 16)), b.block});
+      };
+      push_entry(*bc);
+      while (!s.egress.empty() && spent < budget) {
+        const auto* nb = std::get_if<protocol::BlockChange>(&s.egress.front().msg);
+        if (nb == nullptr || ChunkPos::of_block(nb->pos) != c) break;
+        EgressQueue::Item next = s.egress.pop_front();
+        ++overload_stats_.egress_drained;
+        spent += next.bytes;
+        if (next.origin < origin) origin = next.origin;
+        push_entry(std::get<protocol::BlockChange>(next.msg));
+      }
+      if (mbc.entries.size() == 1) {
+        send_to(s, *bc, origin);
+      } else {
+        send_to(s, std::move(mbc), origin);
+      }
+    } else {
+      send_to(s, first.msg, first.origin);
+    }
+    budget -= std::min(budget, spent);
+  }
+}
+
+std::size_t GameServer::egress_queue_bytes(SubscriberId sub) const {
+  const auto it = sessions_.find(sub);
+  return it == sessions_.end() ? 0 : it->second.egress.bytes();
+}
+
+std::size_t GameServer::egress_queue_frames(SubscriberId sub) const {
+  const auto it = sessions_.find(sub);
+  return it == sessions_.end() ? 0 : it->second.egress.frames();
 }
 
 // ----------------------------------------------------------------- helpers
@@ -899,8 +1217,8 @@ void GameServer::send_to(Session& s, const protocol::AnyMessage& m, SimTime trac
 }
 
 void GameServer::send_entity_spawn(Session& s, const Entity& e) {
-  send_to(s, protocol::EntitySpawn{e.id, e.kind, e.pos, e.yaw, e.pitch,
-                                   display_name_of(e.id), e.data});
+  send_or_queue(s, protocol::EntitySpawn{e.id, e.kind, e.pos, e.yaw, e.pitch,
+                                         display_name_of(e.id), e.data});
 }
 
 const std::string& GameServer::display_name_of(EntityId id) const {
@@ -927,6 +1245,10 @@ void GameServer::disconnect(SubscriberId sub) {
     }
   }
   if (cfg_.use_dyconits) dyconits_.unsubscribe_all(sub);
+  if (cfg_.overload.enabled) {
+    overload_stats_.egress_dropped_disconnect += s.egress.clear();
+    if (cfg_.use_dyconits) dyconits_.set_shed_directive(sub, {});
+  }
 
   // Remove the player's presence.
   Entity* e = registry_.find(s.entity);
@@ -936,7 +1258,7 @@ void GameServer::disconnect(SubscriberId sub) {
       for (const SubscriberId other_id : vit->second) {
         Session* other = session_of(other_id);
         if (other != nullptr && other->known_entities.erase(e->id) > 0) {
-          send_to(*other, protocol::EntityDespawn{e->id});
+          send_or_queue(*other, protocol::EntityDespawn{e->id});
         }
       }
     }

@@ -128,6 +128,15 @@ class GameServer final : public dyconit::FlushSink, public dyconit::ParallelFlus
   std::uint64_t malformed_frames() const { return malformed_frames_; }
   std::uint64_t client_gap_frames() const { return client_gap_frames_; }
 
+  // -- overload introspection (DESIGN.md §10) --
+  const OverloadStats& overload_stats() const { return overload_stats_; }
+  /// Current degradation-ladder rung (0 = Normal).
+  int overload_rung() const { return ladder_.rung(); }
+  /// Bytes / frames currently staged in one subscriber's egress queue
+  /// (0 for unknown subscribers). Bounded by OverloadConfig::queue_cap_*.
+  std::size_t egress_queue_bytes(SubscriberId sub) const;
+  std::size_t egress_queue_frames(SubscriberId sub) const;
+
  private:
   struct Session {
     SubscriberId id = 0;
@@ -156,6 +165,19 @@ class GameServer final : public dyconit::FlushSink, public dyconit::ParallelFlus
     /// immediate delivery) until the snapshot chunk queue drains.
     bool resync_tighten = false;
     bool joined = false;
+    /// Overload control (DESIGN.md §10): capped server-side staging between
+    /// the game and the transport. Once non-empty, every send to this
+    /// session appends (order preservation); the drain phase re-sends.
+    EgressQueue egress;
+    /// Transport inbox + staged bytes above the backlog threshold this
+    /// tick. Recomputed once per tick (tick_overload) so the divert
+    /// decision is stable across the whole tick — including the parallel
+    /// flush round, where workers read it concurrently.
+    bool backlogged = false;
+    /// The egress queue had to drop an order-critical frame; the replica
+    /// cannot be repaired incrementally, so the session is disconnected at
+    /// the next overload phase and resynced on rejoin.
+    bool overload_poisoned = false;
   };
 
   // -- tick phases --
@@ -167,6 +189,18 @@ class GameServer final : public dyconit::FlushSink, public dyconit::ParallelFlus
   void stream_chunks();
   void send_keepalives();
   void run_policy();
+  /// Overload phase (DESIGN.md §10): executes disconnects decided by the
+  /// previous watchdog, recomputes per-session backlog flags, and drains
+  /// egress queues of recovered subscribers within the per-tick budget.
+  void tick_overload();
+  /// End of tick, after the modeled cost is known: advances the
+  /// degradation ladder and installs/clears per-subscriber shed directives
+  /// and the next worst-offender disconnect. Decisions apply next tick.
+  void overload_watchdog();
+  /// After run_policy: re-derives backlogged subscribers' bounds widened
+  /// by OverloadConfig::widen_factor (rung >= WidenBounds). Runs before
+  /// the resync re-pin so resync still wins.
+  void apply_overload_bounds();
 
   // -- message handling --
   void handle_join(net::EndpointId from, const protocol::JoinRequest& m);
@@ -200,6 +234,20 @@ class GameServer final : public dyconit::FlushSink, public dyconit::ParallelFlus
   /// 1) or the sharded pipeline; both produce byte-identical wire output.
   void flush_dyconits();
   void send_to(Session& s, const protocol::AnyMessage& m, SimTime trace_origin = {});
+  /// The overload-aware send gate every session-directed message goes
+  /// through: a pass-through to send_to until the session is backlogged or
+  /// already has staged frames, after which messages divert into the capped
+  /// egress queue (with coalescing). With overload disabled it compiles
+  /// down to send_to and the wire output is unchanged.
+  void send_or_queue(Session& s, const protocol::AnyMessage& m,
+                     SimTime trace_origin = {});
+  /// Decomposes batch messages into atomic ones and stages them.
+  void enqueue_egress(Session& s, const protocol::AnyMessage& m, SimTime origin);
+  void enqueue_egress_atomic(Session& s, const protocol::AnyMessage& m,
+                             SimTime origin, std::uint64_t key);
+  /// Re-sends staged frames (oldest first) within the drain budget,
+  /// regrouping consecutive moves / same-chunk block ops into batch frames.
+  void drain_egress(Session& s);
   void send_entity_spawn(Session& s, const entity::Entity& e);
   const std::string& display_name_of(entity::EntityId id) const;
 
@@ -243,6 +291,15 @@ class GameServer final : public dyconit::FlushSink, public dyconit::ParallelFlus
   std::uint32_t resync_epoch_ = 0;
   int observer_token_ = 0;
 
+  /// Overload control state (DESIGN.md §10). The ladder advances in
+  /// overload_watchdog() at end of tick; its decisions apply next tick.
+  DegradationLadder ladder_;
+  OverloadStats overload_stats_;
+  /// Worst offender picked by the last watchdog at rung Disconnect;
+  /// executed (and cleared) by the next tick_overload().
+  SubscriberId pending_overload_disconnect_ = dyconit::kNoSubscriber;
+  std::uint64_t last_overload_disconnect_tick_ = 0;
+
   struct Mob {
     entity::EntityId id = entity::kInvalidEntity;
     world::Vec3 waypoint;
@@ -260,12 +317,23 @@ class GameServer final : public dyconit::FlushSink, public dyconit::ParallelFlus
     net::Frame frame;
     SimTime origin;
   };
+  /// A flushed update staged *unencoded* because its subscriber is
+  /// backlogged: at emit time it goes through the egress-queue gate (which
+  /// coalesces at the message level) instead of straight onto the wire.
+  /// The backlog flag is stable for the whole tick, so workers and the
+  /// serial oracle make identical divert decisions.
+  struct StagedMsg {
+    protocol::AnyMessage msg;
+    SimTime origin;
+  };
   struct StagedBatch {
     std::uint32_t begin = 0;
     std::uint32_t end = 0;
+    bool deferred = false;  // indexes msgs (true) or frames (false)
   };
   struct alignas(64) ShardStage {
     std::vector<StagedFrame> frames;
+    std::vector<StagedMsg> msgs;
     std::vector<StagedBatch> batches;
   };
   std::vector<ShardStage> stages_;

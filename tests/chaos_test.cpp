@@ -358,6 +358,69 @@ TEST(ChaosAcceptance, TenThousandTicksAtTenPercentLoss) {
   EXPECT_EQ(hashes[0], hashes[1]) << "chaos run did not replay byte-identically";
 }
 
+// A subscriber that stops consuming entirely (frozen client, dead last-mile
+// link) must not grow server-side state without bound. With keep-alive
+// teardown disabled — the knob that would otherwise end the experiment — the
+// *only* thing bounding memory is the overload subsystem: once the inbox
+// backlogs, sends divert into the capped egress queue and coalesce there.
+TEST(ChaosAcceptance, StalledClientCannotGrowServerMemory) {
+  auto cfg = chaos_config(5);
+  cfg.view_distance = 2;
+  cfg.deterministic_load = true;
+  cfg.overload.enabled = true;
+  // Never escalate to a disconnect: this test is about the queue cap
+  // holding indefinitely, not about the ladder shedding the offender.
+  cfg.overload.budget_engage = 1e9;
+  cfg.tweak_server = [](server::ServerConfig& scfg) {
+    scfg.keepalive_interval_ticks = 0;  // no liveness teardown
+  };
+  const double stall_at = cfg.warmup.as_seconds() + 5.0;
+  cfg.overload_schedule.events.push_back(
+      {ScheduledOverload::Kind::Stall, stall_at, 1e9, 0, 0, 1.0});
+
+  Simulation sim(cfg);
+  BotClient& stalled = *sim.bots()[0];
+  const std::uint64_t cap = cfg.overload.queue_cap_bytes;
+  // One tick's un-throttled burst can land in the inbox before the backlog
+  // check sees it; beyond that, pending bytes must plateau.
+  const std::uint64_t inbox_slack = cfg.overload.backlog_threshold_bytes + 64 * 1024;
+  std::uint64_t queue_cap_violations = 0;
+  std::uint64_t inbox_violations = 0;
+  std::uint64_t peak_queue = 0, peak_inbox = 0;
+  // The join burst legitimately puts the whole view's chunks in flight at
+  // once (in-flight frames count as pending bytes), so the inbox invariant
+  // only starts once the stall is in effect and that burst has landed.
+  const SimTime inbox_check_from =
+      SimTime::zero() + SimDuration::seconds(static_cast<std::int64_t>(stall_at) + 2);
+  sim.set_tick_hook([&](Simulation& s, SimTime now) {
+    // Subscriber id == client endpoint id (GameServer::handle_join).
+    const std::uint64_t q = s.server().egress_queue_bytes(stalled.endpoint());
+    peak_queue = std::max(peak_queue, q);
+    if (q > cap) ++queue_cap_violations;
+    if (now < inbox_check_from) return;
+    const std::uint64_t inbox = s.network().pending_bytes(stalled.endpoint());
+    peak_inbox = std::max(peak_inbox, inbox);
+    if (inbox > inbox_slack) ++inbox_violations;
+  });
+  for (int i = 0; i < 10000; ++i) sim.step_tick();
+
+  EXPECT_EQ(queue_cap_violations, 0u)
+      << "stalled client's egress queue exceeded the cap (peak " << peak_queue << ")";
+  EXPECT_EQ(inbox_violations, 0u)
+      << "stalled client's inbox kept growing (peak " << peak_inbox << ")";
+  // The scenario must have actually diverted traffic into the queue —
+  // otherwise the cap was never exercised.
+  const auto& os = sim.server().overload_stats();
+  EXPECT_GT(os.egress_queued, 0u);
+  EXPECT_GT(os.egress_coalesced + os.egress_evicted_moves + os.egress_dropped_moves,
+            0u)
+      << "queue never hit coalescing or the cap";
+  // The rest of the fleet was not collateral damage.
+  for (std::size_t i = 1; i < sim.bots().size(); ++i) {
+    EXPECT_TRUE(sim.bots()[i]->joined()) << "bot " << i;
+  }
+}
+
 // ------------------------------------------------- fault schedule parsing
 
 TEST(FaultScheduleTest, ParsesFullGrammar) {

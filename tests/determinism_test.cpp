@@ -268,6 +268,93 @@ TEST(ParallelFlush, ResyncMidRunDrainsCanonically) {
   }
 }
 
+// ----------------------------------------------------- overload ladder
+
+/// The degradation ladder (DESIGN.md §10) is part of the determinism
+/// contract: every rung decision is a pure function of the modeled tick
+/// cost, so an overloaded run — queues coalescing, bounds widening, chunks
+/// deferring, a worst offender kicked — must replay byte-identically across
+/// thread counts, transition for transition.
+TEST(ParallelFlush, OverloadLadderMatchesSerialOracleAcrossThreads) {
+  const std::size_t ticks = std::min<std::size_t>(det_ticks(), 800);
+
+  struct RungCheckpoint {
+    std::uint64_t tick = 0;
+    int rung = 0;
+    std::uint64_t wire_hash = 0;
+  };
+  struct LadderDigest {
+    RunDigest run;
+    std::vector<RungCheckpoint> rungs;
+    std::uint64_t transitions = 0;
+    int final_rung = 0;
+  };
+
+  auto run_ladder = [&](std::size_t threads) {
+    SimulationConfig cfg = det_config(1337, threads, ticks);
+    cfg.server_egress_rate = 192 * 1024;  // constrained uplink
+    cfg.overload.enabled = true;
+    // Engage on uplink saturation, not CPU exhaustion (the modeled cost at
+    // this scale never nears the 50 ms budget); see tests/overload_test.cpp.
+    cfg.overload.budget_engage = 0.010;
+    cfg.overload.budget_release = 0.004;
+    cfg.overload.engage_ticks = 2;
+    const double w = cfg.warmup.as_seconds();
+    const double end = cfg.duration.as_seconds();
+    cfg.overload_schedule.events.push_back(
+        {ScheduledOverload::Kind::Stall, w + 1.0, end, 0, 0, 1.0});
+    cfg.overload_schedule.events.push_back(
+        {ScheduledOverload::Kind::Spam, w + 2.0, end, 0, 0, 4.0});
+    cfg.overload_schedule.events.push_back(
+        {ScheduledOverload::Kind::Flash, w + 5.0, 0, 0, 4, 1.0});
+
+    Simulation sim(cfg);
+    LadderDigest d;
+    int last_rung = 0;
+    sim.set_tick_hook([&](Simulation& s, SimTime) {
+      const int rung = s.server().overload_rung();
+      if (rung != last_rung) {
+        d.rungs.push_back(
+            {s.server().tick_count(), rung, s.network().wire_hash()});
+        last_rung = rung;
+      }
+    });
+    sim.run();
+    d.run.wire_hash = sim.network().wire_hash();
+    d.run.world = world_digest(sim);
+    d.run.total_frames = sim.network().total_frames();
+    d.run.total_bytes = sim.network().total_bytes();
+    d.run.stats = sim.server().dyconit_stats();
+    d.transitions = sim.server().overload_stats().ladder_transitions;
+    d.final_rung = sim.server().overload_rung();
+    return d;
+  };
+
+  const LadderDigest oracle = run_ladder(1);
+  ASSERT_GT(oracle.transitions, 0u) << "scenario never engaged the ladder";
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const std::string label = "threads " + std::to_string(threads);
+    const LadderDigest got = run_ladder(threads);
+    EXPECT_EQ(oracle.run.wire_hash, got.run.wire_hash) << label;
+    EXPECT_EQ(oracle.run.world, got.run.world) << label;
+    EXPECT_EQ(oracle.run.total_frames, got.run.total_frames) << label;
+    EXPECT_EQ(oracle.run.total_bytes, got.run.total_bytes) << label;
+    EXPECT_EQ(oracle.run.stats.weight_delivered, got.run.stats.weight_delivered)
+        << label;
+    EXPECT_EQ(oracle.transitions, got.transitions) << label;
+    EXPECT_EQ(oracle.final_rung, got.final_rung) << label;
+    // Transition-for-transition: same rung at the same tick with the same
+    // bytes on the wire at that instant.
+    ASSERT_EQ(oracle.rungs.size(), got.rungs.size()) << label;
+    for (std::size_t i = 0; i < oracle.rungs.size(); ++i) {
+      EXPECT_EQ(oracle.rungs[i].tick, got.rungs[i].tick) << label << " #" << i;
+      EXPECT_EQ(oracle.rungs[i].rung, got.rungs[i].rung) << label << " #" << i;
+      EXPECT_EQ(oracle.rungs[i].wire_hash, got.rungs[i].wire_hash)
+          << label << " #" << i << " (wire diverged before this transition)";
+    }
+  }
+}
+
 // ----------------------------------------------------- shard function
 
 TEST(ParallelFlush, ShardFunctionIsStableAndCoversAllShards) {

@@ -576,6 +576,32 @@ TEST_F(FaultLayerTest, ConservationLedgerCloses) {
   // Receiver side: every enqueued copy was polled, is pending, or was wiped.
   EXPECT_EQ(net_.ingress_frames(b_), polled + net_.pending_count(b_) +
                                          fs.dropped.disconnect + fs.dropped.crash);
+  // And identically in bytes: lost frames never ingress, so their bytes are
+  // out of these books entirely; wiped-inbox bytes must balance them.
+  EXPECT_EQ(net_.ingress_bytes(b_),
+            net_.polled_bytes(b_) + net_.pending_bytes(b_) +
+                fs.dropped.disconnect_bytes + fs.dropped.crash_bytes);
+}
+
+TEST_F(FaultLayerTest, CrashWipesInboxBytesIntoTheLedger) {
+  // Fill b's inbox, then crash it with frames still pending: the wiped
+  // bytes must move to dropped.crash_bytes, not vanish — pending_bytes is
+  // the overload controller's backpressure signal and has to stay honest.
+  for (int i = 0; i < 50; ++i) {
+    net_.send(a_, b_, frame(1, 32));
+    clock_.advance(SimDuration::millis(1));
+  }
+  clock_.advance(SimDuration::seconds(2));
+  ASSERT_GT(net_.pending_bytes(b_), 0u);
+  const std::uint64_t pending_before = net_.pending_bytes(b_);
+
+  net_.crash(b_);
+  const FaultStats& fs = net_.fault_stats(b_);
+  EXPECT_EQ(net_.pending_bytes(b_), 0u);
+  EXPECT_EQ(fs.dropped.crash_bytes, pending_before);
+  EXPECT_EQ(net_.ingress_bytes(b_),
+            net_.polled_bytes(b_) + net_.pending_bytes(b_) +
+                fs.dropped.disconnect_bytes + fs.dropped.crash_bytes);
 }
 
 }  // namespace
