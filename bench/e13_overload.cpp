@@ -32,11 +32,12 @@ OverloadOutcome run_overload(const Flags& flags, double load, bool enabled) {
   cfg.record_timelines = true;
   cfg.server_egress_rate = 256 * 1024;  // constrained uplink: backlog is possible
   cfg.overload.enabled = enabled;
-  // Engage the ladder when the modeled send cost outruns what the 256 KB/s
-  // uplink can drain (~13 KB/tick ~= 0.33 ms of the 50 ms budget), not when
-  // the CPU budget itself is gone — the uplink saturates first here.
-  cfg.overload.budget_engage = 0.010;
-  cfg.overload.budget_release = 0.004;
+  // Self-calibrating ladder: engage when the modeled send cost outruns what
+  // the 256 KB/s uplink can drain (~13 KB/tick ~= 0.33 ms of the 50 ms
+  // budget), not when the CPU budget itself is gone — the uplink saturates
+  // first here. The thresholds are derived from this capacity at server
+  // construction (derive_budget_from_uplink) instead of hand-keyed.
+  cfg.overload.uplink_bytes_per_second = 256 * 1024;
 
   if (cfg.overload_schedule.events.empty()) {
     // Built-in scenario: bot 0 freezes for the back half, everyone spams

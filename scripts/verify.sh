@@ -18,6 +18,17 @@ cmake -B "$prefix" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$prefix" -j "$jobs"
 ctest --test-dir "$prefix" --output-on-failure
 
+echo "== e14 perf smoke: zero-allocation egress =="
+# Steady-state frame-buffer allocations per tick (BufferPool misses over the
+# measurement window) must hold at the pinned ceiling of zero once buffer
+# capacity warms (DESIGN.md §11). The property is fleet-size independent, so
+# a small fast run gates it; bench/e14_egress at full scale is the
+# measurement, this is the regression tripwire. The golden-wire determinism
+# suite in the tier-1 ctest pass above already re-proves byte-identity with
+# pooling on across --threads={1,2,4,8}, and the ASan pass below runs
+# egress_test over the pool/shared-frame lifecycle.
+"$prefix/bench/e14_egress" --players=60 --duration=30 --assert-alloc-ceiling=0
+
 echo "== chaos: deterministic fault-schedule suite, seed matrix =="
 # The tier-1 pass above already ran chaos_test at the default seed (42);
 # re-run it across the matrix so recovery is validated on more than one

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "entity/movement.h"
+#include "net/buffer_pool.h"
 #include "util/log.h"
 
 namespace dyconits::bots {
@@ -43,7 +44,9 @@ void BotClient::connect() {
 
 void BotClient::reset_session() {
   // Drain anything still in flight for the old session.
-  net_.poll(endpoint_);
+  for (net::Delivery& d : net_.poll(endpoint_)) {
+    net::BufferPool::instance().release(std::move(d.frame.payload));
+  }
   joined_ = false;
   self_ = entity::kInvalidEntity;
   newest_frame_sent_ = SimTime::zero();
@@ -95,19 +98,20 @@ void BotClient::track_seq(std::uint32_t seq, SimTime now) {
 void BotClient::tick() {
   if (stalled_) return;  // frozen client: nothing polled, nothing sent
   const SimTime now = clock_.now();
-  for (const net::Delivery& d : net_.poll(endpoint_)) {
+  for (net::Delivery& d : net_.poll(endpoint_)) {
     ++frames_received_;
     last_rx_ = now;
     track_seq(d.frame.seq, now);
     const auto msg = protocol::decode(d.frame);
+    if (msg.has_value()) apply(*msg, d);
+    // Consumed either way: recycle the payload buffer for the next encode.
+    net::BufferPool::instance().release(std::move(d.frame.payload));
     if (!msg.has_value()) {
       ++decode_failures_;
       // A sequenced frame whose content is gone is a loss even though the
       // sequence advanced: recover its state via resync.
       if (d.frame.seq != 0) pending_resync_ = true;
-      continue;
     }
-    apply(*msg, d);
   }
 
   // Holes that outlived the grace window are real loss, not reorder.

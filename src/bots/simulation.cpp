@@ -299,6 +299,7 @@ void Simulation::begin_measurement() {
     bot->near_update_latency_ms().clear();
   }
   tick_sample_index_ = server_->tick_cpu_ms().count();
+  base_pool_ = net::BufferPool::instance().stats();
   // Scope the per-phase breakdown to the measurement window.
   server_->profiler().reset();
 }
@@ -450,6 +451,24 @@ void Simulation::finalize() {
     const net::FaultStats& fs = net_.fault_stats(server_->endpoint());
     result_.frames_corrupted += fs.corrupted;
     result_.frames_duplicated += fs.duplicated;
+  }
+
+  {
+    // Frame-buffer pool deltas over the window (process-wide pool: covers
+    // encode, staging, SimNetwork drops, and bot decode alike).
+    const net::BufferPool::Stats ps = net::BufferPool::instance().stats();
+    result_.pool_hits = ps.hits - base_pool_.hits;
+    result_.pool_misses = ps.misses - base_pool_.misses;
+    result_.pool_high_water = ps.high_water;
+    const std::size_t measured_ticks = tick_values.size() - tick_sample_index_;
+    if (measured_ticks > 0) {
+      result_.pool_misses_per_tick = static_cast<double>(result_.pool_misses) /
+                                     static_cast<double>(measured_ticks);
+    }
+    auto& reg = result_.registry;
+    reg.counter("pool_hits") = result_.pool_hits;
+    reg.counter("pool_misses") = result_.pool_misses;
+    reg.counter("pool_high_water") = result_.pool_high_water;
   }
 
   result_.phases = server_->profiler().report();

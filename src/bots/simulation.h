@@ -17,6 +17,7 @@
 #include "bots/overload_schedule.h"
 #include "bots/workload.h"
 #include "metrics/metrics.h"
+#include "net/buffer_pool.h"
 #include "server/game_server.h"
 #include "trace/tick_profiler.h"
 
@@ -170,6 +171,14 @@ struct SimulationResult {
   std::uint64_t frames_corrupted = 0;
   std::uint64_t frames_duplicated = 0;
 
+  // Frame-buffer pool (net::BufferPool, DESIGN.md §11) over the measurement
+  // window. Misses are exactly the frame-buffer heap allocations the egress
+  // pipeline performed; in steady state they amortize to zero per tick.
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  std::size_t pool_high_water = 0;  ///< whole-run freelist peak
+  double pool_misses_per_tick = 0.0;
+
   /// Timeline series when record_timelines: "egress_kbps", "tick_ms",
   /// "director_scale", "players", "queued_updates", "pos_error_mean".
   metrics::MetricRegistry registry;
@@ -260,6 +269,7 @@ class Simulation {
   std::uint64_t base_frames_ = 0;
   std::map<protocol::MessageType, std::uint64_t> base_by_type_;
   dyconit::Stats base_stats_;
+  net::BufferPool::Stats base_pool_;
   std::size_t tick_sample_index_ = 0;
   SimTime measure_start_;
   SimTime next_second_;

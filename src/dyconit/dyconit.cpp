@@ -46,6 +46,19 @@ std::vector<Update> SubscriberQueue::take_all() {
   return out;
 }
 
+void SubscriberQueue::take_into(std::vector<Update>& out) {
+  out.clear();
+  out.swap(updates_);  // queue inherits out's old capacity; contents unchanged
+  by_key_.clear();
+  total_weight_ = 0.0;
+}
+
+void SubscriberQueue::drop_all() {
+  updates_.clear();
+  by_key_.clear();
+  total_weight_ = 0.0;
+}
+
 std::size_t SubscriberQueue::shed_entity_moves(double* weight) {
   if (updates_.empty()) return 0;
   std::size_t removed = 0;
@@ -87,15 +100,29 @@ void Dyconit::unsubscribe(SubscriberId sub, Stats& stats) {
   subs_dirty_ = true;
 }
 
-const std::vector<SubscriberId>& Dyconit::sorted_subscribers() const {
-  if (subs_dirty_) {
-    sorted_subs_.clear();
-    sorted_subs_.reserve(subs_.size());
-    for (const auto& [sub, s] : subs_) sorted_subs_.push_back(sub);
-    std::sort(sorted_subs_.begin(), sorted_subs_.end());
-    subs_dirty_ = false;
+void Dyconit::rebuild_sorted() const {
+  sorted_slots_.clear();
+  sorted_slots_.reserve(subs_.size());
+  for (auto& [sub, s] : const_cast<std::unordered_map<SubscriberId, Sub>&>(subs_)) {
+    sorted_slots_.push_back({sub, &s});
   }
+  std::sort(sorted_slots_.begin(), sorted_slots_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  sorted_subs_.clear();
+  sorted_subs_.reserve(sorted_slots_.size());
+  for (const auto& [sub, s] : sorted_slots_) sorted_subs_.push_back(sub);
+  subs_dirty_ = false;
+}
+
+const std::vector<SubscriberId>& Dyconit::sorted_subscribers() const {
+  if (subs_dirty_) rebuild_sorted();
   return sorted_subs_;
+}
+
+const std::vector<std::pair<SubscriberId, Dyconit::Sub*>>& Dyconit::sorted_slots()
+    const {
+  if (subs_dirty_) rebuild_sorted();
+  return sorted_slots_;
 }
 
 void Dyconit::set_bounds(SubscriberId sub, Bounds b) {
@@ -124,9 +151,21 @@ PendingFlush Dyconit::take_due(SubscriberId sub, SimTime now,
                                std::size_t snapshot_threshold,
                                const ShedDirective& shed) {
   PendingFlush p;
+  take_due_into(sub, now, snapshot_threshold, shed, p);
+  return p;
+}
+
+void Dyconit::take_due_into(SubscriberId sub, SimTime now,
+                            std::size_t snapshot_threshold,
+                            const ShedDirective& shed, PendingFlush& p) {
+  p.reset();
   const auto it = subs_.find(sub);
-  if (it == subs_.end()) return p;
-  Sub& s = it->second;
+  if (it == subs_.end()) return;
+  take_due_core(it->second, now, snapshot_threshold, shed, p);
+}
+
+void Dyconit::take_due_core(Sub& s, SimTime now, std::size_t snapshot_threshold,
+                            const ShedDirective& shed, PendingFlush& p) {
   if (shed.shed_entity_moves && !s.queue.empty()) {
     p.shed = s.queue.shed_entity_moves(&p.shed_weight);
   }
@@ -138,15 +177,14 @@ PendingFlush Dyconit::take_due(SubscriberId sub, SimTime now,
     // Too far behind: a fresh snapshot is cheaper than the delta flood.
     p.kind = PendingFlush::Kind::Snapshot;
     p.dropped = s.queue.size();
-    s.queue.take_all();
-    return p;
+    s.queue.drop_all();
+    return;
   }
   if (s.queue.violates(s.bounds, now)) {
     p.kind = PendingFlush::Kind::Flush;
     p.reason = s.queue.violation_reason(s.bounds, now);
-    p.updates = s.queue.take_all();
+    s.queue.take_into(p.updates);
   }
-  return p;
 }
 
 void Dyconit::settle(SubscriberId sub, PendingFlush&& p, SimTime now, FlushSink& sink,
@@ -163,7 +201,10 @@ void Dyconit::settle(SubscriberId sub, PendingFlush&& p, SimTime now, FlushSink&
   }
   if (p.kind != PendingFlush::Kind::Flush || p.updates.empty()) return;
   account_flush(p, now, stats);
-  std::vector<FlushSink::FlushedUpdate> flushed;
+  // Reused scratch (tick thread only); settle never moves from p, so a
+  // caller may pass the same PendingFlush again after this returns.
+  std::vector<FlushSink::FlushedUpdate>& flushed = views_scratch_;
+  flushed.clear();
   flushed.reserve(p.updates.size());
   for (const Update& u : p.updates) flushed.push_back({&u.msg, u.created, u.weight});
   sink.deliver(sub, flushed);
@@ -175,13 +216,18 @@ void Dyconit::flush_due(SimTime now, FlushSink& sink, Stats& stats,
   // ascending order the parallel merge phase uses (DESIGN.md §9). Sink
   // callbacks must not touch this dyconit's subscription set.
   static const ShedDirective kNoShed;
-  for (const SubscriberId sub : sorted_subscribers()) {
+  for (const auto& [sub, slot] : sorted_slots()) {
     const ShedDirective* d = &kNoShed;
     if (shed != nullptr) {
       const auto it = shed->find(sub);
       if (it != shed->end()) d = &it->second;
     }
-    PendingFlush p = take_due(sub, now, snapshot_threshold, *d);
+    // take_scratch_ is reused across pairs (and ticks): settle does not
+    // move from it, and take_into swaps its capacity back into the queue,
+    // so the steady-state loop performs no vector allocations.
+    PendingFlush& p = take_scratch_;
+    p.reset();
+    take_due_core(*slot, now, snapshot_threshold, *d, p);
     if (p.kind != PendingFlush::Kind::None || p.shed > 0) {
       settle(sub, std::move(p), now, sink, stats);
     }

@@ -99,6 +99,17 @@ struct PendingFlush {
   /// on the tick thread in canonical order like everything else.
   std::size_t shed = 0;
   double shed_weight = 0.0;
+
+  /// Back to the default state, keeping the updates vector's capacity so a
+  /// reused PendingFlush recycles storage instead of reallocating.
+  void reset() {
+    kind = Kind::None;
+    reason = FlushReason::Forced;
+    updates.clear();
+    dropped = 0;
+    shed = 0;
+    shed_weight = 0.0;
+  }
 };
 
 /// Folds one pending flush into the aggregate counters. Must run on the
@@ -135,6 +146,17 @@ class SubscriberQueue {
 
   /// Moves out all queued updates in enqueue order and resets the queue.
   std::vector<Update> take_all();
+
+  /// take_all without the allocation: swaps the queue's storage into `out`
+  /// (cleared first, capacity kept), so in steady state a flush round
+  /// recycles vector capacity between the queue and the caller's scratch
+  /// instead of allocating per flush. Contents and order are identical to
+  /// take_all.
+  void take_into(std::vector<Update>& out);
+
+  /// Discards everything queued (snapshot catch-up) without surrendering
+  /// the queue's storage.
+  void drop_all();
 
   /// Overload shedding: removes every queued entity-move update (coalesce
   /// key namespace 1), preserving the order of survivors. Returns how many
@@ -194,6 +216,15 @@ class Dyconit {
   PendingFlush take_due(SubscriberId sub, SimTime now, std::size_t snapshot_threshold,
                         const ShedDirective& shed = {});
 
+  /// take_due into caller-owned storage: `p` is reset (its updates vector
+  /// cleared, capacity kept) and filled in place. The capacity swap in
+  /// SubscriberQueue::take_into means a caller that reuses one PendingFlush
+  /// per shard — or per serial round — makes the flush hot path
+  /// allocation-free once capacities warm. Results are identical to
+  /// take_due.
+  void take_due_into(SubscriberId sub, SimTime now, std::size_t snapshot_threshold,
+                     const ShedDirective& shed, PendingFlush& p);
+
   /// Phase 2 (tick thread, canonical order): accounts `p` and hands it to
   /// the sink (deliver or request_snapshot). No-op for Kind::None.
   void settle(SubscriberId sub, PendingFlush&& p, SimTime now, FlushSink& sink,
@@ -224,11 +255,29 @@ class Dyconit {
     SubscriberQueue queue;
   };
 
+  /// Shared core of take_due / take_due_into once the Sub slot is resolved.
+  void take_due_core(Sub& s, SimTime now, std::size_t snapshot_threshold,
+                     const ShedDirective& shed, PendingFlush& p);
+
+  /// Canonical-order (id, slot) pairs so the serial flush loop skips the
+  /// per-pair hash lookup take_due would repeat. Slot pointers are stable
+  /// (unordered_map nodes); the cache is rebuilt with sorted_subs_ after
+  /// any subscribe/unsubscribe.
+  const std::vector<std::pair<SubscriberId, Sub*>>& sorted_slots() const;
+  void rebuild_sorted() const;
+
   DyconitId id_;
   Bounds default_bounds_;
   std::unordered_map<SubscriberId, Sub> subs_;
   mutable std::vector<SubscriberId> sorted_subs_;
+  mutable std::vector<std::pair<SubscriberId, Sub*>> sorted_slots_;
   mutable bool subs_dirty_ = true;
+
+  // Flush-round scratch (tick thread only), reused so the serial path stays
+  // allocation-free in steady state: take_scratch_ circulates update-vector
+  // capacity with the queues, views_scratch_ backs settle's borrowed views.
+  PendingFlush take_scratch_;
+  std::vector<FlushSink::FlushedUpdate> views_scratch_;
 };
 
 }  // namespace dyconits::dyconit

@@ -145,7 +145,8 @@ void DyconitSystem::tick(FlushSink& sink, util::ThreadPool* pool,
           const auto it = shed->find(plan_[i].sub);
           if (it != shed->end()) dir = &it->second;
         }
-        r.pending = plan_[i].d->take_due(plan_[i].sub, now, snapshot_threshold_, *dir);
+        plan_[i].d->take_due_into(plan_[i].sub, now, snapshot_threshold_, *dir,
+                                  r.pending);
         r.shard = static_cast<std::uint32_t>(shard);
         r.handle = 0;
         if (r.pending.kind == PendingFlush::Kind::Flush) {
@@ -186,7 +187,9 @@ void DyconitSystem::tick(FlushSink& sink, util::ThreadPool* pool,
           host->emit_packed(r.shard, r.handle, plan_[i].sub);
           break;
       }
-      r.pending = PendingFlush{};  // release update storage
+      // Destroy the updates (their messages own heap) but keep the vector's
+      // capacity — the worker writing results_[i] next round recycles it.
+      r.pending.reset();
     }
   }
   gc();

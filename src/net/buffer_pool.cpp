@@ -1,0 +1,57 @@
+#include "net/buffer_pool.h"
+
+namespace dyconits::net {
+
+BufferPool& BufferPool::instance() {
+  static BufferPool pool;
+  return pool;
+}
+
+std::vector<std::uint8_t> BufferPool::acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.empty()) {
+    ++stats_.misses;
+    stats_.pooled = 0;
+    return {};
+  }
+  ++stats_.hits;
+  std::vector<std::uint8_t> buf = std::move(free_.back());
+  free_.pop_back();
+  stats_.pooled = free_.size();
+  buf.clear();  // keeps capacity
+  return buf;
+}
+
+void BufferPool::release(std::vector<std::uint8_t>&& buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.releases;
+  if (buf.capacity() < kMinCapacity || free_.size() >= kMaxPooled) {
+    ++stats_.dropped;
+    return;  // buf frees on scope exit
+  }
+  free_.push_back(std::move(buf));
+  stats_.pooled = free_.size();
+  if (free_.size() > stats_.high_water) stats_.high_water = free_.size();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t pooled = free_.size();
+  const std::size_t high = stats_.high_water;
+  stats_ = Stats{};
+  stats_.pooled = pooled;
+  stats_.high_water = high;
+}
+
+void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.clear();
+  stats_.pooled = 0;
+}
+
+}  // namespace dyconits::net

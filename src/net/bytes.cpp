@@ -40,11 +40,13 @@ void ByteWriter::svarint(std::int64_t v) {
 }
 
 void ByteWriter::blob(const std::uint8_t* data, std::size_t size) {
+  buf_.reserve(buf_.size() + varint_size(size) + size);
   varint(size);
   buf_.insert(buf_.end(), data, data + size);
 }
 
 void ByteWriter::str(std::string_view s) {
+  buf_.reserve(buf_.size() + varint_size(s.size()) + s.size());
   varint(s.size());
   buf_.insert(buf_.end(), s.begin(), s.end());
 }

@@ -14,6 +14,14 @@ namespace dyconits::net {
 
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Adopts `buf` as the output buffer (cleared, capacity kept). This is the
+  /// pooled path: pass a recycled net::BufferPool buffer and take() it back
+  /// out once the frame is built, so steady-state encodes never allocate.
+  explicit ByteWriter(std::vector<std::uint8_t> buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
@@ -35,6 +43,12 @@ class ByteWriter {
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
+
+  /// Drops the written bytes but keeps the buffer's capacity, so one writer
+  /// (or one pooled buffer) can serialize many frames without reallocating.
+  void clear() { buf_.clear(); }
+  /// Ensures room for `n` more bytes beyond what is already written.
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
 
  private:
   std::vector<std::uint8_t> buf_;

@@ -1,0 +1,61 @@
+// Encode-once broadcast frames (DESIGN.md §11). A message fanned out to N
+// subscribers has one wire payload; only the per-session transport sequence
+// number differs. SharedFrame holds that payload once, refcounted, and
+// instance() stamps a per-recipient Frame by copying the bytes into a
+// pooled buffer — one serialization per broadcast instead of N.
+//
+// Ownership rules: the master payload is immutable for the SharedFrame's
+// lifetime and returns to the BufferPool when the last reference dies.
+// Every instance() result is an independent pooled copy, so downstream
+// mutation (fault-layer corruption, in-place decode) never aliases the
+// master or a sibling recipient's frame.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/buffer_pool.h"
+#include "net/sim_network.h"
+
+namespace dyconits::net {
+
+class SharedFrame {
+ public:
+  SharedFrame() = default;
+  SharedFrame(std::uint8_t tag, std::vector<std::uint8_t> payload)
+      : master_(std::make_shared<Master>(tag, std::move(payload))) {}
+
+  bool valid() const { return master_ != nullptr; }
+  std::uint8_t tag() const { return master_->tag; }
+  const std::vector<std::uint8_t>& payload() const { return master_->payload; }
+
+  /// One recipient's copy: identical tag and payload bytes, caller's seq.
+  Frame instance(std::uint32_t seq, SimTime trace_origin) const {
+    Frame f;
+    f.tag = master_->tag;
+    f.seq = seq;
+    f.trace_origin = trace_origin;
+    std::vector<std::uint8_t> buf = BufferPool::instance().acquire();
+    buf.assign(master_->payload.begin(), master_->payload.end());
+    f.payload = std::move(buf);
+    return f;
+  }
+
+ private:
+  struct Master {
+    Master(std::uint8_t t, std::vector<std::uint8_t> p)
+        : tag(t), payload(std::move(p)) {}
+    ~Master() { BufferPool::instance().release(std::move(payload)); }
+    Master(const Master&) = delete;
+    Master& operator=(const Master&) = delete;
+
+    std::uint8_t tag = 0;
+    std::vector<std::uint8_t> payload;
+  };
+
+  std::shared_ptr<const Master> master_;
+};
+
+}  // namespace dyconits::net

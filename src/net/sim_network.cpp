@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "net/buffer_pool.h"
 #include "trace/trace.h"
 
 namespace dyconits::net {
@@ -159,6 +160,7 @@ void SimNetwork::drop_in_flight(EndpointId from, EndpointId to, DropCause cause)
     if (pf.delivery.from == from) {
       dst.pending_bytes -= pf.delivery.frame.wire_size();
       account_drop(dst, pf.delivery.frame, cause);
+      BufferPool::instance().release(std::move(pf.delivery.frame.payload));
     } else {
       kept.push(std::move(pf));
     }
@@ -170,8 +172,10 @@ void SimNetwork::drop_in_flight(EndpointId from, EndpointId to, DropCause cause)
 void SimNetwork::wipe_inbox(EndpointId id, DropCause cause) {
   EndpointState& dst = endpoints_.at(id);
   while (!dst.inbox.empty()) {
-    dst.pending_bytes -= dst.inbox.top().delivery.frame.wire_size();
-    account_drop(dst, dst.inbox.top().delivery.frame, cause);
+    auto& pf = const_cast<PendingFrame&>(dst.inbox.top());
+    dst.pending_bytes -= pf.delivery.frame.wire_size();
+    account_drop(dst, pf.delivery.frame, cause);
+    BufferPool::instance().release(std::move(pf.delivery.frame.payload));
     dst.inbox.pop();
   }
 }
@@ -287,6 +291,7 @@ bool SimNetwork::send(EndpointId from, EndpointId to, Frame frame) {
   if (lost) {
     // The sender cannot tell; only the receiver's ledger records the loss.
     account_drop(dst, frame, DropCause::Loss);
+    BufferPool::instance().release(std::move(frame.payload));
     TRACE_INSTANT("net.fault.loss");
     return true;
   }

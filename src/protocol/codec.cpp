@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "net/buffer_pool.h"
 #include "world/chunk.h"
 
 namespace dyconits::protocol {
@@ -150,6 +151,92 @@ struct Encoder {
   void operator()(const JoinRefused& m) {
     w.u8(m.rung);
     w.varint(m.retry_after_ms);
+  }
+};
+
+// ---- Sizing visitor -------------------------------------------------------
+// Mirrors Encoder field for field. Any layout change there must land here
+// too; the codec property test (wire_size_of == encode().wire_size() over
+// randomized instances of every type) catches a missed update.
+
+std::size_t svarint_size(std::int64_t v) {
+  return net::varint_size((static_cast<std::uint64_t>(v) << 1) ^
+                          static_cast<std::uint64_t>(v >> 63));
+}
+
+std::size_t block_pos_size(const world::BlockPos& p) {
+  return svarint_size(p.x) + 1 + svarint_size(p.z);
+}
+
+std::size_t chunk_pos_size(const world::ChunkPos& p) {
+  return svarint_size(p.x) + svarint_size(p.z);
+}
+
+std::size_t str_size(std::string_view s) {
+  return net::varint_size(s.size()) + s.size();
+}
+
+std::size_t entity_move_size(const EntityMove& m) {
+  return net::varint_size(m.id) + 12 + 2;  // id + vec3 + quantized yaw/pitch
+}
+
+struct Sizer {
+  std::size_t operator()(const JoinRequest& m) const { return str_size(m.name); }
+  std::size_t operator()(const PlayerMove&) const { return 12 + 2; }
+  std::size_t operator()(const PlayerDig& m) const { return block_pos_size(m.pos); }
+  std::size_t operator()(const PlayerPlace& m) const {
+    return block_pos_size(m.pos) +
+           net::varint_size(static_cast<std::uint64_t>(m.block));
+  }
+  std::size_t operator()(const KeepAliveReply&) const { return 4; }
+  std::size_t operator()(const ChatSend& m) const { return str_size(m.text); }
+  std::size_t operator()(const ResyncRequest& m) const {
+    return net::varint_size(m.last_seq);
+  }
+  std::size_t operator()(const JoinAck& m) const {
+    return net::varint_size(m.self_id) + 12 + 1;
+  }
+  std::size_t operator()(const ChunkData& m) const {
+    return chunk_pos_size(m.pos) + net::varint_size(m.rle.size()) + m.rle.size();
+  }
+  std::size_t operator()(const UnloadChunk& m) const { return chunk_pos_size(m.pos); }
+  std::size_t operator()(const BlockChange& m) const {
+    return block_pos_size(m.pos) +
+           net::varint_size(static_cast<std::uint64_t>(m.block));
+  }
+  std::size_t operator()(const MultiBlockChange& m) const {
+    std::size_t n = chunk_pos_size(m.chunk) + net::varint_size(m.entries.size());
+    for (const auto& e : m.entries) {
+      n += 2 + net::varint_size(static_cast<std::uint64_t>(e.block));
+    }
+    return n;
+  }
+  std::size_t operator()(const EntitySpawn& m) const {
+    return net::varint_size(m.id) + 1 + 12 + 2 + str_size(m.name) +
+           net::varint_size(m.data);
+  }
+  std::size_t operator()(const EntityDespawn& m) const {
+    return net::varint_size(m.id);
+  }
+  std::size_t operator()(const EntityMove& m) const { return entity_move_size(m); }
+  std::size_t operator()(const EntityMoveBatch& m) const {
+    std::size_t n = net::varint_size(m.moves.size());
+    for (const auto& mv : m.moves) n += entity_move_size(mv);
+    return n;
+  }
+  std::size_t operator()(const KeepAlive&) const { return 4; }
+  std::size_t operator()(const ChatBroadcast& m) const {
+    return net::varint_size(m.from) + str_size(m.text);
+  }
+  std::size_t operator()(const InventoryUpdate& m) const {
+    return net::varint_size(static_cast<std::uint64_t>(m.item)) +
+           net::varint_size(m.count);
+  }
+  std::size_t operator()(const ResyncAck& m) const {
+    return net::varint_size(m.epoch);
+  }
+  std::size_t operator()(const JoinRefused& m) const {
+    return 1 + net::varint_size(m.retry_after_ms);
   }
 };
 
@@ -386,12 +473,25 @@ const char* message_type_name(MessageType t) {
 }
 
 net::Frame encode(const AnyMessage& msg) {
-  Encoder enc;
+  Encoder enc{net::ByteWriter(net::BufferPool::instance().acquire())};
   std::visit(enc, msg);
   net::Frame frame;
   frame.tag = static_cast<std::uint8_t>(type_of(msg));
   frame.payload = enc.w.take();
   return frame;
+}
+
+net::SharedFrame encode_shared(const AnyMessage& msg) {
+  Encoder enc{net::ByteWriter(net::BufferPool::instance().acquire())};
+  std::visit(enc, msg);
+  return net::SharedFrame(static_cast<std::uint8_t>(type_of(msg)), enc.w.take());
+}
+
+std::size_t wire_size_of(const AnyMessage& msg) {
+  const std::size_t payload = std::visit(Sizer{}, msg);
+  // Frame::wire_size() for an encode() result: tag byte + one-byte seq
+  // varint (encode leaves seq = 0) + payload-length varint + payload.
+  return 1 + 1 + net::varint_size(payload) + payload;
 }
 
 std::optional<AnyMessage> decode(const net::Frame& frame) {

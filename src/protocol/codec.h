@@ -3,15 +3,31 @@
 // so a fuzzing test can assert memory-safe rejection of arbitrary input.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 
+#include "net/shared_frame.h"
 #include "net/sim_network.h"
 #include "protocol/messages.h"
 
 namespace dyconits::protocol {
 
-/// Encodes any protocol message into a tagged frame.
+/// Encodes any protocol message into a tagged frame. The payload buffer is
+/// drawn from net::BufferPool, so steady-state encodes reuse capacity
+/// instead of allocating (DESIGN.md §11).
 net::Frame encode(const AnyMessage& msg);
+
+/// Encodes once into a refcounted broadcast payload (DESIGN.md §11): a
+/// batch destined for N subscribers serializes a single master; callers
+/// stamp per-recipient frames with SharedFrame::instance().
+net::SharedFrame encode_shared(const AnyMessage& msg);
+
+/// Exact wire size encode(msg) would produce — tag byte, seq varint (encode
+/// leaves seq = 0: one byte), payload-length varint, payload — computed by
+/// a pure sizing visitor with no buffer writes. Replaces measure-by-encode
+/// for queue-cap admission; the codec property test pins
+/// wire_size_of(m) == encode(m).wire_size() for every message type.
+std::size_t wire_size_of(const AnyMessage& msg);
 
 /// Decodes a frame; nullopt on unknown tag or malformed payload.
 std::optional<AnyMessage> decode(const net::Frame& frame);

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "entity/movement.h"
+#include "net/buffer_pool.h"
 #include "trace/trace.h"
 #include "util/log.h"
 
@@ -111,6 +112,12 @@ GameServer::GameServer(SimClock& clock, net::SimNetwork& net, world::World& worl
     flush_pool_ = std::make_unique<util::ThreadPool>(cfg_.flush_threads);
   }
 
+  // Overload self-calibration: with uplink_bytes_per_second configured, the
+  // ladder thresholds come from the modeled cost of saturating that uplink
+  // instead of per-experiment hand tuning.
+  derive_budget_from_uplink(cfg_.overload, cfg_.tick_interval,
+                            cfg_.net_cost_per_byte_ns);
+
   mob_rng_ = Rng(cfg_.mob_seed);
   mobs_.reserve(cfg_.mob_count);
   for (std::size_t i = 0; i < cfg_.mob_count; ++i) {
@@ -195,6 +202,9 @@ void GameServer::tick() {
 void GameServer::process_inbound() {
   for (net::Delivery& d : net_.poll(endpoint_)) {
     const auto msg = protocol::decode(d.frame);
+    // The payload is fully consumed by decode; recycle it before dispatch
+    // so the buffer is available to this tick's own sends.
+    net::BufferPool::instance().release(std::move(d.frame.payload));
     if (!msg.has_value()) {
       ++malformed_frames_;
       Log::warn("server: dropping malformed frame from %u", d.from);
@@ -306,8 +316,10 @@ void GameServer::handle_message(Session& s, const protocol::AnyMessage& m) {
     }
   } else if (const auto* chat = std::get_if<protocol::ChatSend>(&m)) {
     // Chat is low-rate and latency-critical: vanilla broadcast in both modes.
-    const protocol::ChatBroadcast out{s.entity, chat->text};
-    for (auto& [id, other] : sessions_) send_or_queue(other, out, clock_.now());
+    const protocol::AnyMessage out{protocol::ChatBroadcast{s.entity, chat->text}};
+    net::SharedFrame shared;
+    const SimTime now = clock_.now();
+    for (auto& [id, other] : sessions_) send_or_queue_shared(other, out, shared, now);
   } else if (std::get_if<protocol::ResyncRequest>(&m) != nullptr) {
     begin_resync(s);
   }
@@ -444,9 +456,12 @@ void GameServer::on_block_change(const world::BlockChange& change) {
 
   const auto it = viewers_.find(chunk);
   if (it == viewers_.end()) return;
+  const protocol::AnyMessage out(msg);
+  net::SharedFrame shared;
+  const SimTime now = clock_.now();
   for (const SubscriberId sub : it->second) {
     if (sub == current_actor_) continue;
-    if (Session* s = session_of(sub)) send_or_queue(*s, msg, clock_.now());
+    if (Session* s = session_of(sub)) send_or_queue_shared(*s, out, shared, now);
   }
 }
 
@@ -479,11 +494,14 @@ void GameServer::dispatch_entity_move(const Entity& e, double weight) {
 
   const auto it = viewers_.find(e.chunk());
   if (it == viewers_.end()) return;
+  const protocol::AnyMessage out(msg);
+  net::SharedFrame shared;
+  const SimTime now = clock_.now();
   for (const SubscriberId sub : it->second) {
     if (sub == own) continue;
     Session* s = session_of(sub);
     if (s != nullptr && s->known_entities.count(e.id) > 0) {
-      send_or_queue(*s, msg, clock_.now());
+      send_or_queue_shared(*s, out, shared, now);
     }
   }
 }
@@ -594,20 +612,25 @@ void GameServer::entity_crossed_chunk(Entity& e, ChunkPos from, ChunkPos to) {
   }();
 
   if (old_viewers != nullptr) {
+    const protocol::AnyMessage despawn{protocol::EntityDespawn{e.id}};
+    net::SharedFrame shared;
     for (const SubscriberId sub : *old_viewers) {
       if (new_viewers != nullptr && new_viewers->count(sub) > 0) continue;
       Session* s = session_of(sub);
       if (s != nullptr && s->entity != e.id && s->known_entities.erase(e.id) > 0) {
-        send_or_queue(*s, protocol::EntityDespawn{e.id});
+        send_or_queue_shared(*s, despawn, shared);
       }
     }
   }
   if (new_viewers != nullptr) {
+    const protocol::AnyMessage spawn{protocol::EntitySpawn{
+        e.id, e.kind, e.pos, e.yaw, e.pitch, display_name_of(e.id), e.data}};
+    net::SharedFrame shared;
     for (const SubscriberId sub : *new_viewers) {
       if (old_viewers != nullptr && old_viewers->count(sub) > 0) continue;
       Session* s = session_of(sub);
       if (s != nullptr && s->entity != e.id && s->known_entities.insert(e.id).second) {
-        send_entity_spawn(*s, e);
+        send_or_queue_shared(*s, spawn, shared);
       }
     }
   }
@@ -654,6 +677,10 @@ void GameServer::send_keepalives() {
     return;
   }
   std::vector<SubscriberId> timed_out;
+  // Every session gets the same nonce (the tick number): one shared frame.
+  const protocol::AnyMessage keepalive{
+      protocol::KeepAlive{static_cast<std::uint32_t>(tick_number_)}};
+  net::SharedFrame shared;
   for (auto& [id, s] : sessions_) {
     if (s.keepalive_pending >= cfg_.keepalive_missed_limit) {
       timed_out.push_back(id);
@@ -661,7 +688,7 @@ void GameServer::send_keepalives() {
     }
     ++s.keepalive_pending;
     s.keepalive_sent_at = clock_.now();
-    send_or_queue(s, protocol::KeepAlive{static_cast<std::uint32_t>(tick_number_)});
+    send_or_queue_shared(s, keepalive, shared);
     ++keepalives_sent_;
   }
   for (const SubscriberId id : timed_out) {
@@ -792,8 +819,13 @@ void GameServer::emit_packed(std::size_t shard, std::uint32_t handle, Subscriber
     return;
   }
   for (std::uint32_t i = batch.begin; i < batch.end; ++i) {
-    if (s == nullptr) break;  // mirrors deliver()'s null-session no-op
     StagedFrame& f = stages_[shard].frames[i];
+    if (s == nullptr) {
+      // Mirrors deliver()'s null-session no-op; recycle the staged payload
+      // instead of letting the next begin_flush_round free it.
+      net::BufferPool::instance().release(std::move(f.frame.payload));
+      continue;
+    }
     // Seq is stamped here, not at pack time, so it counts frames in
     // canonical wire order exactly as the serial send_to path does.
     f.frame.seq = ++s->out_seq;
@@ -860,10 +892,12 @@ void GameServer::pickup_item(Session& s, const Entity& item) {
 void GameServer::despawn_entity_everywhere(EntityId id, ChunkPos chunk) {
   const auto vit = viewers_.find(chunk);
   if (vit == viewers_.end()) return;
+  const protocol::AnyMessage msg{protocol::EntityDespawn{id}};
+  net::SharedFrame shared;
   for (const SubscriberId sub : vit->second) {
     Session* s = session_of(sub);
     if (s != nullptr && s->known_entities.erase(id) > 0) {
-      send_or_queue(*s, protocol::EntityDespawn{id});
+      send_or_queue_shared(*s, msg, shared);
     }
   }
 }
@@ -871,10 +905,13 @@ void GameServer::despawn_entity_everywhere(EntityId id, ChunkPos chunk) {
 void GameServer::announce_spawn(const Entity& e) {
   const auto vit = viewers_.find(e.chunk());
   if (vit == viewers_.end()) return;
+  const protocol::AnyMessage msg{protocol::EntitySpawn{
+      e.id, e.kind, e.pos, e.yaw, e.pitch, display_name_of(e.id), e.data}};
+  net::SharedFrame shared;
   for (const SubscriberId sub : vit->second) {
     Session* s = session_of(sub);
     if (s != nullptr && s->entity != e.id && s->known_entities.insert(e.id).second) {
-      send_entity_spawn(*s, e);
+      send_or_queue_shared(*s, msg, shared);
     }
   }
 }
@@ -1082,6 +1119,23 @@ void GameServer::send_or_queue(Session& s, const protocol::AnyMessage& m,
   enqueue_egress(s, m, trace_origin);
 }
 
+void GameServer::send_or_queue_shared(Session& s, const protocol::AnyMessage& m,
+                                      net::SharedFrame& shared,
+                                      SimTime trace_origin) {
+  // Fast path mirrors send_or_queue/send_to, but the payload is serialized
+  // once per broadcast: the first pass-through recipient encodes, later ones
+  // stamp their own seq onto a copy of the shared bytes. A diverted
+  // recipient stages the message form (its frame is encoded at drain time),
+  // so wire bytes are identical either way.
+  if (!cfg_.overload.enabled || (!s.backlogged && s.egress.empty())) {
+    TRACE_SCOPE("server.serialize_send");
+    if (!shared.valid()) shared = protocol::encode_shared(m);
+    net_.send(endpoint_, s.endpoint, shared.instance(++s.out_seq, trace_origin));
+    return;
+  }
+  enqueue_egress(s, m, trace_origin);
+}
+
 void GameServer::enqueue_egress(Session& s, const protocol::AnyMessage& m,
                                 SimTime origin) {
   // Batch frames decompose into atomic updates so coalescing is a per-key
@@ -1111,10 +1165,10 @@ void GameServer::enqueue_egress(Session& s, const protocol::AnyMessage& m,
 
 void GameServer::enqueue_egress_atomic(Session& s, const protocol::AnyMessage& m,
                                        SimTime origin, std::uint64_t key) {
-  // Byte accounting uses the encoded frame with a worst-case sequence
-  // varint (4 bytes wider than the probe's seq 0), so the cap is
-  // conservative with respect to actual wire bytes.
-  const std::size_t bytes = protocol::encode(m).wire_size() + 4;
+  // Byte accounting uses the exact sizing visitor (no trial encode) plus a
+  // worst-case sequence varint (4 bytes wider than wire_size_of's seq 0),
+  // so the cap is conservative with respect to actual wire bytes.
+  const std::size_t bytes = protocol::wire_size_of(m) + 4;
   switch (s.egress.push(m, origin, key, bytes, cfg_.overload, overload_stats_)) {
     case EgressQueue::PushResult::Queued:
     case EgressQueue::PushResult::Coalesced:
@@ -1255,10 +1309,12 @@ void GameServer::disconnect(SubscriberId sub) {
   if (e != nullptr) {
     const auto vit = viewers_.find(e->chunk());
     if (vit != viewers_.end()) {
+      const protocol::AnyMessage despawn{protocol::EntityDespawn{e->id}};
+      net::SharedFrame shared;
       for (const SubscriberId other_id : vit->second) {
         Session* other = session_of(other_id);
         if (other != nullptr && other->known_entities.erase(e->id) > 0) {
-          send_or_queue(*other, protocol::EntityDespawn{e->id});
+          send_or_queue_shared(*other, despawn, shared);
         }
       }
     }

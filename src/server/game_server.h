@@ -19,6 +19,7 @@
 #include "dyconit/system.h"
 #include "entity/registry.h"
 #include "metrics/metrics.h"
+#include "net/shared_frame.h"
 #include "net/sim_network.h"
 #include "protocol/codec.h"
 #include "server/config.h"
@@ -241,6 +242,15 @@ class GameServer final : public dyconit::FlushSink, public dyconit::ParallelFlus
   /// down to send_to and the wire output is unchanged.
   void send_or_queue(Session& s, const protocol::AnyMessage& m,
                      SimTime trace_origin = {});
+  /// send_or_queue for broadcast fan-outs (DESIGN.md §11): the first
+  /// recipient on the fast path encodes `m` once into `shared`; later
+  /// recipients only stamp their session seq onto a copy of the shared
+  /// payload. Callers keep one SharedFrame per fan-out loop. Recipients
+  /// that divert to the egress queue still stage the message form (the
+  /// queue coalesces messages, not frames), exactly like send_or_queue —
+  /// the wire bytes are identical either way.
+  void send_or_queue_shared(Session& s, const protocol::AnyMessage& m,
+                            net::SharedFrame& shared, SimTime trace_origin = {});
   /// Decomposes batch messages into atomic ones and stages them.
   void enqueue_egress(Session& s, const protocol::AnyMessage& m, SimTime origin);
   void enqueue_egress_atomic(Session& s, const protocol::AnyMessage& m,

@@ -16,6 +16,25 @@ const char* ladder_rung_name(int rung) {
   }
 }
 
+void derive_budget_from_uplink(OverloadConfig& cfg, SimDuration tick_interval,
+                               double net_cost_per_byte_ns) {
+  if (!cfg.enabled || cfg.uplink_bytes_per_second == 0) return;
+  // One tick's worth of uplink bytes, priced at the modeled per-byte cost,
+  // expressed as a fraction of the tick budget. A server saturating its
+  // uplink spends exactly this fraction of each tick in net.modeled time,
+  // so "above it with margin" is the natural engage point.
+  const double tick_s =
+      static_cast<double>(tick_interval.count_micros()) / 1'000'000.0;
+  const double bytes_per_tick =
+      static_cast<double>(cfg.uplink_bytes_per_second) * tick_s;
+  const double cost_us = bytes_per_tick * net_cost_per_byte_ns / 1000.0;
+  const double budget_us =
+      std::max(static_cast<double>(tick_interval.count_micros()), 1.0);
+  const double fraction = cost_us / budget_us;
+  cfg.budget_engage = fraction * cfg.engage_margin;
+  cfg.budget_release = cfg.budget_engage * cfg.release_fraction;
+}
+
 bool DegradationLadder::on_tick(SimDuration modeled_cost, SimDuration tick_budget,
                                 const OverloadConfig& cfg) {
   const double budget_us =

@@ -59,6 +59,19 @@ struct OverloadConfig {
   std::uint32_t engage_ticks = 5;
   std::uint32_t release_ticks = 40;
 
+  /// Self-calibration: when nonzero, derive_budget_from_uplink overwrites
+  /// budget_engage / budget_release from this configured uplink capacity and
+  /// the modeled per-byte network cost, so experiments stop hand-keying the
+  /// watchdog to each server_egress_rate. 0 (default) keeps the manual
+  /// budgets above untouched.
+  std::size_t uplink_bytes_per_second = 0;
+  /// Engage threshold = (modeled cost of one tick's worth of uplink bytes,
+  /// as a fraction of the tick budget) × this safety margin.
+  double engage_margin = 1.5;
+  /// Release threshold = derived engage threshold × this fraction
+  /// (hysteresis gap).
+  double release_fraction = 0.4;
+
   /// Rung 1 (WidenBounds): factor applied to backlogged subscribers'
   /// policy bounds (staleness and numerical both).
   double widen_factor = 4.0;
@@ -94,6 +107,14 @@ enum LadderRung : int {
 };
 
 const char* ladder_rung_name(int rung);
+
+/// Derives cfg.budget_engage / cfg.budget_release from
+/// cfg.uplink_bytes_per_second and the modeled network byte cost
+/// (ServerConfig::net_cost_per_byte_ns). No-op unless overload control is
+/// enabled and an uplink capacity is configured, so default configs — and
+/// the golden wire baseline — are unaffected.
+void derive_budget_from_uplink(OverloadConfig& cfg, SimDuration tick_interval,
+                               double net_cost_per_byte_ns);
 
 /// Monotonic overload counters (whole run).
 struct OverloadStats {

@@ -16,6 +16,7 @@ void Chunk::set_local(int x, int y, int z, Block b) {
   if (was_air && !is_air) ++non_air_;
   if (!was_air && is_air) --non_air_;
   ++revision_;
+  rle_dirty_ = true;
 
   const int h = heightmap_[x * kChunkSize + z];
   if (!is_air && y > h) {
@@ -35,8 +36,10 @@ void Chunk::recompute_height(int x, int z) {
   heightmap_[x * kChunkSize + z] = -1;
 }
 
-std::vector<std::uint8_t> Chunk::encode_rle() const {
-  std::vector<std::uint8_t> out;
+const std::vector<std::uint8_t>& Chunk::encode_rle() const {
+  if (!rle_dirty_) return rle_cache_;
+  std::vector<std::uint8_t>& out = rle_cache_;
+  out.clear();
   out.reserve(1024);
   std::size_t i = 0;
   while (i < kVolume) {
@@ -50,11 +53,13 @@ std::vector<std::uint8_t> Chunk::encode_rle() const {
     out.push_back(static_cast<std::uint8_t>(run >> 8));
     i += run;
   }
+  rle_dirty_ = false;
   return out;
 }
 
 bool Chunk::decode_rle(const std::uint8_t* data, std::size_t size) {
   if (size % 4 != 0) return false;
+  rle_dirty_ = true;  // blocks may mutate below even when decoding fails
   std::size_t i = 0;
   for (std::size_t off = 0; off < size; off += 4) {
     const auto id = static_cast<std::uint16_t>(data[off] | (data[off + 1] << 8));

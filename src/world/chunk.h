@@ -33,8 +33,11 @@ class Chunk {
   std::uint64_t revision() const { return revision_; }
 
   /// Run-length encodes the block array (id, count) pairs, column-major.
-  /// This is the payload of ChunkData wire messages.
-  std::vector<std::uint8_t> encode_rle() const;
+  /// This is the payload of ChunkData wire messages. The blob is cached and
+  /// invalidated by block writes (set_local / decode_rle), so streaming the
+  /// same chunk to N subscribers — or replaying it on resync — runs RLE
+  /// once, not N times. The reference stays valid until the next write.
+  const std::vector<std::uint8_t>& encode_rle() const;
 
   /// Replaces contents from an RLE payload. Returns false on malformed or
   /// wrong-size input (contents are then unspecified but memory-safe).
@@ -56,6 +59,8 @@ class Chunk {
   std::array<std::int16_t, kChunkSize * kChunkSize> heightmap_;
   std::uint32_t non_air_ = 0;
   std::uint64_t revision_ = 0;
+  mutable std::vector<std::uint8_t> rle_cache_;
+  mutable bool rle_dirty_ = true;
 };
 
 }  // namespace dyconits::world

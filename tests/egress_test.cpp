@@ -1,0 +1,294 @@
+// Egress memory model tests (DESIGN.md §11): the exact sizing visitor, the
+// frame-buffer pool, encode-once shared broadcast frames, ByteWriter buffer
+// reuse, and the steady-state zero-allocation contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bots/simulation.h"
+#include "net/buffer_pool.h"
+#include "net/bytes.h"
+#include "net/shared_frame.h"
+#include "protocol/codec.h"
+#include "protocol/messages.h"
+#include "util/rng.h"
+
+namespace dyconits::protocol {
+namespace {
+
+using world::Block;
+using world::BlockPos;
+using world::ChunkPos;
+using world::Vec3;
+
+// ------------------------------------------------- randomized instances
+
+// Values that exercise every varint width: shift a uniform value by a random
+// amount so short and long encodings both appear.
+std::uint32_t any_width_u32(Rng& rng) {
+  return static_cast<std::uint32_t>(rng.next_u64() >> (32 + rng.next_below(32)));
+}
+
+std::int32_t any_coord(Rng& rng) {
+  return static_cast<std::int32_t>(rng.next_in(-2'000'000, 2'000'000));
+}
+
+std::string any_string(Rng& rng) {
+  std::string s;
+  const std::size_t n = rng.next_below(48);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>(32 + rng.next_below(95)));
+  }
+  return s;
+}
+
+Vec3 any_vec(Rng& rng) {
+  return {rng.next_double_in(-1e4, 1e4), rng.next_double_in(0.0, 256.0),
+          rng.next_double_in(-1e4, 1e4)};
+}
+
+BlockPos any_block_pos(Rng& rng) {
+  return {any_coord(rng), static_cast<std::int32_t>(rng.next_below(64)), any_coord(rng)};
+}
+
+ChunkPos any_chunk_pos(Rng& rng) { return {any_coord(rng), any_coord(rng)}; }
+
+Block any_block(Rng& rng) {
+  return static_cast<Block>(rng.next_below(world::kBlockPaletteSize));
+}
+
+float any_angle(Rng& rng) { return static_cast<float>(rng.next_double_in(-360, 720)); }
+
+EntityMove any_move(Rng& rng) {
+  return {any_width_u32(rng), any_vec(rng), any_angle(rng), any_angle(rng)};
+}
+
+std::vector<std::uint8_t> any_blob(Rng& rng) {
+  std::vector<std::uint8_t> b(rng.next_below(3000));
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.next_below(256));
+  return b;
+}
+
+/// One randomized instance of every message type in the AnyMessage variant,
+/// including the unsequenced JoinRefused (tag 23) and both resync messages.
+std::vector<AnyMessage> all_types_randomized(Rng& rng) {
+  std::vector<AnyMessage> out;
+  out.emplace_back(JoinRequest{any_string(rng)});
+  out.emplace_back(PlayerMove{any_vec(rng), any_angle(rng), any_angle(rng)});
+  out.emplace_back(PlayerDig{any_block_pos(rng)});
+  out.emplace_back(PlayerPlace{any_block_pos(rng), any_block(rng)});
+  out.emplace_back(KeepAliveReply{any_width_u32(rng)});
+  out.emplace_back(ChatSend{any_string(rng)});
+  out.emplace_back(ResyncRequest{any_width_u32(rng)});
+  out.emplace_back(JoinAck{any_width_u32(rng), any_vec(rng),
+                           static_cast<std::uint8_t>(rng.next_below(256))});
+  out.emplace_back(ChunkData{any_chunk_pos(rng), any_blob(rng)});
+  out.emplace_back(UnloadChunk{any_chunk_pos(rng)});
+  out.emplace_back(BlockChange{any_block_pos(rng), any_block(rng)});
+  {
+    MultiBlockChange mbc{any_chunk_pos(rng), {}};
+    const std::size_t n = rng.next_below(50);
+    for (std::size_t i = 0; i < n; ++i) {
+      mbc.entries.push_back({static_cast<std::uint8_t>(rng.next_below(16)),
+                             static_cast<std::uint8_t>(rng.next_below(64)),
+                             static_cast<std::uint8_t>(rng.next_below(16)),
+                             any_block(rng)});
+    }
+    out.emplace_back(std::move(mbc));
+  }
+  out.emplace_back(EntitySpawn{any_width_u32(rng),
+                               static_cast<entity::EntityKind>(rng.next_below(3)),
+                               any_vec(rng), any_angle(rng), any_angle(rng),
+                               any_string(rng),
+                               static_cast<std::uint16_t>(rng.next_below(65536))});
+  out.emplace_back(EntityDespawn{any_width_u32(rng)});
+  out.emplace_back(any_move(rng));
+  {
+    EntityMoveBatch batch;
+    const std::size_t n = rng.next_below(50);
+    for (std::size_t i = 0; i < n; ++i) batch.moves.push_back(any_move(rng));
+    out.emplace_back(std::move(batch));
+  }
+  out.emplace_back(KeepAlive{any_width_u32(rng)});
+  out.emplace_back(ChatBroadcast{any_width_u32(rng), any_string(rng)});
+  out.emplace_back(InventoryUpdate{any_block(rng), any_width_u32(rng)});
+  out.emplace_back(ResyncAck{any_width_u32(rng)});
+  out.emplace_back(JoinRefused{static_cast<std::uint8_t>(rng.next_below(256)),
+                               any_width_u32(rng)});
+  return out;
+}
+
+// -------------------------------------------------------- sizing visitor
+
+TEST(WireSizeOfTest, ExactForEveryTypeRandomized) {
+  Rng rng(0xE14E14ull);
+  // Every variant alternative appears in the first batch; assert that so a
+  // future message type cannot silently skip the property.
+  ASSERT_EQ(all_types_randomized(rng).size(), std::variant_size_v<AnyMessage>);
+  for (int iter = 0; iter < 300; ++iter) {
+    for (const AnyMessage& m : all_types_randomized(rng)) {
+      const net::Frame f = encode(m);
+      EXPECT_EQ(wire_size_of(m), f.wire_size())
+          << "type=" << message_type_name(type_of(m)) << " iter=" << iter;
+    }
+  }
+}
+
+TEST(WireSizeOfTest, ExactAtVarintBoundaries) {
+  // Payload sizes straddling the 1->2 byte varint length boundary.
+  for (const std::size_t n : {0u, 1u, 127u, 128u, 129u, 16383u, 16384u}) {
+    const AnyMessage m{ChunkData{{0, 0}, std::vector<std::uint8_t>(n, 7)}};
+    EXPECT_EQ(wire_size_of(m), encode(m).wire_size()) << "rle bytes=" << n;
+  }
+}
+
+// ----------------------------------------------------------- buffer pool
+
+TEST(BufferPoolTest, RecyclesCapacityAndCountsHits) {
+  net::BufferPool& pool = net::BufferPool::instance();
+  pool.trim();
+  pool.reset_stats();
+
+  std::vector<std::uint8_t> buf = pool.acquire();  // cold pool: a miss
+  buf.resize(1000);
+  const std::size_t cap = buf.capacity();
+  pool.release(std::move(buf));
+
+  std::vector<std::uint8_t> again = pool.acquire();  // served from freelist
+  EXPECT_TRUE(again.empty());
+  EXPECT_GE(again.capacity(), cap);
+
+  const net::BufferPool::Stats st = pool.stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.releases, 1u);
+  EXPECT_EQ(st.dropped, 0u);
+  pool.release(std::move(again));
+}
+
+TEST(BufferPoolTest, DropsTinyBuffers) {
+  net::BufferPool& pool = net::BufferPool::instance();
+  pool.trim();
+  pool.reset_stats();
+  pool.release(std::vector<std::uint8_t>{});  // never grown: nothing to keep
+  const net::BufferPool::Stats st = pool.stats();
+  EXPECT_EQ(st.releases, 1u);
+  EXPECT_EQ(st.dropped, 1u);
+  EXPECT_EQ(st.pooled, 0u);
+}
+
+TEST(BufferPoolTest, HighWaterSurvivesStatsReset) {
+  net::BufferPool& pool = net::BufferPool::instance();
+  pool.trim();
+  pool.reset_stats();
+  for (int i = 0; i < 3; ++i) {
+    pool.release(std::vector<std::uint8_t>(64));
+  }
+  EXPECT_EQ(pool.stats().pooled, 3u);
+  EXPECT_GE(pool.stats().high_water, 3u);
+  pool.reset_stats();
+  EXPECT_EQ(pool.stats().releases, 0u);
+  EXPECT_EQ(pool.stats().pooled, 3u);       // freelist untouched
+  EXPECT_GE(pool.stats().high_water, 3u);   // peak is not a window counter
+  pool.trim();
+  EXPECT_EQ(pool.stats().pooled, 0u);
+}
+
+// ---------------------------------------------------------- shared frames
+
+TEST(SharedFrameTest, InstanceMatchesPlainEncode) {
+  Rng rng(77);
+  for (const AnyMessage& m : all_types_randomized(rng)) {
+    const net::Frame plain = encode(m);
+    net::SharedFrame shared = encode_shared(m);
+    ASSERT_TRUE(shared.valid());
+    const net::Frame inst = shared.instance(42, SimTime::zero() + SimDuration::millis(5));
+    EXPECT_EQ(inst.tag, plain.tag);
+    EXPECT_EQ(inst.payload, plain.payload);
+    EXPECT_EQ(inst.seq, 42u);
+    EXPECT_EQ(inst.wire_size(), wire_size_of(m));
+  }
+}
+
+TEST(SharedFrameTest, InstancesAreIndependentCopies) {
+  const AnyMessage m{ChatBroadcast{9, "hello"}};
+  net::SharedFrame shared = encode_shared(m);
+  net::Frame a = shared.instance(1, {});
+  net::Frame b = shared.instance(2, {});
+  ASSERT_FALSE(a.payload.empty());
+  a.payload[0] ^= 0xFF;  // fault-layer style mutation
+  EXPECT_NE(a.payload, b.payload);
+  EXPECT_EQ(b.payload, shared.payload());  // master unaffected
+}
+
+TEST(SharedFrameTest, MasterPayloadReturnsToPool) {
+  net::BufferPool& pool = net::BufferPool::instance();
+  pool.trim();
+  pool.reset_stats();
+  {
+    // Payload comfortably above kMinCapacity so the release is kept.
+    net::SharedFrame shared =
+        encode_shared(AnyMessage{ChatBroadcast{7, "a broadcast worth pooling"}});
+    ASSERT_TRUE(shared.valid());
+  }
+  // The master died: its payload buffer was released back (and kept, since
+  // encode reserves more than kMinCapacity).
+  EXPECT_EQ(pool.stats().releases, 1u);
+  EXPECT_EQ(pool.stats().pooled, 1u);
+}
+
+// -------------------------------------------------------------- bytewriter
+
+TEST(ByteWriterTest, AdoptedBufferIsClearedButKeepsCapacity) {
+  std::vector<std::uint8_t> recycled(500, 0xAB);
+  const std::size_t cap = recycled.capacity();
+  net::ByteWriter w(std::move(recycled));
+  w.u8(1);
+  w.varint(300);
+  const std::vector<std::uint8_t> bytes = w.take();
+
+  net::ByteWriter fresh;
+  fresh.u8(1);
+  fresh.varint(300);
+  EXPECT_EQ(bytes, fresh.take());  // stale contents never leak into output
+  EXPECT_GE(bytes.capacity(), cap);
+}
+
+TEST(ByteWriterTest, ClearResetsForReuse) {
+  net::ByteWriter w;
+  const std::vector<std::uint8_t> big(100, 3);
+  w.blob(big.data(), big.size());
+  w.clear();
+  w.u8(9);
+  ASSERT_EQ(w.bytes().size(), 1u);
+  std::uint8_t v = 0;
+  net::ByteReader r(w.bytes());
+  ASSERT_TRUE(r.u8(v));
+  EXPECT_EQ(v, 9);
+}
+
+// -------------------------------------------- steady-state zero allocation
+
+TEST(EgressAllocationTest, SteadyStateFrameBufferAllocationsAreZero) {
+  // After warmup the buffer population covers the working set: every
+  // acquire on the encode/stage/send/poll/decode loop is a pool hit. Pool
+  // misses over the measurement window are exactly the frame-buffer heap
+  // allocations the egress pipeline still performs.
+  bots::SimulationConfig cfg;
+  cfg.players = 20;
+  cfg.duration = SimDuration::seconds(30);
+  cfg.warmup = SimDuration::seconds(15);
+  cfg.seed = 42;
+  cfg.workload.kind = bots::WorkloadKind::Village;
+  bots::Simulation sim(cfg);
+  const bots::SimulationResult r = sim.run();
+  EXPECT_EQ(r.pool_misses, 0u)
+      << "steady-state ticks must not heap-allocate frame buffers "
+      << "(misses/tick=" << r.pool_misses_per_tick << ")";
+  EXPECT_GT(r.pool_hits, 0u);
+}
+
+}  // namespace
+}  // namespace dyconits::protocol

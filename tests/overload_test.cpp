@@ -44,7 +44,7 @@ AnyMessage block_msg(std::int32_t x, world::Block b) {
 }
 
 std::size_t wire_bytes(const AnyMessage& m) {
-  return protocol::encode(m).wire_size() + 4;
+  return protocol::wire_size_of(m) + 4;
 }
 
 EgressQueue::PushResult push(EgressQueue& q, const AnyMessage& m, std::uint64_t key,

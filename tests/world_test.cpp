@@ -153,6 +153,62 @@ TEST(ChunkTest, RleIsCompact) {
   EXPECT_LT(c.encode_rle().size(), 16u);
 }
 
+TEST(ChunkTest, RleCachePointerStableWithoutWrites) {
+  Chunk c({4, 4});
+  c.set_local(3, 10, 4, Block::Stone);
+  const std::vector<std::uint8_t>* first = &c.encode_rle();
+  // No intervening write: the cached blob is returned, not re-encoded.
+  EXPECT_EQ(&c.encode_rle(), first);
+  EXPECT_EQ(&c.encode_rle(), first);
+}
+
+TEST(ChunkTest, RleCacheInvalidatedByBlockWrite) {
+  Chunk c({4, 4});
+  c.set_local(3, 10, 4, Block::Stone);
+  const std::vector<std::uint8_t> before = c.encode_rle();
+  c.set_local(3, 11, 4, Block::Planks);
+  const std::vector<std::uint8_t>& after = c.encode_rle();
+  EXPECT_NE(before, after);
+
+  // The fresh blob round-trips the current contents.
+  Chunk d({4, 4});
+  ASSERT_TRUE(d.decode_rle(after.data(), after.size()));
+  EXPECT_EQ(d.get_local(3, 11, 4), Block::Planks);
+  EXPECT_EQ(d.get_local(3, 10, 4), Block::Stone);
+}
+
+TEST(ChunkTest, RleCacheInvalidatedByDecode) {
+  Chunk src({0, 0});
+  src.set_local(0, 5, 0, Block::Cobblestone);
+  const std::vector<std::uint8_t> blob = src.encode_rle();
+
+  Chunk c({0, 0});
+  const std::vector<std::uint8_t> empty_blob = c.encode_rle();  // warm the cache
+  ASSERT_TRUE(c.decode_rle(blob.data(), blob.size()));
+  EXPECT_EQ(c.encode_rle(), blob);
+  EXPECT_NE(c.encode_rle(), empty_blob);
+}
+
+TEST(ChunkTest, RleCacheInvalidatedByFailedDecode) {
+  Chunk c({0, 0});
+  c.set_local(1, 1, 1, Block::Stone);
+  c.encode_rle();  // warm the cache
+  std::vector<std::uint8_t> short_total = {1, 0, 5, 0};  // covers 5 of the volume
+  EXPECT_FALSE(c.decode_rle(short_total.data(), short_total.size()));
+  // Contents are unspecified after a failed decode, but the cache must track
+  // them: whatever encode_rle returns now round-trips the current blocks.
+  const std::vector<std::uint8_t>& after = c.encode_rle();
+  Chunk copy({0, 0});
+  ASSERT_TRUE(copy.decode_rle(after.data(), after.size()));
+  for (int x = 0; x < kChunkSize; ++x) {
+    for (int z = 0; z < kChunkSize; ++z) {
+      for (int y = 0; y < kWorldHeight; ++y) {
+        ASSERT_EQ(copy.get_local(x, y, z), c.get_local(x, y, z));
+      }
+    }
+  }
+}
+
 // ----------------------------------------------------------------- terrain
 
 TEST(TerrainTest, DeterministicForSeed) {
