@@ -116,6 +116,118 @@ inline std::uint64_t update_bytes(const bots::SimulationResult& r) {
   return b;
 }
 
+// ------------------------------------------------------------- --json=FILE
+//
+// Machine-readable run reports, so experiment results can be committed and
+// diffed (BENCH_*.json) instead of scraped out of stdout tables.
+
+/// One report: run config, a flat metric map, and per-phase timing
+/// percentiles. Every bench that takes --json=FILE fills one of these.
+struct JsonReport {
+  std::string bench;
+  /// Config as (key, already-rendered JSON value) — use json_str/json_num.
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<std::pair<std::string, double>> metrics;
+  struct Phase {
+    std::string name;
+    double mean_ms = 0, p50_ms = 0, p95_ms = 0, p99_ms = 0;
+    /// Simulation phase timings are streaming (RunningStats) — mean only;
+    /// percentile keys are emitted only where a retained distribution
+    /// backs them.
+    bool has_percentiles = true;
+  };
+  std::vector<Phase> phases;
+};
+
+inline std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+inline std::string json_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+inline void write_json_report(std::FILE* f, const JsonReport& r) {
+  std::fprintf(f, "{\n  \"bench\": %s,\n  \"config\": {", json_str(r.bench).c_str());
+  for (std::size_t i = 0; i < r.config.size(); ++i) {
+    std::fprintf(f, "%s%s: %s", i ? ", " : "", json_str(r.config[i].first).c_str(),
+                 r.config[i].second.c_str());
+  }
+  std::fprintf(f, "},\n  \"metrics\": {");
+  for (std::size_t i = 0; i < r.metrics.size(); ++i) {
+    std::fprintf(f, "%s%s: %s", i ? ", " : "", json_str(r.metrics[i].first).c_str(),
+                 json_num(r.metrics[i].second).c_str());
+  }
+  std::fprintf(f, "},\n  \"phases\": [");
+  for (std::size_t i = 0; i < r.phases.size(); ++i) {
+    const JsonReport::Phase& p = r.phases[i];
+    std::fprintf(f, "%s\n    {\"name\": %s, \"mean_ms\": %s", i ? "," : "",
+                 json_str(p.name).c_str(), json_num(p.mean_ms).c_str());
+    if (p.has_percentiles) {
+      std::fprintf(f, ", \"p50_ms\": %s, \"p95_ms\": %s, \"p99_ms\": %s",
+                   json_num(p.p50_ms).c_str(), json_num(p.p95_ms).c_str(),
+                   json_num(p.p99_ms).c_str());
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+}
+
+/// Honors --json=FILE: writes the report and returns true, or does nothing
+/// when the flag is absent. Exits(2) if the file cannot be created — a
+/// requested report that silently vanishes poisons committed baselines.
+inline bool maybe_write_json(const Flags& flags, const JsonReport& r) {
+  const std::string path = flags.get_string("json", "");
+  if (path.empty()) return false;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: --json=%s: cannot open for writing\n", path.c_str());
+    std::exit(2);
+  }
+  write_json_report(f, r);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return true;
+}
+
+/// Fills the shared parts of a simulation-backed report: config (players,
+/// seed, policy, workload, threads, duration), core egress/tick metrics,
+/// and the per-phase breakdown with mean/p50/p95/p99.
+inline JsonReport simulation_report(const std::string& bench,
+                                    const bots::SimulationConfig& cfg,
+                                    const bots::SimulationResult& r) {
+  JsonReport out;
+  out.bench = bench;
+  out.config = {
+      {"players", json_num(static_cast<double>(cfg.players))},
+      {"seed", json_num(static_cast<double>(cfg.seed))},
+      {"policy", json_str(cfg.policy)},
+      {"workload", json_str(bots::workload_name(cfg.workload.kind))},
+      {"view_distance", json_num(cfg.view_distance)},
+      {"duration_s", json_num(cfg.duration.as_seconds())},
+      {"flush_threads", json_num(static_cast<double>(cfg.flush_threads))},
+  };
+  out.metrics = {
+      {"egress_bytes_per_sec", r.egress_bytes_per_sec},
+      {"egress_frames_per_sec", r.egress_frames_per_sec},
+      {"tick_mean_ms", r.tick_ms.mean()},
+      {"tick_p50_ms", r.tick_ms.percentile(0.5)},
+      {"tick_p95_ms", r.tick_ms.percentile(0.95)},
+      {"tick_p99_ms", r.tick_ms.percentile(0.99)},
+  };
+  for (const auto& p : r.phases.phases) {
+    out.phases.push_back({p.name, p.ms.mean(), 0, 0, 0, /*has_percentiles=*/false});
+  }
+  return out;
+}
+
 inline void print_title(const std::string& title) {
   std::printf("\n== %s ==\n", title.c_str());
 }

@@ -28,7 +28,7 @@ double phase_mean(const bots::SimulationResult& r, const char* name) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  check_flags(flags, {"policy", "assert-alloc-ceiling"});
+  check_flags(flags, {"policy", "assert-alloc-ceiling", "json"});
 
   auto cfg = base_config(flags);
   cfg.players = static_cast<std::size_t>(flags.get_int("players", 200));
@@ -59,6 +59,13 @@ int main(int argc, char** argv) {
   print_title("E14b: measured tick-phase breakdown (ms per tick)");
   print_phase_breakdown(r);
   finish_trace(flags);
+
+  JsonReport report = simulation_report("e14_egress", cfg, r);
+  report.metrics.push_back({"pool_hits", static_cast<double>(r.pool_hits)});
+  report.metrics.push_back({"pool_misses", static_cast<double>(r.pool_misses)});
+  report.metrics.push_back({"pool_misses_per_tick", r.pool_misses_per_tick});
+  report.metrics.push_back({"pool_high_water", static_cast<double>(r.pool_high_water)});
+  maybe_write_json(flags, report);
 
   // Perf-smoke gate for scripts/verify.sh: steady-state frame-buffer heap
   // allocations must stay under the pinned ceiling (0 once capacity warms).

@@ -4,75 +4,175 @@
 # UBSan (DYCONITS_SANITIZE) including a 100k-iteration protocol fuzz pass,
 # then the determinism + chaos suites under ThreadSanitizer with the
 # parallel flush pipeline on (--threads=4; DESIGN.md §9), then a check that
-# the compile-out switch (DYCONITS_TRACING=OFF) still builds.
+# the compile-out switch (DYCONITS_TRACING=OFF) still builds, then the
+# end-to-end UDP run: server + bot clients as separate OS processes over
+# loopback must produce the exact wire hashes the in-process sim oracle
+# predicts (DESIGN.md §12), including a clean-shutdown pass under ASan.
 #
-#   scripts/verify.sh [build-dir-prefix]   # default: build
+#   scripts/verify.sh [build-dir-prefix] [stage ...]
+#
+# Stages: tier1 perf-smoke chaos asan tsan notrace e2e-udp (default: all, in
+# that order). Named stages assume their build tree exists when they reuse
+# one from an earlier stage (e2e-udp configures/builds what it needs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-prefix="${1:-build}"
+all_stages="tier1 perf-smoke chaos asan tsan notrace e2e-udp"
+prefix="build"
+if [ "$#" -gt 0 ]; then
+  case " $all_stages " in
+    *" $1 "*) ;;                    # first arg is a stage name, keep default prefix
+    *) prefix="$1"; shift ;;
+  esac
+fi
+stages="${*:-$all_stages}"
+for s in $stages; do
+  case " $all_stages " in
+    *" $s "*) ;;
+    *) echo "unknown stage '$s' (known: $all_stages)" >&2; exit 2 ;;
+  esac
+done
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "== tier-1: release build + ctest =="
-cmake -B "$prefix" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$prefix" -j "$jobs"
-ctest --test-dir "$prefix" --output-on-failure
+want() { case " $stages " in *" $1 "*) return 0 ;; *) return 1 ;; esac; }
 
-echo "== e14 perf smoke: zero-allocation egress =="
-# Steady-state frame-buffer allocations per tick (BufferPool misses over the
-# measurement window) must hold at the pinned ceiling of zero once buffer
-# capacity warms (DESIGN.md §11). The property is fleet-size independent, so
-# a small fast run gates it; bench/e14_egress at full scale is the
-# measurement, this is the regression tripwire. The golden-wire determinism
-# suite in the tier-1 ctest pass above already re-proves byte-identity with
-# pooling on across --threads={1,2,4,8}, and the ASan pass below runs
-# egress_test over the pool/shared-frame lifecycle.
-"$prefix/bench/e14_egress" --players=60 --duration=30 --assert-alloc-ceiling=0
+# One scripted run (DESIGN.md §12): server + $2 clients over UDP loopback
+# from the $1 build tree, hash lines collected into $3. Exit codes of every
+# process are checked (set -e + wait), so sanitizer reports fail the stage.
+e2e_udp_run() {
+  local bdir="$1" clients="$2" out="$3" ticks="$4"
+  local tmp spid port idx
+  tmp="$(mktemp -d)"
+  "$bdir/src/apps/dyconits_server" --transport=udp --ticks="$ticks" \
+    --clients="$clients" --port-file="$tmp/port" >"$tmp/server.out" &
+  spid=$!
+  for _ in $(seq 1 200); do [ -s "$tmp/port" ] && break; sleep 0.05; done
+  if [ ! -s "$tmp/port" ]; then
+    echo "e2e-udp: server never wrote its port file" >&2
+    kill "$spid" 2>/dev/null || true
+    return 1
+  fi
+  port="$(cat "$tmp/port")"
+  local cpids=()
+  for idx in $(seq 0 $((clients - 1))); do
+    "$bdir/src/apps/dyconits_client" --connect="127.0.0.1:$port" \
+      --index="$idx" --ticks="$ticks" >"$tmp/client$idx.out" &
+    cpids+=("$!")
+  done
+  for p in "${cpids[@]}"; do wait "$p"; done
+  wait "$spid"
+  cat "$tmp/server.out" "$tmp"/client*.out | grep '^wire_hash' | sort >"$out"
+  rm -rf "$tmp"
+}
 
-echo "== chaos: deterministic fault-schedule suite, seed matrix =="
-# The tier-1 pass above already ran chaos_test at the default seed (42);
-# re-run it across the matrix so recovery is validated on more than one
-# fault history (DESIGN.md §8).
-for seed in 1 7 1337; do
-  echo "-- chaos seed $seed"
-  DYCONITS_CHAOS_SEED="$seed" \
-    ctest --test-dir "$prefix" --output-on-failure -L chaos
-done
+if want tier1; then
+  echo "== tier-1: release build + ctest =="
+  cmake -B "$prefix" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$prefix" -j "$jobs"
+  ctest --test-dir "$prefix" --output-on-failure
+fi
 
-echo "== sanitizers: ASan+UBSan build + ctest (+100k protocol fuzz) =="
-cmake -B "$prefix-sanitize" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DDYCONITS_SANITIZE="address;undefined"
-cmake --build "$prefix-sanitize" -j "$jobs"
-ctest --test-dir "$prefix-sanitize" --output-on-failure
-# Acceptance floor for the decoder: 100k seeded mutations, zero crashes,
-# zero sanitizer reports (the default iteration count is much smaller).
-DYCONITS_FUZZ_ITERS=100000 \
-  ctest --test-dir "$prefix-sanitize" --output-on-failure -R protocol_fuzz_test
-# Acceptance floor for overload control (DESIGN.md §10): the full 10k-tick
-# saturating-load run — queue caps, sustained tick cost, and the
-# threads-{1,2,4} byte-identity check — must also hold with ASan+UBSan
-# watching the egress-queue memory churn.
-DYCONITS_OVERLOAD_TICKS=10000 \
-  ctest --test-dir "$prefix-sanitize" --output-on-failure -L overload
+if want perf-smoke; then
+  echo "== e14 perf smoke: zero-allocation egress =="
+  # Steady-state frame-buffer allocations per tick (BufferPool misses over the
+  # measurement window) must hold at the pinned ceiling of zero once buffer
+  # capacity warms (DESIGN.md §11). The property is fleet-size independent, so
+  # a small fast run gates it; bench/e14_egress at full scale is the
+  # measurement, this is the regression tripwire. The golden-wire determinism
+  # suite in the tier-1 ctest pass above already re-proves byte-identity with
+  # pooling on across --threads={1,2,4,8}, and the ASan pass below runs
+  # egress_test over the pool/shared-frame lifecycle.
+  "$prefix/bench/e14_egress" --players=60 --duration=30 --assert-alloc-ceiling=0
+fi
 
-echo "== tsan: determinism + chaos + overload suites, parallel flush pipeline =="
-# TSan and ASan cannot share a build; a dedicated tree runs the suites
-# that exercise the sharded flush path. Threads forced to 4 so worker code
-# actually runs concurrently; ticks/seeds trimmed — TSan is ~10x slower and
-# the full matrix already ran in the tier-1 pass. The determinism label now
-# includes the overload-ladder scenario (rung transitions byte-identical at
-# --threads=4), and the overload acceptance run re-checks the egress-queue
-# path under concurrent flush workers.
-cmake -B "$prefix-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DDYCONITS_SANITIZE=thread
-cmake --build "$prefix-tsan" -j "$jobs"
-DYCONITS_CHAOS_THREADS=4 DYCONITS_DET_TICKS=300 DYCONITS_DET_SEEDS=2 \
-  DYCONITS_OVERLOAD_TICKS=2000 \
-  ctest --test-dir "$prefix-tsan" --output-on-failure -L "determinism|chaos|overload"
+if want chaos; then
+  echo "== chaos: deterministic fault-schedule suite, seed matrix =="
+  # The tier-1 pass above already ran chaos_test at the default seed (42);
+  # re-run it across the matrix so recovery is validated on more than one
+  # fault history (DESIGN.md §8).
+  for seed in 1 7 1337; do
+    echo "-- chaos seed $seed"
+    DYCONITS_CHAOS_SEED="$seed" \
+      ctest --test-dir "$prefix" --output-on-failure -L chaos
+  done
+fi
 
-echo "== tracing compiled out: build + ctest =="
-cmake -B "$prefix-notrace" -S . -DCMAKE_BUILD_TYPE=Release -DDYCONITS_TRACING=OFF
-cmake --build "$prefix-notrace" -j "$jobs"
-ctest --test-dir "$prefix-notrace" --output-on-failure -E trace_test
+if want asan; then
+  echo "== sanitizers: ASan+UBSan build + ctest (+100k protocol fuzz) =="
+  cmake -B "$prefix-sanitize" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDYCONITS_SANITIZE="address;undefined"
+  cmake --build "$prefix-sanitize" -j "$jobs"
+  ctest --test-dir "$prefix-sanitize" --output-on-failure
+  # Acceptance floor for the decoder: 100k seeded mutations, zero crashes,
+  # zero sanitizer reports (the default iteration count is much smaller).
+  DYCONITS_FUZZ_ITERS=100000 \
+    ctest --test-dir "$prefix-sanitize" --output-on-failure -R protocol_fuzz_test
+  # Acceptance floor for overload control (DESIGN.md §10): the full 10k-tick
+  # saturating-load run — queue caps, sustained tick cost, and the
+  # threads-{1,2,4} byte-identity check — must also hold with ASan+UBSan
+  # watching the egress-queue memory churn.
+  DYCONITS_OVERLOAD_TICKS=10000 \
+    ctest --test-dir "$prefix-sanitize" --output-on-failure -L overload
+fi
 
-echo "verify: all suites passed"
+if want tsan; then
+  echo "== tsan: determinism + chaos + overload suites, parallel flush pipeline =="
+  # TSan and ASan cannot share a build; a dedicated tree runs the suites
+  # that exercise the sharded flush path. Threads forced to 4 so worker code
+  # actually runs concurrently; ticks/seeds trimmed — TSan is ~10x slower and
+  # the full matrix already ran in the tier-1 pass. The determinism label now
+  # includes the overload-ladder scenario (rung transitions byte-identical at
+  # --threads=4), and the overload acceptance run re-checks the egress-queue
+  # path under concurrent flush workers.
+  cmake -B "$prefix-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDYCONITS_SANITIZE=thread
+  cmake --build "$prefix-tsan" -j "$jobs"
+  DYCONITS_CHAOS_THREADS=4 DYCONITS_DET_TICKS=300 DYCONITS_DET_SEEDS=2 \
+    DYCONITS_OVERLOAD_TICKS=2000 \
+    ctest --test-dir "$prefix-tsan" --output-on-failure -L "determinism|chaos|overload"
+fi
+
+if want notrace; then
+  echo "== tracing compiled out: build + ctest =="
+  cmake -B "$prefix-notrace" -S . -DCMAKE_BUILD_TYPE=Release -DDYCONITS_TRACING=OFF
+  cmake --build "$prefix-notrace" -j "$jobs"
+  ctest --test-dir "$prefix-notrace" --output-on-failure -E trace_test
+fi
+
+if want e2e-udp; then
+  echo "== e2e-udp: separate-process UDP run vs in-process sim oracle =="
+  # The headline transport claim (DESIGN.md §12): server and bots running as
+  # separate OS processes over real UDP sockets deliver byte streams whose
+  # per-session wire hashes match the SimNetwork oracle bit-for-bit. The
+  # hashes are computed above the transport, so fragmentation, coalescing,
+  # and datagram framing are all on trial.
+  e2e_ticks=40
+  e2e_clients=2
+  cmake -B "$prefix" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$prefix" -j "$jobs" --target dyconits_server dyconits_client
+  e2e_dir="$(mktemp -d)"
+  "$prefix/src/apps/dyconits_server" --transport=sim --ticks="$e2e_ticks" \
+    --clients="$e2e_clients" | grep '^wire_hash' | sort >"$e2e_dir/oracle.txt"
+  e2e_udp_run "$prefix" "$e2e_clients" "$e2e_dir/udp.txt" "$e2e_ticks"
+  if ! diff -u "$e2e_dir/oracle.txt" "$e2e_dir/udp.txt"; then
+    echo "FAIL: UDP wire hashes diverge from the sim oracle" >&2
+    exit 1
+  fi
+  echo "-- wire hashes match the sim oracle ($(wc -l <"$e2e_dir/oracle.txt") sessions)"
+  # Same run under ASan+UBSan: every process must exit 0 with no leak or
+  # sanitizer report (sockets, epoll registration, pooled payloads,
+  # reassembly buffers all torn down cleanly), and the hashes must still
+  # match the (sanitizer-build) oracle.
+  cmake -B "$prefix-sanitize" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDYCONITS_SANITIZE="address;undefined" >/dev/null
+  cmake --build "$prefix-sanitize" -j "$jobs" --target dyconits_server dyconits_client
+  "$prefix-sanitize/src/apps/dyconits_server" --transport=sim --ticks="$e2e_ticks" \
+    --clients="$e2e_clients" | grep '^wire_hash' | sort >"$e2e_dir/oracle-asan.txt"
+  diff -u "$e2e_dir/oracle.txt" "$e2e_dir/oracle-asan.txt"
+  e2e_udp_run "$prefix-sanitize" "$e2e_clients" "$e2e_dir/udp-asan.txt" "$e2e_ticks"
+  diff -u "$e2e_dir/oracle.txt" "$e2e_dir/udp-asan.txt"
+  echo "-- ASan run: clean shutdown, hashes still match"
+  rm -rf "$e2e_dir"
+fi
+
+echo "verify: selected stages passed ($stages)"

@@ -1,0 +1,41 @@
+// Standalone bot-client binary (DESIGN.md §12): one scripted lockstep bot
+// talking to a dyconits_server over UDP.
+//
+//   dyconits_client --connect=127.0.0.1:4600 --index=0 --ticks=120
+//
+// The (seed, index) pair must match the server's schedule; on completion
+// the bot prints its `wire_hash role=client ...` line.
+#include <cstdio>
+
+#include "apps/scripted_run.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace dyconits;
+
+  Flags flags(argc, argv);
+  flags.assert_known(
+      {"connect", "index", "ticks", "seed", "terrain-seed", "mobs", "net-timeout", "help"});
+  if (flags.has("help")) {
+    std::printf(
+        "usage: dyconits_client --connect=host:port [--index=N] [--ticks=N]\n"
+        "                       [--seed=N] [--terrain-seed=N] [--mobs=N]\n"
+        "                       [--net-timeout=DUR]\n");
+    return 0;
+  }
+
+  apps::ScriptedConfig cfg;
+  cfg.ticks = static_cast<std::uint64_t>(flags.get_int("ticks", 120));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  cfg.terrain_seed = static_cast<std::uint64_t>(flags.get_int("terrain-seed", 42));
+  cfg.mobs = static_cast<std::uint32_t>(flags.get_int("mobs", 4));
+  cfg.net_timeout = flags.get_duration("net-timeout", SimDuration::seconds(10));
+
+  if (!flags.has("connect")) {
+    std::fprintf(stderr, "error: --connect=host:port is required\n");
+    return 2;
+  }
+  const Endpoint server = flags.get_endpoint("connect", {});
+  const auto index = static_cast<std::uint32_t>(flags.get_int("index", 0));
+  return apps::run_udp_client(cfg, server.host, server.port, index);
+}

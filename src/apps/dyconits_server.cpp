@@ -1,0 +1,56 @@
+// Standalone server binary (DESIGN.md §12).
+//
+//   dyconits_server --transport=udp --listen=127.0.0.1:0 --clients=3
+//       --ticks=120 --port-file=/tmp/port
+//
+// runs the scripted lockstep schedule over real UDP sockets and prints one
+// `wire_hash role=server ...` line per session. With --transport=sim the
+// whole schedule (server AND clients) runs in-process on SimNetwork and
+// both roles' lines are printed — the oracle prediction the UDP runs are
+// diffed against (scripts/verify.sh e2e-udp).
+#include <cstdio>
+
+#include "apps/scripted_run.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace dyconits;
+
+  Flags flags(argc, argv);
+  flags.assert_known({"transport", "listen", "ticks", "clients", "seed", "terrain-seed",
+                      "mobs", "net-timeout", "port-file", "help"});
+  if (flags.has("help")) {
+    std::printf(
+        "usage: dyconits_server [--transport=sim|udp] [--listen=host:port]\n"
+        "                       [--ticks=N] [--clients=N] [--seed=N]\n"
+        "                       [--terrain-seed=N] [--mobs=N]\n"
+        "                       [--net-timeout=DUR] [--port-file=PATH]\n");
+    return 0;
+  }
+
+  apps::ScriptedConfig cfg;
+  cfg.ticks = static_cast<std::uint64_t>(flags.get_int("ticks", 120));
+  cfg.clients = static_cast<std::uint32_t>(flags.get_int("clients", 3));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  cfg.terrain_seed = static_cast<std::uint64_t>(flags.get_int("terrain-seed", 42));
+  cfg.mobs = static_cast<std::uint32_t>(flags.get_int("mobs", 4));
+  cfg.net_timeout = flags.get_duration("net-timeout", SimDuration::seconds(10));
+
+  const std::string transport = flags.get_string("transport", "udp");
+  if (transport == "sim") {
+    for (const auto& line : apps::run_sim_oracle(cfg)) {
+      std::printf("%s\n", apps::format_hash_line(line).c_str());
+    }
+    return 0;
+  }
+  if (transport != "udp") {
+    std::fprintf(stderr, "error: --transport=%s: expected sim or udp\n", transport.c_str());
+    return 2;
+  }
+
+  // Omitting --listen binds an ephemeral port; pair with --port-file so the
+  // launcher can discover it.
+  const Endpoint listen = flags.get_endpoint("listen", {"127.0.0.1", 0});
+  return apps::run_udp_server(cfg, listen.host, listen.port,
+                              flags.get_string("port-file", ""));
+}

@@ -1,0 +1,86 @@
+// The scripted lockstep run behind the UDP/sim wire-equivalence check
+// (DESIGN.md §12, scripts/verify.sh e2e-udp).
+//
+// One schedule, three executions:
+//   - sim oracle: server and N bots in one process on SimNetwork
+//     (latency-0 FIFO links), bots ticked in name order before the server.
+//   - udp server: GameServer alone, on UdpTransport behind a LockstepGate
+//     that holds inbound frames until every client's TickBarrier for the
+//     round has arrived, then releases them in bot-name order — exactly the
+//     arrival order the sim produces.
+//   - udp client: one bot per process; each tick it drains the server's
+//     previous tick (complete once TickBarrierAck(k-1) arrives, since the
+//     ack is the last frame of a tick), runs its behavior, sends
+//     TickBarrier(k), and flushes.
+//
+// Everything the schedule derives from — bot names, homes, seeds, server
+// config — is a pure function of (ScriptedConfig, index), computed
+// identically in every process. The runs then print per-session
+// application-stream digests as `wire_hash ...` lines; equal schedules must
+// produce byte-identical application streams, so the sorted line sets must
+// match exactly across backends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bots/bot.h"
+#include "server/config.h"
+#include "util/flags.h"
+#include "util/sim_time.h"
+#include "world/geometry.h"
+
+namespace dyconits::apps {
+
+struct ScriptedConfig {
+  std::uint64_t ticks = 120;
+  std::uint32_t clients = 3;
+  std::uint64_t seed = 1;
+  std::uint64_t terrain_seed = 42;
+  std::uint32_t mobs = 4;
+  /// Wall-clock limit on any single lockstep wait (a peer's barrier or
+  /// ack). Expired waits abort the run with a nonzero exit: a lost process
+  /// must fail the check, not hang it.
+  SimDuration net_timeout = SimDuration::seconds(10);
+};
+
+/// One per-session digest line. role is "server" (the server's view of that
+/// session) or "client" (the bot's own view); egress/ingress are FNV-1a
+/// over the application-level frame stream (net::WireHasher).
+struct HashLine {
+  std::string role;
+  std::string name;
+  std::uint64_t egress = 0;
+  std::uint64_t egress_frames = 0;
+  std::uint64_t ingress = 0;
+  std::uint64_t ingress_frames = 0;
+};
+
+/// "wire_hash role=<r> name=<n> egress=<hex> egress_frames=<n> ..."
+std::string format_hash_line(const HashLine& line);
+
+// -- the shared schedule, pure functions of (config, index) --
+std::string scripted_bot_name(std::uint32_t index);
+world::Vec3 scripted_home(std::uint32_t index);
+std::uint64_t scripted_bot_seed(std::uint64_t master_seed, std::uint32_t index);
+server::ServerConfig scripted_server_config(const ScriptedConfig& cfg);
+bots::BotConfig scripted_bot_config(const ScriptedConfig& cfg, std::uint32_t index);
+
+/// Runs the whole schedule in-process on SimNetwork and returns both the
+/// server-role and client-role hash lines — the oracle prediction.
+std::vector<HashLine> run_sim_oracle(const ScriptedConfig& cfg);
+
+/// Server process: binds UDP on host:port (0 = ephemeral; the bound port is
+/// written to `port_file` if non-empty), runs the schedule against
+/// cfg.clients remote bots, prints server-role hash lines to stdout.
+/// Returns a process exit code (0 = completed, 1 = timeout/socket error).
+int run_udp_server(const ScriptedConfig& cfg, const std::string& host, std::uint16_t port,
+                   const std::string& port_file);
+
+/// Client process: runs bot `index` against a server at host:port and
+/// prints its client-role hash line to stdout. Exit code as above.
+int run_udp_client(const ScriptedConfig& cfg, const std::string& host, std::uint16_t port,
+                   std::uint32_t index);
+
+}  // namespace dyconits::apps

@@ -23,7 +23,7 @@ const char* behavior_name(BehaviorKind k) {
   return "unknown";
 }
 
-BotClient::BotClient(SimClock& clock, net::SimNetwork& net, world::World& truth,
+BotClient::BotClient(SimClock& clock, net::Transport& net, world::World& truth,
                      net::EndpointId server, std::string name, std::uint64_t seed,
                      BotConfig cfg)
     : clock_(clock),
@@ -65,9 +65,15 @@ void BotClient::reset_session() {
 
 void BotClient::send(const AnyMessage& msg) {
   net::Frame frame = protocol::encode(msg);
+  if (cfg_.hash_streams) egress_hash_.mix(frame);  // pre-seq: backend-neutral
   frame.seq = ++tx_seq_;  // transport sequence; the server counts gaps
   frame.trace_origin = clock_.now();
   net_.send(endpoint_, server_, std::move(frame));
+}
+
+void BotClient::send_barrier(std::uint32_t tick) {
+  if (stalled_) return;
+  send(protocol::TickBarrier{tick});
 }
 
 void BotClient::track_seq(std::uint32_t seq, SimTime now) {
@@ -97,9 +103,25 @@ void BotClient::track_seq(std::uint32_t seq, SimTime now) {
 
 void BotClient::tick() {
   if (stalled_) return;  // frozen client: nothing polled, nothing sent
+  poll_inbound();
+
+  if (!joined_ || paused_) return;
+  walk();
+  if (clock_.now() >= next_action_) {
+    act();
+    next_action_ = clock_.now() +
+                   SimDuration::micros(static_cast<std::int64_t>(
+                       static_cast<double>(cfg_.action_interval.count_micros()) /
+                       action_scale_));
+  }
+}
+
+void BotClient::poll_inbound() {
+  if (stalled_) return;
   const SimTime now = clock_.now();
   for (net::Delivery& d : net_.poll(endpoint_)) {
     ++frames_received_;
+    if (cfg_.hash_streams) ingress_hash_.mix(d.frame);
     last_rx_ = now;
     track_seq(d.frame.seq, now);
     const auto msg = protocol::decode(d.frame);
@@ -142,16 +164,6 @@ void BotClient::tick() {
     ++liveness_resets_;
     reset_session();
     connect();
-  }
-
-  if (!joined_ || paused_) return;
-  walk();
-  if (clock_.now() >= next_action_) {
-    act();
-    next_action_ = clock_.now() +
-                   SimDuration::micros(static_cast<std::int64_t>(
-                       static_cast<double>(cfg_.action_interval.count_micros()) /
-                       action_scale_));
   }
 }
 
@@ -260,6 +272,9 @@ void BotClient::apply(const AnyMessage& msg, const net::Delivery& d) {
     send(protocol::KeepAliveReply{ka->nonce});
   } else if (std::get_if<protocol::ChatBroadcast>(&msg) != nullptr) {
     ++chats_seen_;
+  } else if (const auto* back = std::get_if<protocol::TickBarrierAck>(&msg)) {
+    ++barrier_acks_;
+    last_barrier_ack_ = back->tick;
   } else if (std::get_if<protocol::ResyncAck>(&msg) != nullptr) {
     ++resync_acks_;
     // The ack closes the server's refresh: everything it still counts as

@@ -12,7 +12,7 @@
 #include <unordered_set>
 
 #include "entity/entity.h"
-#include "net/sim_network.h"
+#include "net/transport.h"
 #include "protocol/codec.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
@@ -53,6 +53,11 @@ struct BotConfig {
   /// long (keep-alives come every ~5 s), assume the session is gone and
   /// rejoin from scratch. Zero disables.
   SimDuration liveness_timeout = SimDuration::seconds(30);
+
+  /// Digest the application-level byte stream this bot sends and receives
+  /// (tag + payload, above the transport) — the client half of the UDP/sim
+  /// wire-equivalence check (DESIGN.md §12).
+  bool hash_streams = false;
 };
 
 struct ReplicaEntity {
@@ -69,8 +74,9 @@ struct ReplicaEntity {
 class BotClient {
  public:
   /// `truth` is the server world, used only for walking kinematics (ground
-  /// height); all state the bot *reacts to* comes from its replica.
-  BotClient(SimClock& clock, net::SimNetwork& net, world::World& truth,
+  /// height); all state the bot *reacts to* comes from its replica. `net`
+  /// is any Transport backend (the sim in-process, UDP across processes).
+  BotClient(SimClock& clock, net::Transport& net, world::World& truth,
             net::EndpointId server, std::string name, std::uint64_t seed, BotConfig cfg);
 
   /// Sends the JoinRequest. The network link must already exist.
@@ -82,6 +88,24 @@ class BotClient {
 
   /// One client tick: drain inbound, update replica, walk, act.
   void tick();
+
+  /// The inbound half of tick() alone: drain deliveries, update the
+  /// replica, run gap/resync/liveness bookkeeping — no walking or actions.
+  /// The lockstep scripted driver calls this while blocked waiting for a
+  /// TickBarrierAck, where behavior must not run (DESIGN.md §12).
+  void poll_inbound();
+
+  // -- lockstep scripted runs (DESIGN.md §12) --
+  /// Sends TickBarrier{tick}; the server replies TickBarrierAck as the last
+  /// frame of the tick that consumed it.
+  void send_barrier(std::uint32_t tick);
+  std::uint64_t barrier_acks_seen() const { return barrier_acks_; }
+  std::uint32_t last_barrier_ack() const { return last_barrier_ack_; }
+
+  /// Application-stream digests (BotConfig::hash_streams): everything this
+  /// bot sent / received, hashed above the transport.
+  const net::WireHasher& egress_hash() const { return egress_hash_; }
+  const net::WireHasher& ingress_hash() const { return ingress_hash_; }
 
   bool joined() const { return joined_; }
   const std::string& name() const { return name_; }
@@ -180,7 +204,7 @@ class BotClient {
   void send(const protocol::AnyMessage& msg);
 
   SimClock& clock_;
-  net::SimNetwork& net_;
+  net::Transport& net_;
   world::World& truth_;
   net::EndpointId server_;
   net::EndpointId endpoint_;
@@ -239,6 +263,12 @@ class BotClient {
   std::uint64_t replica_pruned_ = 0;
   std::uint64_t liveness_resets_ = 0;
   std::uint64_t join_refusals_ = 0;
+
+  // -- lockstep / wire-equivalence instrumentation (DESIGN.md §12) --
+  std::uint64_t barrier_acks_ = 0;
+  std::uint32_t last_barrier_ack_ = 0;
+  net::WireHasher egress_hash_;
+  net::WireHasher ingress_hash_;
 };
 
 }  // namespace dyconits::bots

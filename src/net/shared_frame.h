@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "net/buffer_pool.h"
-#include "net/sim_network.h"
+#include "net/transport.h"
 
 namespace dyconits::net {
 

@@ -25,43 +25,11 @@
 
 #include "net/bytes.h"
 #include "net/faults.h"
+#include "net/transport.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
 
 namespace dyconits::net {
-
-/// Highest message tag value + 1; tags index fixed-size accounting arrays.
-inline constexpr std::size_t kMaxTags = 32;
-
-/// A framed message: one tag byte, a transport sequence number, and an
-/// opaque payload. On the "wire" a frame costs
-/// tag + varint(seq) + varint(length) + payload bytes.
-struct Frame {
-  std::uint8_t tag = 0;
-  /// Per-sender transport sequence number (1-based); 0 means unsequenced.
-  /// Receivers use gaps in this to detect loss and trigger a resync
-  /// (DESIGN.md §18). Modeled as header-protected: corruption flips
-  /// payload bits, never the sequence number.
-  std::uint32_t seq = 0;
-  std::vector<std::uint8_t> payload;
-
-  /// Instrumentation only (a Yardstick-style measurement tap): the sim time
-  /// of the oldest game event this frame carries. Receivers use it to
-  /// compute end-to-end update latency. NOT part of wire_size() — a real
-  /// deployment would not ship it.
-  SimTime trace_origin;
-
-  std::size_t wire_size() const {
-    return 1 + varint_size(seq) + varint_size(payload.size()) + payload.size();
-  }
-};
-
-struct Delivery {
-  EndpointId from = kInvalidEndpoint;
-  Frame frame;
-  SimTime sent;     // when send() was called
-  SimTime arrival;  // when the frame became visible to the receiver
-};
 
 struct LinkParams {
   SimDuration latency = SimDuration::millis(25);
@@ -74,21 +42,21 @@ struct LinkParams {
   bool fifo = true;
 };
 
-class SimNetwork {
+class SimNetwork final : public Transport {
  public:
   /// The network reads the shared simulation clock; poll() releases frames
   /// whose arrival time has passed.
   SimNetwork(const SimClock& clock, std::uint64_t seed = 1);
 
-  EndpointId create_endpoint(std::string name);
-  const std::string& endpoint_name(EndpointId id) const;
+  EndpointId create_endpoint(std::string name) override;
+  const std::string& endpoint_name(EndpointId id) const override;
 
   /// Establishes a bidirectional link. Reconnecting overwrites params.
   void connect(EndpointId a, EndpointId b, LinkParams params);
   /// Cuts the link. Frames in flight on it are dropped and accounted in
   /// the receiving endpoint's DropStats (cause: disconnect).
-  void disconnect(EndpointId a, EndpointId b);
-  bool connected(EndpointId a, EndpointId b) const;
+  void disconnect(EndpointId a, EndpointId b) override;
+  bool connected(EndpointId a, EndpointId b) const override;
 
   /// Egress serialization rate in bytes/second; 0 means unlimited.
   void set_egress_rate(EndpointId id, std::uint64_t bytes_per_second);
@@ -97,11 +65,11 @@ class SimNetwork {
   /// either has crashed (counted in the receiver's FaultStats::refused).
   /// Returns true for frames that got on the wire, even ones the fault
   /// layer later loses — the sender cannot know.
-  bool send(EndpointId from, EndpointId to, Frame frame);
+  bool send(EndpointId from, EndpointId to, Frame frame) override;
 
   /// All frames for `to` whose arrival time <= clock.now(), in arrival
   /// order (stable across equal arrivals).
-  std::vector<Delivery> poll(EndpointId to);
+  std::vector<Delivery> poll(EndpointId to) override;
 
   // -- Fault injection (see faults.h; all deterministic from the seed) --
 
@@ -136,10 +104,10 @@ class SimNetwork {
   void set_link_up(EndpointId a, EndpointId b);
 
   // -- Accounting (monotonic counters over the whole run) --
-  std::uint64_t egress_bytes(EndpointId id) const;
-  std::uint64_t ingress_bytes(EndpointId id) const;
-  std::uint64_t egress_frames(EndpointId id) const;
-  std::uint64_t ingress_frames(EndpointId id) const;
+  std::uint64_t egress_bytes(EndpointId id) const override;
+  std::uint64_t ingress_bytes(EndpointId id) const override;
+  std::uint64_t egress_frames(EndpointId id) const override;
+  std::uint64_t ingress_frames(EndpointId id) const override;
   std::uint64_t egress_bytes_by_tag(EndpointId id, std::uint8_t tag) const;
   std::uint64_t total_bytes() const { return total_bytes_; }
   std::uint64_t total_frames() const { return total_frames_; }
@@ -173,8 +141,13 @@ class SimNetwork {
   std::size_t pending_count(EndpointId to) const;
   /// Wire bytes enqueued but not yet polled by `to` — the backpressure
   /// signal the server's overload controller reads: a subscriber whose
-  /// inbox bytes keep growing is not draining its downlink.
-  std::uint64_t pending_bytes(EndpointId to) const;
+  /// inbox bytes keep growing is not draining its downlink. The sim owns
+  /// both ends of the wire, so this is a real signal here.
+  bool has_backlog_signal() const override { return true; }
+  std::uint64_t pending_bytes(EndpointId to) const override;
+  const FaultStats* fault_stats_if_any(EndpointId id) const override {
+    return &fault_stats(id);
+  }
   /// Wire bytes `to` has polled out of its inbox so far.
   std::uint64_t polled_bytes(EndpointId to) const;
 

@@ -1,0 +1,157 @@
+// The transport abstraction the server and bots speak through.
+//
+// `Transport` is the seam between game logic and packet delivery: both the
+// in-process `SimNetwork` (the deterministic oracle every differential
+// suite runs on) and `UdpTransport` (real non-blocking sockets, separate
+// processes) implement it. The contract is deliberately the *application*
+// view of a network: framed messages in, framed deliveries out, per-
+// endpoint byte accounting — no link model, no fault injection, no
+// sockets. Capabilities that only some backends have (a backpressure
+// signal, fault-layer statistics) are optional queries so callers degrade
+// gracefully instead of assuming the sim (DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/bytes.h"
+#include "net/faults.h"
+#include "util/sim_time.h"
+
+namespace dyconits::net {
+
+/// Highest message tag value + 1; tags index fixed-size accounting arrays.
+inline constexpr std::size_t kMaxTags = 32;
+
+/// A framed message: one tag byte, a transport sequence number, and an
+/// opaque payload. On the wire a frame costs
+/// tag + varint(seq) + varint(length) + payload bytes — identical whether
+/// the bytes are modeled (SimNetwork) or really sent (UdpTransport).
+struct Frame {
+  std::uint8_t tag = 0;
+  /// Per-sender transport sequence number (1-based); 0 means unsequenced.
+  /// Receivers use gaps in this to detect loss and trigger a resync
+  /// (DESIGN.md §18). Modeled as header-protected: corruption flips
+  /// payload bits, never the sequence number.
+  std::uint32_t seq = 0;
+  std::vector<std::uint8_t> payload;
+
+  /// Instrumentation only (a Yardstick-style measurement tap): the sim time
+  /// of the oldest game event this frame carries. Receivers use it to
+  /// compute end-to-end update latency. NOT part of wire_size() — a real
+  /// deployment would not ship it, and UdpTransport does not.
+  SimTime trace_origin;
+
+  std::size_t wire_size() const {
+    return 1 + varint_size(seq) + varint_size(payload.size()) + payload.size();
+  }
+};
+
+struct Delivery {
+  EndpointId from = kInvalidEndpoint;
+  Frame frame;
+  SimTime sent;     // when send() was called (UDP: receive time — unknowable)
+  SimTime arrival;  // when the frame became visible to the receiver
+};
+
+/// Abstract frame transport. Implementations: SimNetwork (in-process,
+/// simulated latency/faults, deterministic), UdpTransport (real sockets).
+///
+/// Determinism boundary: everything ABOVE this interface — which frames are
+/// sent, their order per destination, their tag/payload bytes — is a pure
+/// function of simulation state. Everything below (arrival timing,
+/// interleaving across senders, loss) is backend-specific. The per-session
+/// WireHasher digests live above the boundary, which is what makes a UDP
+/// run comparable bit-for-bit against the sim oracle (DESIGN.md §12).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers a named endpoint and returns its id (ids are backend-local;
+  /// only names are comparable across backends).
+  virtual EndpointId create_endpoint(std::string name) = 0;
+  virtual const std::string& endpoint_name(EndpointId id) const = 0;
+
+  /// Sends a frame. Returns false if the destination is unreachable as far
+  /// as the sender can know (no link / no peer); true for frames that got
+  /// on the wire, even ones later lost — the sender cannot know.
+  virtual bool send(EndpointId from, EndpointId to, Frame frame) = 0;
+
+  /// All frames currently deliverable to `to`, in arrival order.
+  virtual std::vector<Delivery> poll(EndpointId to) = 0;
+
+  virtual void disconnect(EndpointId a, EndpointId b) = 0;
+  virtual bool connected(EndpointId a, EndpointId b) const = 0;
+
+  // -- Accounting (monotonic wire-byte counters over the whole run) --
+  virtual std::uint64_t egress_bytes(EndpointId id) const = 0;
+  virtual std::uint64_t ingress_bytes(EndpointId id) const = 0;
+  virtual std::uint64_t egress_frames(EndpointId id) const = 0;
+  virtual std::uint64_t ingress_frames(EndpointId id) const = 0;
+
+  // -- Optional capabilities (DESIGN.md §12) --
+  //
+  // The server's overload controller reads remote-inbox backpressure and
+  // the chaos suite reads fault statistics. Both are observable only when
+  // the backend owns both ends of the wire (the sim). Real backends return
+  // the documented neutral value and the caller degrades: overload control
+  // falls back to its local egress-queue signal, fault introspection
+  // reports nothing.
+
+  /// True iff pending_bytes() is a real backpressure signal. UDP cannot see
+  /// the remote socket buffer, so it reports false and the server's backlog
+  /// detection uses only its own staged egress bytes.
+  virtual bool has_backlog_signal() const { return false; }
+  /// Wire bytes enqueued for `to` but not yet polled; 0 when the backend
+  /// has no visibility (see has_backlog_signal()).
+  virtual std::uint64_t pending_bytes(EndpointId to) const {
+    (void)to;
+    return 0;
+  }
+  /// Receiver-side fault counters, or nullptr on backends without a fault
+  /// layer. Callers must handle nullptr (the sim-only accessor that used to
+  /// be called unconditionally from GameServer).
+  virtual const FaultStats* fault_stats_if_any(EndpointId id) const {
+    (void)id;
+    return nullptr;
+  }
+  /// Pushes any coalesced/staged datagrams onto the wire. The sim sends
+  /// synchronously, so the default is a no-op; UdpTransport batches frames
+  /// into MTU-sized datagrams and flushes here (call once per tick).
+  virtual void flush_egress() {}
+};
+
+/// Order-sensitive FNV-1a digest over (tag, payload-length, payload) of
+/// every frame mixed in — computed ABOVE the transport, before seq stamping
+/// and fragmentation, so the same application byte stream hashes equally
+/// over SimNetwork and UdpTransport. The e2e equivalence check (scripts/
+/// verify.sh e2e-udp) compares these per session between a UDP run and the
+/// sim prediction.
+class WireHasher {
+ public:
+  void mix(std::uint8_t tag, const std::uint8_t* payload, std::size_t n) {
+    mix_byte(tag);
+    std::uint64_t len = n;
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(len >> (8 * i)));
+    for (std::size_t i = 0; i < n; ++i) mix_byte(payload[i]);
+    ++frames_;
+  }
+  void mix(std::uint8_t tag, const std::vector<std::uint8_t>& payload) {
+    mix(tag, payload.data(), payload.size());
+  }
+  void mix(const Frame& f) { mix(f.tag, f.payload); }
+
+  std::uint64_t value() const { return hash_; }
+  std::uint64_t frames() const { return frames_; }
+
+ private:
+  void mix_byte(std::uint8_t b) {
+    hash_ ^= b;
+    hash_ *= 1099511628211ull;
+  }
+  std::uint64_t hash_ = 14695981039346656037ull;  // FNV-1a offset basis
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace dyconits::net

@@ -152,6 +152,8 @@ struct Encoder {
     w.u8(m.rung);
     w.varint(m.retry_after_ms);
   }
+  void operator()(const TickBarrier& m) { w.varint(m.tick); }
+  void operator()(const TickBarrierAck& m) { w.varint(m.tick); }
 };
 
 // ---- Sizing visitor -------------------------------------------------------
@@ -237,6 +239,12 @@ struct Sizer {
   }
   std::size_t operator()(const JoinRefused& m) const {
     return 1 + net::varint_size(m.retry_after_ms);
+  }
+  std::size_t operator()(const TickBarrier& m) const {
+    return net::varint_size(m.tick);
+  }
+  std::size_t operator()(const TickBarrierAck& m) const {
+    return net::varint_size(m.tick);
   }
 };
 
@@ -411,6 +419,20 @@ std::optional<AnyMessage> decode_payload(MessageType type, ByteReader& r) {
       m.retry_after_ms = static_cast<std::uint32_t>(retry);
       return finish(r, m);
     }
+    case MessageType::TickBarrier: {
+      TickBarrier m;
+      std::uint64_t tick;
+      if (!r.varint(tick) || tick > 0xFFFFFFFFull) return std::nullopt;
+      m.tick = static_cast<std::uint32_t>(tick);
+      return finish(r, m);
+    }
+    case MessageType::TickBarrierAck: {
+      TickBarrierAck m;
+      std::uint64_t tick;
+      if (!r.varint(tick) || tick > 0xFFFFFFFFull) return std::nullopt;
+      m.tick = static_cast<std::uint32_t>(tick);
+      return finish(r, m);
+    }
   }
   return std::nullopt;
 }
@@ -441,6 +463,10 @@ struct TypeOf {
   }
   MessageType operator()(const ResyncAck&) const { return MessageType::ResyncAck; }
   MessageType operator()(const JoinRefused&) const { return MessageType::JoinRefused; }
+  MessageType operator()(const TickBarrier&) const { return MessageType::TickBarrier; }
+  MessageType operator()(const TickBarrierAck&) const {
+    return MessageType::TickBarrierAck;
+  }
 };
 
 }  // namespace
@@ -468,6 +494,8 @@ const char* message_type_name(MessageType t) {
     case MessageType::InventoryUpdate: return "InventoryUpdate";
     case MessageType::ResyncAck: return "ResyncAck";
     case MessageType::JoinRefused: return "JoinRefused";
+    case MessageType::TickBarrier: return "TickBarrier";
+    case MessageType::TickBarrierAck: return "TickBarrierAck";
   }
   return "Unknown";
 }

@@ -26,6 +26,7 @@ enum class MessageType : std::uint8_t {
   KeepAliveReply = 5,
   ChatSend = 6,
   ResyncRequest = 7,
+  TickBarrier = 8,
   // server -> client
   JoinAck = 10,
   ChunkData = 11,
@@ -41,6 +42,7 @@ enum class MessageType : std::uint8_t {
   InventoryUpdate = 21,
   ResyncAck = 22,
   JoinRefused = 23,
+  TickBarrierAck = 24,
 };
 
 const char* message_type_name(MessageType t);
@@ -79,6 +81,15 @@ struct ChatSend {
 struct ResyncRequest {
   /// Highest server frame sequence number the client has seen.
   std::uint32_t last_seq = 0;
+};
+
+/// Client -> server: "my inputs for scripted tick N are all in." Used only
+/// by the lockstep scripted driver behind the UDP/sim equivalence check
+/// (DESIGN.md §12): the server acknowledges with TickBarrierAck as the
+/// *last* frame of the tick, so a client that has seen ack N has the
+/// complete tick-N output stream on an in-order transport.
+struct TickBarrier {
+  std::uint32_t tick = 0;
 };
 
 // ---- server -> client ----
@@ -174,10 +185,17 @@ struct JoinRefused {
   std::uint32_t retry_after_ms = 0;
 };
 
+/// Server -> client: closes a TickBarrier, echoing its tick number. Sent at
+/// the very end of the server tick that consumed the barrier.
+struct TickBarrierAck {
+  std::uint32_t tick = 0;
+};
+
 using AnyMessage =
     std::variant<JoinRequest, PlayerMove, PlayerDig, PlayerPlace, KeepAliveReply, ChatSend,
                  ResyncRequest, JoinAck, ChunkData, UnloadChunk, BlockChange,
                  MultiBlockChange, EntitySpawn, EntityDespawn, EntityMove, EntityMoveBatch,
-                 KeepAlive, ChatBroadcast, InventoryUpdate, ResyncAck, JoinRefused>;
+                 KeepAlive, ChatBroadcast, InventoryUpdate, ResyncAck, JoinRefused,
+                 TickBarrier, TickBarrierAck>;
 
 }  // namespace dyconits::protocol

@@ -91,6 +91,13 @@ struct ServerConfig {
   /// CPU metrics (tick_cpu_ms) always remain the real measurement.
   bool deterministic_load = false;
 
+  /// Digest every session's application-level byte stream (tag + payload,
+  /// above the transport) into per-session WireHashers, readable via
+  /// GameServer::session_stream_hashes(). The UDP/sim equivalence check
+  /// (DESIGN.md §12) compares these across backends; off by default — it
+  /// touches every payload byte a second time.
+  bool hash_streams = false;
+
   /// Aggregate tick spans into the per-phase profiler (GameServer::
   /// profiler()). Off by default: an installed profiler makes every
   /// TRACE_SCOPE on the send path take timestamps (~1-2% of a busy tick),

@@ -75,7 +75,7 @@ void pack_update_batch(const std::vector<dyconit::FlushSink::FlushedUpdate>& upd
 
 }  // namespace
 
-GameServer::GameServer(SimClock& clock, net::SimNetwork& net, world::World& world,
+GameServer::GameServer(SimClock& clock, net::Transport& net, world::World& world,
                        std::unique_ptr<dyconit::Policy> policy, ServerConfig cfg)
     : clock_(clock),
       net_(net),
@@ -171,6 +171,7 @@ void GameServer::tick() {
       // overdue. A no-op when the policy widened or left bounds alone.
       flush_dyconits();
     }
+    send_barrier_acks();
 
     const auto elapsed = std::chrono::steady_clock::now() - t0;
     auto micros = std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
@@ -201,6 +202,7 @@ void GameServer::tick() {
 
 void GameServer::process_inbound() {
   for (net::Delivery& d : net_.poll(endpoint_)) {
+    if (cfg_.hash_streams) ingress_hash_by_endpoint_[d.from].mix(d.frame);
     const auto msg = protocol::decode(d.frame);
     // The payload is fully consumed by decode; recycle it before dispatch
     // so the buffer is available to this tick's own sends.
@@ -322,6 +324,11 @@ void GameServer::handle_message(Session& s, const protocol::AnyMessage& m) {
     for (auto& [id, other] : sessions_) send_or_queue_shared(other, out, shared, now);
   } else if (std::get_if<protocol::ResyncRequest>(&m) != nullptr) {
     begin_resync(s);
+  } else if (const auto* barrier = std::get_if<protocol::TickBarrier>(&m)) {
+    // Acknowledged at the very end of this tick (send_barrier_acks), so the
+    // ack is the last frame of the tick toward this session.
+    s.barrier_armed = true;
+    s.barrier_tick = barrier->tick;
   }
   // Server-bound-only types: ignore (JoinRequest reconnects are handled in
   // process_inbound before dispatch).
@@ -828,6 +835,7 @@ void GameServer::emit_packed(std::size_t shard, std::uint32_t handle, Subscriber
     }
     // Seq is stamped here, not at pack time, so it counts frames in
     // canonical wire order exactly as the serial send_to path does.
+    if (cfg_.hash_streams) s->egress_hash.mix(f.frame);
     f.frame.seq = ++s->out_seq;
     f.frame.trace_origin = f.origin;
     net_.send(endpoint_, s->endpoint, std::move(f.frame));
@@ -1027,9 +1035,15 @@ void GameServer::tick_overload() {
   ids.reserve(sessions_.size());
   for (auto& [id, s] : sessions_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
+  // Remote-inbox backpressure is a sim-only capability (DESIGN.md §12): a
+  // real transport cannot see the peer's receive buffer, so on backends
+  // without the signal the backlog decision degrades to the staged egress
+  // bytes the server does own.
+  const bool inbox_visible = net_.has_backlog_signal();
   for (const SubscriberId id : ids) {
     Session& s = sessions_.at(id);
-    const std::size_t backlog = net_.pending_bytes(s.endpoint) + s.egress.bytes();
+    const std::size_t inbox = inbox_visible ? net_.pending_bytes(s.endpoint) : 0;
+    const std::size_t backlog = inbox + s.egress.bytes();
     s.backlogged = backlog > cfg_.overload.backlog_threshold_bytes;
     // Drain only while the transport inbox has recovered: pushing staged
     // frames into a still-full inbox would just move the backlog back.
@@ -1075,8 +1089,10 @@ void GameServer::overload_watchdog() {
           cfg_.overload.disconnect_interval_ticks) {
     SubscriberId worst = dyconit::kNoSubscriber;
     std::size_t worst_score = 0;
+    const bool inbox_visible = net_.has_backlog_signal();
     for (auto& [id, s] : sessions_) {
-      const std::size_t score = net_.pending_bytes(s.endpoint) + s.egress.bytes();
+      const std::size_t score =
+          (inbox_visible ? net_.pending_bytes(s.endpoint) : 0) + s.egress.bytes();
       if (score == 0) continue;
       if (worst == dyconit::kNoSubscriber || score > worst_score ||
           (score == worst_score && id < worst)) {
@@ -1130,6 +1146,7 @@ void GameServer::send_or_queue_shared(Session& s, const protocol::AnyMessage& m,
   if (!cfg_.overload.enabled || (!s.backlogged && s.egress.empty())) {
     TRACE_SCOPE("server.serialize_send");
     if (!shared.valid()) shared = protocol::encode_shared(m);
+    if (cfg_.hash_streams) s.egress_hash.mix(shared.tag(), shared.payload());
     net_.send(endpoint_, s.endpoint, shared.instance(++s.out_seq, trace_origin));
     return;
   }
@@ -1265,9 +1282,46 @@ std::size_t GameServer::egress_queue_frames(SubscriberId sub) const {
 void GameServer::send_to(Session& s, const protocol::AnyMessage& m, SimTime trace_origin) {
   TRACE_SCOPE("server.serialize_send");
   net::Frame frame = protocol::encode(m);
+  if (cfg_.hash_streams) s.egress_hash.mix(frame);  // pre-seq: backend-neutral
   frame.seq = ++s.out_seq;  // transport sequence; clients detect gaps
   frame.trace_origin = trace_origin;
   net_.send(endpoint_, s.endpoint, std::move(frame));
+}
+
+void GameServer::send_barrier_acks() {
+  std::vector<SubscriberId> ids;
+  for (auto& [id, s] : sessions_) {
+    if (s.barrier_armed) ids.push_back(id);
+  }
+  if (ids.empty()) return;
+  std::sort(ids.begin(), ids.end());
+  for (const SubscriberId id : ids) {
+    Session& s = sessions_.at(id);
+    s.barrier_armed = false;
+    send_or_queue(s, protocol::TickBarrierAck{s.barrier_tick}, clock_.now());
+  }
+}
+
+std::vector<GameServer::SessionStreamHash> GameServer::session_stream_hashes() const {
+  std::vector<SessionStreamHash> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) {
+    SessionStreamHash h;
+    h.name = s.name;
+    h.egress_hash = s.egress_hash.value();
+    h.egress_frames = s.egress_hash.frames();
+    const auto it = ingress_hash_by_endpoint_.find(s.endpoint);
+    if (it != ingress_hash_by_endpoint_.end()) {
+      h.ingress_hash = it->second.value();
+      h.ingress_frames = it->second.frames();
+    }
+    out.push_back(std::move(h));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SessionStreamHash& a, const SessionStreamHash& b) {
+              return a.name < b.name;
+            });
+  return out;
 }
 
 void GameServer::send_entity_spawn(Session& s, const Entity& e) {

@@ -20,7 +20,7 @@
 #include "entity/registry.h"
 #include "metrics/metrics.h"
 #include "net/shared_frame.h"
-#include "net/sim_network.h"
+#include "net/transport.h"
 #include "protocol/codec.h"
 #include "server/config.h"
 #include "trace/tick_profiler.h"
@@ -35,8 +35,11 @@ using dyconit::SubscriberId;
 
 class GameServer final : public dyconit::FlushSink, public dyconit::ParallelFlushHost {
  public:
-  /// `policy` may be null only when cfg.use_dyconits is false.
-  GameServer(SimClock& clock, net::SimNetwork& net, world::World& world,
+  /// `policy` may be null only when cfg.use_dyconits is false. `net` is any
+  /// Transport backend: the SimNetwork oracle in-process, UdpTransport for
+  /// real deployments (DESIGN.md §12). Sim-only capabilities (remote-inbox
+  /// backpressure, fault stats) are queried, never assumed.
+  GameServer(SimClock& clock, net::Transport& net, world::World& world,
              std::unique_ptr<dyconit::Policy> policy, ServerConfig cfg);
   ~GameServer() override;
 
@@ -129,6 +132,19 @@ class GameServer final : public dyconit::FlushSink, public dyconit::ParallelFlus
   std::uint64_t malformed_frames() const { return malformed_frames_; }
   std::uint64_t client_gap_frames() const { return client_gap_frames_; }
 
+  // -- wire-equivalence introspection (DESIGN.md §12) --
+  /// Per-session application-stream digests, keyed by player name (endpoint
+  /// ids are backend-local; names survive the sim/UDP comparison). Empty
+  /// unless cfg.hash_streams. Sorted by name.
+  struct SessionStreamHash {
+    std::string name;
+    std::uint64_t egress_hash = 0;
+    std::uint64_t egress_frames = 0;
+    std::uint64_t ingress_hash = 0;
+    std::uint64_t ingress_frames = 0;
+  };
+  std::vector<SessionStreamHash> session_stream_hashes() const;
+
   // -- overload introspection (DESIGN.md §10) --
   const OverloadStats& overload_stats() const { return overload_stats_; }
   /// Current degradation-ladder rung (0 = Normal).
@@ -179,6 +195,16 @@ class GameServer final : public dyconit::FlushSink, public dyconit::ParallelFlus
     /// cannot be repaired incrementally, so the session is disconnected at
     /// the next overload phase and resynced on rejoin.
     bool overload_poisoned = false;
+    /// Lockstep scripted runs (DESIGN.md §12): the client sent a
+    /// TickBarrier this tick; acknowledged as the last frame of the tick.
+    bool barrier_armed = false;
+    std::uint32_t barrier_tick = 0;
+    /// Application-stream digest (ServerConfig::hash_streams): every frame
+    /// sent to this session, mixed above the transport — before seq
+    /// stamping — so sim and UDP runs are comparable. The ingress
+    /// counterpart lives in ingress_hash_by_endpoint_ (frames arrive
+    /// before the session exists: the JoinRequest itself is hashed).
+    net::WireHasher egress_hash;
   };
 
   // -- tick phases --
@@ -202,6 +228,11 @@ class GameServer final : public dyconit::FlushSink, public dyconit::ParallelFlus
   /// by OverloadConfig::widen_factor (rung >= WidenBounds). Runs before
   /// the resync re-pin so resync still wins.
   void apply_overload_bounds();
+  /// Very last sends of a tick: TickBarrierAck to every session whose
+  /// barrier this tick consumed, in ascending session id. On an in-order
+  /// transport, a client that has seen ack N owns the complete tick-N
+  /// stream — the property the lockstep equivalence driver relies on.
+  void send_barrier_acks();
 
   // -- message handling --
   void handle_join(net::EndpointId from, const protocol::JoinRequest& m);
@@ -265,7 +296,7 @@ class GameServer final : public dyconit::FlushSink, public dyconit::ParallelFlus
   Session* session_by_entity(entity::EntityId id);
 
   SimClock& clock_;
-  net::SimNetwork& net_;
+  net::Transport& net_;
   world::World& world_;
   std::unique_ptr<dyconit::Policy> policy_;
   ServerConfig cfg_;
@@ -275,6 +306,10 @@ class GameServer final : public dyconit::FlushSink, public dyconit::ParallelFlus
   entity::EntityRegistry registry_;
 
   std::unordered_map<SubscriberId, Session> sessions_;
+  /// hash_streams: digest of everything each remote endpoint delivered to
+  /// us, from its very first frame (sessions come and go; the client's
+  /// egress stream spans the whole process).
+  std::unordered_map<net::EndpointId, net::WireHasher> ingress_hash_by_endpoint_;
   std::unordered_map<entity::EntityId, SubscriberId> entity_to_session_;
   std::unordered_map<world::ChunkPos, std::unordered_set<SubscriberId>> viewers_;
 

@@ -6,6 +6,31 @@
 
 namespace dyconits {
 
+std::optional<Endpoint> parse_endpoint(const std::string& s) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) return std::nullopt;
+  Endpoint ep;
+  ep.host = s.substr(0, colon);
+  const std::string port_str = s.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || port < 1 || port > 65535) return std::nullopt;
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+std::optional<SimDuration> parse_duration(const std::string& s) {
+  char* end = nullptr;
+  const long long value = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || value < 0) return std::nullopt;
+  const std::string unit(end);
+  if (unit == "us") return SimDuration::micros(value);
+  if (unit == "ms") return SimDuration::millis(value);
+  if (unit == "s") return SimDuration::seconds(value);
+  if (unit == "m") return SimDuration::seconds(value * 60);
+  return std::nullopt;  // unit suffix is required: bare "500" is ambiguous
+}
+
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -73,6 +98,31 @@ void Flags::assert_known(const std::vector<std::string>& allowed) const {
   for (const std::string& a : allowed) std::fprintf(stderr, " --%s", a.c_str());
   std::fprintf(stderr, "\n");
   std::exit(2);
+}
+
+Endpoint Flags::get_endpoint(const std::string& key, const Endpoint& def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const auto ep = parse_endpoint(it->second);
+  if (!ep) {
+    std::fprintf(stderr, "error: --%s=%s: expected host:port (port 1..65535)\n", key.c_str(),
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return *ep;
+}
+
+SimDuration Flags::get_duration(const std::string& key, SimDuration def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const auto d = parse_duration(it->second);
+  if (!d) {
+    std::fprintf(stderr,
+                 "error: --%s=%s: expected a duration with unit suffix (us|ms|s|m), e.g. 500ms\n",
+                 key.c_str(), it->second.c_str());
+    std::exit(2);
+  }
+  return *d;
 }
 
 std::vector<std::int64_t> Flags::get_int_list(const std::string& key,

@@ -10,10 +10,28 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "util/sim_time.h"
+
 namespace dyconits {
+
+/// A parsed host:port pair (--listen / --connect).
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port" (e.g. "127.0.0.1:4600"). The host must be non-empty
+/// and the port in [1, 65535]; returns nullopt otherwise.
+std::optional<Endpoint> parse_endpoint(const std::string& s);
+
+/// Parses a duration with a required unit suffix: "500ms", "5s", "250us",
+/// "2m". Returns nullopt for a missing/unknown unit, junk, or a negative
+/// value.
+std::optional<SimDuration> parse_duration(const std::string& s);
 
 class Flags {
  public:
@@ -28,6 +46,15 @@ class Flags {
   /// Comma-separated list of integers, e.g. --players=25,50,100.
   std::vector<std::int64_t> get_int_list(const std::string& key,
                                          const std::vector<std::int64_t>& def) const;
+
+  /// "host:port" flag (e.g. --listen=127.0.0.1:4600). Malformed input
+  /// prints an error naming the flag and exits with status 2 — network
+  /// binaries must not silently fall back to a default address.
+  Endpoint get_endpoint(const std::string& key, const Endpoint& def) const;
+
+  /// Duration flag with unit suffix (e.g. --net-timeout=500ms, =5s).
+  /// Malformed input exits with status 2, like get_endpoint().
+  SimDuration get_duration(const std::string& key, SimDuration def) const;
 
   /// Keys that were given but are not in `allowed`. An allowed entry
   /// ending in '*' matches by prefix (e.g. "benchmark_*" for flags a

@@ -117,6 +117,8 @@ std::vector<AnyMessage> all_types_randomized(Rng& rng) {
   out.emplace_back(ResyncAck{any_width_u32(rng)});
   out.emplace_back(JoinRefused{static_cast<std::uint8_t>(rng.next_below(256)),
                                any_width_u32(rng)});
+  out.emplace_back(TickBarrier{any_width_u32(rng)});
+  out.emplace_back(TickBarrierAck{any_width_u32(rng)});
   return out;
 }
 

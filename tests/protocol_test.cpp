@@ -51,6 +51,11 @@ TEST(CodecTest, KeepAlivePair) {
   EXPECT_EQ(roundtrip(KeepAliveReply{77}).nonce, 77u);
 }
 
+TEST(CodecTest, TickBarrierPair) {
+  EXPECT_EQ(roundtrip(TickBarrier{0xFFFFFFFF}).tick, 0xFFFFFFFFu);
+  EXPECT_EQ(roundtrip(TickBarrierAck{12345}).tick, 12345u);
+}
+
 TEST(CodecTest, Chat) {
   EXPECT_EQ(roundtrip(ChatSend{"hi"}).text, "hi");
   const auto m = roundtrip(ChatBroadcast{42, "yo"});
@@ -182,7 +187,8 @@ TEST(CodecTest, TypeOfMatchesTag) {
                              JoinAck{},     ChunkData{},    UnloadChunk{},
                              BlockChange{}, MultiBlockChange{}, EntitySpawn{},
                              EntityDespawn{}, EntityMove{}, EntityMoveBatch{},
-                             KeepAlive{},   ChatBroadcast{}, InventoryUpdate{}};
+                             KeepAlive{},   ChatBroadcast{}, InventoryUpdate{},
+                             TickBarrier{}, TickBarrierAck{}};
   for (const auto& m : msgs) {
     EXPECT_EQ(encode(m).tag, static_cast<std::uint8_t>(type_of(m)));
     EXPECT_STRNE(message_type_name(type_of(m)), "Unknown");

@@ -372,5 +372,64 @@ TEST(FlagsTest, AssertKnownAcceptsFullVocabulary) {
   f.assert_known({"players", "trace"});  // must not exit
 }
 
+// -------------------------------------------- endpoint / duration parsing
+
+TEST(FlagsTest, ParseEndpoint) {
+  const auto ep = parse_endpoint("127.0.0.1:4600");
+  ASSERT_TRUE(ep.has_value());
+  EXPECT_EQ(ep->host, "127.0.0.1");
+  EXPECT_EQ(ep->port, 4600);
+
+  EXPECT_FALSE(parse_endpoint("").has_value());
+  EXPECT_FALSE(parse_endpoint("localhost").has_value());     // no port
+  EXPECT_FALSE(parse_endpoint(":4600").has_value());         // empty host
+  EXPECT_FALSE(parse_endpoint("host:").has_value());         // empty port
+  EXPECT_FALSE(parse_endpoint("host:0").has_value());        // port range
+  EXPECT_FALSE(parse_endpoint("host:65536").has_value());
+  EXPECT_FALSE(parse_endpoint("host:12ab").has_value());     // trailing junk
+  EXPECT_FALSE(parse_endpoint("host:-1").has_value());
+}
+
+TEST(FlagsTest, ParseDuration) {
+  EXPECT_EQ(parse_duration("500ms"), SimDuration::millis(500));
+  EXPECT_EQ(parse_duration("5s"), SimDuration::seconds(5));
+  EXPECT_EQ(parse_duration("250us"), SimDuration::micros(250));
+  EXPECT_EQ(parse_duration("2m"), SimDuration::seconds(120));
+  EXPECT_EQ(parse_duration("0s"), SimDuration(0));
+
+  EXPECT_FALSE(parse_duration("").has_value());
+  EXPECT_FALSE(parse_duration("500").has_value());    // unit required
+  EXPECT_FALSE(parse_duration("ms").has_value());     // value required
+  EXPECT_FALSE(parse_duration("5h").has_value());     // unknown unit
+  EXPECT_FALSE(parse_duration("-5s").has_value());    // negative
+  EXPECT_FALSE(parse_duration("5 s").has_value());    // embedded space
+}
+
+TEST(FlagsTest, GetEndpointAndDurationDefaults) {
+  const char* argv[] = {"prog", "--listen=10.0.0.2:9000", "--net-timeout=750ms"};
+  Flags f(3, const_cast<char**>(argv));
+  const Endpoint ep = f.get_endpoint("listen", {"127.0.0.1", 1});
+  EXPECT_EQ(ep.host, "10.0.0.2");
+  EXPECT_EQ(ep.port, 9000);
+  EXPECT_EQ(f.get_duration("net-timeout", SimDuration(0)), SimDuration::millis(750));
+  // Absent flags return the default untouched.
+  EXPECT_EQ(f.get_endpoint("connect", {"h", 7}).port, 7);
+  EXPECT_EQ(f.get_duration("idle", SimDuration::seconds(3)), SimDuration::seconds(3));
+}
+
+TEST(FlagsDeathTest, MalformedEndpointExits) {
+  const char* argv[] = {"prog", "--listen=nonsense"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_EXIT(f.get_endpoint("listen", {"127.0.0.1", 1}), testing::ExitedWithCode(2),
+              "expected host:port");
+}
+
+TEST(FlagsDeathTest, MalformedDurationExits) {
+  const char* argv[] = {"prog", "--net-timeout=500"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_EXIT(f.get_duration("net-timeout", SimDuration(0)), testing::ExitedWithCode(2),
+              "unit suffix");
+}
+
 }  // namespace
 }  // namespace dyconits
