@@ -1,0 +1,330 @@
+// bench_gate — the perf-trust tool behind `scripts/verify.sh bench-gate`
+// (EXPERIMENTS.md "Methodology: variability and regression gating").
+// Compares a fresh multi-seed bench snapshot against the committed
+// BENCH_<pr>.json baseline and fails when any gated metric regresses
+// beyond its recorded noise band; also validates report files, bundles
+// per-bench reports into a snapshot array, smoke-runs bench binaries,
+// and self-tests its own gate logic with an injected regression.
+//
+// Modes (exactly one):
+//   bench_gate --baseline=FILE --candidate=FILE [--floor=PCT]
+//              [--allow-missing] [--verbose]
+//       Gate candidate vs baseline. Exit 0 = within noise, 1 = regression.
+//   bench_gate --self-test [--baseline=FILE] [--floor=PCT]
+//       Prove the gate trips: an identical candidate must pass and a
+//       synthetic 20% regression must fail. Uses a built-in fixture when
+//       no --baseline is given. Exit 0 = gate works.
+//   bench_gate --check=FILE
+//       Parse + schema-validate a report (schema-1 or -2 object, or a
+//       snapshot array of schema-2 objects). Exit 0 = valid.
+//   bench_gate --bundle=OUT IN1 IN2 ...
+//       Concatenate schema-2 reports into one snapshot array at OUT.
+//   bench_gate --run-smoke=JSON BIN [ARG...]
+//       Exec BIN with ARGs (which must include --json=JSON), require
+//       exit 0, then --check the JSON it wrote. Used by the bench-smoke
+//       ctest label to keep every e1-e15 binary runnable.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_stats.h"
+
+using namespace dyconits::bench;
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out, std::string* err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *err = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Validates one report object; schema-2 objects are also rehydrated into
+/// `reports` so the gate modes share this loader.
+bool load_report_object(const JsonValue& v, const std::string& where,
+                        std::vector<MultiRunReport>* reports, std::string* err) {
+  const JsonValue* schema = v.find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::Num) {
+    *err = where + ": missing numeric \"schema\"";
+    return false;
+  }
+  if (schema->num == 1) {
+    // Single-run report: structural check only (never gated — one sample
+    // has no noise band).
+    const JsonValue* bench = v.find("bench");
+    const JsonValue* metrics = v.find("metrics");
+    if (bench == nullptr || bench->kind != JsonValue::Kind::Str) {
+      *err = where + ": missing \"bench\"";
+      return false;
+    }
+    if (metrics == nullptr || metrics->kind != JsonValue::Kind::Obj) {
+      *err = where + ": missing \"metrics\" object";
+      return false;
+    }
+    for (const auto& [name, m] : metrics->obj) {
+      if (m.kind != JsonValue::Kind::Num) {
+        *err = where + ": metric " + name + " is not a number";
+        return false;
+      }
+    }
+    return true;
+  }
+  if (schema->num == 2) {
+    std::string perr;
+    auto r = multi_run_from_json(v, &perr);
+    if (!r) {
+      *err = where + ": " + perr;
+      return false;
+    }
+    if (reports != nullptr) reports->push_back(std::move(*r));
+    return true;
+  }
+  *err = where + ": unsupported schema " + json_num(schema->num);
+  return false;
+}
+
+/// Loads a report file: a snapshot array of schema-2 objects, or a single
+/// schema-1/2 object.
+bool load_report_file(const std::string& path, std::vector<MultiRunReport>* reports,
+                      std::string* err) {
+  std::string text;
+  if (!read_file(path, &text, err)) return false;
+  std::string perr;
+  const auto doc = json_parse(text, &perr);
+  if (!doc) {
+    *err = path + ": " + perr;
+    return false;
+  }
+  if (doc->kind == JsonValue::Kind::Arr) {
+    if (doc->arr.empty()) {
+      *err = path + ": empty snapshot array";
+      return false;
+    }
+    for (std::size_t i = 0; i < doc->arr.size(); ++i) {
+      if (!load_report_object(doc->arr[i], path + "[" + std::to_string(i) + "]",
+                              reports, err)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (doc->kind == JsonValue::Kind::Obj) {
+    return load_report_object(*doc, path, reports, err);
+  }
+  *err = path + ": top level must be an object or array";
+  return false;
+}
+
+void print_findings(const std::vector<GateFinding>& findings, bool verbose) {
+  std::printf("%-14s %-34s %-13s %12s %12s %9s %9s  %s\n", "bench", "metric",
+              "class", "baseline", "candidate", "change%", "thresh%", "status");
+  for (const auto& f : findings) {
+    const bool interesting = f.failed || !f.note.empty();
+    if (!verbose && !interesting) continue;
+    std::printf("%-14s %-34s %-13s %12.4g %12.4g %+9.2f %9.2f  %s%s%s\n",
+                f.bench.c_str(), f.metric.c_str(), metric_class_name(f.cls),
+                f.baseline_mean, f.candidate_mean, f.change_pct, f.threshold_pct,
+                f.failed ? "FAIL" : (f.gated ? "ok" : "info"),
+                f.note.empty() ? "" : " — ", f.note.c_str());
+  }
+}
+
+int mode_compare(const std::string& baseline_path, const std::string& candidate_path,
+                 const GateOptions& opts, bool verbose) {
+  std::vector<MultiRunReport> baseline, candidate;
+  std::string err;
+  if (!load_report_file(baseline_path, &baseline, &err) ||
+      !load_report_file(candidate_path, &candidate, &err)) {
+    std::fprintf(stderr, "bench_gate: %s\n", err.c_str());
+    return 2;
+  }
+  std::vector<GateFinding> findings;
+  const bool ok = gate_reports(baseline, candidate, opts, findings);
+  print_findings(findings, verbose);
+  std::size_t gated = 0, failed = 0;
+  for (const auto& f : findings) {
+    gated += f.gated ? 1 : 0;
+    failed += f.failed ? 1 : 0;
+  }
+  std::printf("bench-gate: %zu gated metrics, %zu regression%s (floor %.1f%%, "
+              "band safety x%.1f)\n",
+              gated, failed, failed == 1 ? "" : "s", opts.floor_pct,
+              kNoiseBandSafety);
+  if (!ok) {
+    std::printf("bench-gate: FAIL — metrics regressed beyond their noise band.\n"
+                "  If the change is intended, rebaseline: scripts/rebaseline.sh --bench\n");
+  } else {
+    std::printf("bench-gate: PASS — all gated metrics within noise of %s\n",
+                baseline_path.c_str());
+  }
+  return ok ? 0 : 1;
+}
+
+int mode_self_test(const std::string& baseline_path, const GateOptions& opts) {
+  std::vector<MultiRunReport> baseline;
+  if (baseline_path.empty()) {
+    baseline = synthetic_baseline();
+    std::printf("self-test baseline: built-in fixture (%s)\n",
+                baseline.front().bench.c_str());
+  } else {
+    std::string err;
+    if (!load_report_file(baseline_path, &baseline, &err)) {
+      std::fprintf(stderr, "bench_gate: %s\n", err.c_str());
+      return 2;
+    }
+    std::printf("self-test baseline: %s (%zu bench entries)\n", baseline_path.c_str(),
+                baseline.size());
+  }
+  std::string log;
+  const bool ok = gate_self_test(baseline, opts, &log);
+  std::fputs(log.c_str(), stdout);
+  std::printf("bench-gate self-test: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+int mode_check(const std::string& path) {
+  std::vector<MultiRunReport> reports;
+  std::string err;
+  if (!load_report_file(path, &reports, &err)) {
+    std::fprintf(stderr, "bench_gate: invalid report: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("%s: valid (%zu multi-run entr%s)\n", path.c_str(), reports.size(),
+              reports.size() == 1 ? "y" : "ies");
+  return 0;
+}
+
+int mode_bundle(const std::string& out_path, const std::vector<std::string>& inputs) {
+  if (inputs.empty()) {
+    std::fprintf(stderr, "bench_gate: --bundle needs at least one input file\n");
+    return 2;
+  }
+  std::vector<MultiRunReport> reports;
+  for (const auto& in : inputs) {
+    std::string err;
+    if (!load_report_file(in, &reports, &err)) {
+      std::fprintf(stderr, "bench_gate: %s\n", err.c_str());
+      return 2;
+    }
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_gate: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fputs("[\n", f);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i) std::fputs(",\n", f);
+    write_multi_run_json(f, reports[i]);
+  }
+  std::fputs("]\n", f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu bench entries)\n", out_path.c_str(), reports.size());
+  return 0;
+}
+
+int mode_run_smoke(const std::string& json_path, char** child_argv) {
+  std::remove(json_path.c_str());
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("bench_gate: fork");
+    return 2;
+  }
+  if (pid == 0) {
+    execv(child_argv[0], child_argv);
+    std::perror("bench_gate: execv");
+    _exit(127);
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) < 0) {
+    std::perror("bench_gate: waitpid");
+    return 2;
+  }
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "bench_gate: %s exited with %s %d\n", child_argv[0],
+                 WIFSIGNALED(status) ? "signal" : "status",
+                 WIFSIGNALED(status) ? WTERMSIG(status) : WEXITSTATUS(status));
+    return 1;
+  }
+  return mode_check(json_path);
+}
+
+void usage(std::FILE* f) {
+  std::fprintf(f,
+               "usage:\n"
+               "  bench_gate --baseline=FILE --candidate=FILE [--floor=PCT]\n"
+               "             [--allow-missing] [--verbose]\n"
+               "  bench_gate --self-test [--baseline=FILE] [--floor=PCT]\n"
+               "  bench_gate --check=FILE\n"
+               "  bench_gate --bundle=OUT IN1 [IN2 ...]\n"
+               "  bench_gate --run-smoke=JSON BIN [ARG ...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline, candidate, check, bundle, run_smoke;
+  GateOptions opts;
+  bool self_test = false, verbose = false;
+  std::vector<std::string> positionals;
+  int smoke_argv_start = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto val = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--run-smoke=", 0) == 0) {
+      run_smoke = val("--run-smoke=");
+      smoke_argv_start = i + 1;
+      break;  // everything after is the child command line, verbatim
+    }
+    if (arg.rfind("--baseline=", 0) == 0) baseline = val("--baseline=");
+    else if (arg.rfind("--candidate=", 0) == 0) candidate = val("--candidate=");
+    else if (arg.rfind("--check=", 0) == 0) check = val("--check=");
+    else if (arg.rfind("--bundle=", 0) == 0) bundle = val("--bundle=");
+    else if (arg.rfind("--floor=", 0) == 0) opts.floor_pct = std::atof(val("--floor=").c_str());
+    else if (arg == "--allow-missing") opts.allow_missing = true;
+    else if (arg == "--verbose") verbose = true;
+    else if (arg == "--self-test") self_test = true;
+    else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_gate: unknown flag %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      positionals.push_back(arg);
+    }
+  }
+
+  if (!run_smoke.empty()) {
+    if (smoke_argv_start >= argc) {
+      std::fprintf(stderr, "bench_gate: --run-smoke needs a binary to run\n");
+      return 2;
+    }
+    return mode_run_smoke(run_smoke, argv + smoke_argv_start);
+  }
+  if (self_test) return mode_self_test(baseline, opts);
+  if (!check.empty()) return mode_check(check);
+  if (!bundle.empty()) return mode_bundle(bundle, positionals);
+  if (!baseline.empty() && !candidate.empty()) {
+    return mode_compare(baseline, candidate, opts, verbose);
+  }
+  usage(stderr);
+  return 2;
+}

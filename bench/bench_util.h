@@ -6,10 +6,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_stats.h"
 #include "bots/faults.h"
 #include "bots/overload_schedule.h"
 #include "bots/simulation.h"
@@ -23,10 +26,12 @@ namespace dyconits::bench {
 inline std::vector<std::string> common_flag_names() {
   return {"players",          "duration",
           "warmup",           "seed",
-          "view",             "workload",
-          "faults",           "fault-seed",
-          "overload",         "threads",
-          trace::kTraceFlag,  trace::kTraceBufferFlag,
+          "seeds",            "runs",
+          "json",             "view",
+          "workload",         "faults",
+          "fault-seed",       "overload",
+          "threads",          trace::kTraceFlag,
+          trace::kTraceBufferFlag,
           "help"};
 }
 
@@ -116,85 +121,84 @@ inline std::uint64_t update_bytes(const bots::SimulationResult& r) {
   return b;
 }
 
-// ------------------------------------------------------------- --json=FILE
+// ------------------------------------------- --json=FILE / --seeds / --runs
 //
-// Machine-readable run reports, so experiment results can be committed and
-// diffed (BENCH_*.json) instead of scraped out of stdout tables.
+// Machine-readable run reports (schema in bench_stats.h), so experiment
+// results can be committed and diffed (BENCH_*.json) instead of scraped
+// out of stdout tables. With more than one seed the written report is the
+// schema-2 cross-seed form: per-metric mean, CoV, and noise band.
 
-/// One report: run config, a flat metric map, and per-phase timing
-/// percentiles. Every bench that takes --json=FILE fills one of these.
-struct JsonReport {
-  std::string bench;
-  /// Config as (key, already-rendered JSON value) — use json_str/json_num.
-  std::vector<std::pair<std::string, std::string>> config;
-  std::vector<std::pair<std::string, double>> metrics;
-  struct Phase {
-    std::string name;
-    double mean_ms = 0, p50_ms = 0, p95_ms = 0, p99_ms = 0;
-    /// Simulation phase timings are streaming (RunningStats) — mean only;
-    /// percentile keys are emitted only where a retained distribution
-    /// backs them.
-    bool has_percentiles = true;
-  };
-  std::vector<Phase> phases;
-};
-
-inline std::string json_str(const std::string& s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out + "\"";
-}
-
-inline std::string json_num(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
-}
-
-inline void write_json_report(std::FILE* f, const JsonReport& r) {
-  std::fprintf(f, "{\n  \"bench\": %s,\n  \"config\": {", json_str(r.bench).c_str());
-  for (std::size_t i = 0; i < r.config.size(); ++i) {
-    std::fprintf(f, "%s%s: %s", i ? ", " : "", json_str(r.config[i].first).c_str(),
-                 r.config[i].second.c_str());
-  }
-  std::fprintf(f, "},\n  \"metrics\": {");
-  for (std::size_t i = 0; i < r.metrics.size(); ++i) {
-    std::fprintf(f, "%s%s: %s", i ? ", " : "", json_str(r.metrics[i].first).c_str(),
-                 json_num(r.metrics[i].second).c_str());
-  }
-  std::fprintf(f, "},\n  \"phases\": [");
-  for (std::size_t i = 0; i < r.phases.size(); ++i) {
-    const JsonReport::Phase& p = r.phases[i];
-    std::fprintf(f, "%s\n    {\"name\": %s, \"mean_ms\": %s", i ? "," : "",
-                 json_str(p.name).c_str(), json_num(p.mean_ms).c_str());
-    if (p.has_percentiles) {
-      std::fprintf(f, ", \"p50_ms\": %s, \"p95_ms\": %s, \"p99_ms\": %s",
-                   json_num(p.p50_ms).c_str(), json_num(p.p95_ms).c_str(),
-                   json_num(p.p99_ms).c_str());
+/// Seeds for this invocation: --seeds=a,b,c wins; else --runs=N expands to
+/// seed, seed+1, ..., seed+N-1 (base from --seed, default 42); else the
+/// single --seed. Meterstick (PAPERS.md): report across >=5 seeds.
+inline std::vector<std::uint64_t> seed_list(const Flags& flags) {
+  std::vector<std::uint64_t> seeds;
+  const std::string listed = flags.get_string("seeds", "");
+  if (!listed.empty()) {
+    std::stringstream ss(listed);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      seeds.push_back(static_cast<std::uint64_t>(std::stoull(tok)));
     }
-    std::fprintf(f, "}");
+    return seeds;
   }
-  std::fprintf(f, "\n  ]\n}\n");
+  const auto base = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const auto runs = static_cast<std::uint64_t>(flags.get_int("runs", 1));
+  for (std::uint64_t i = 0; i < std::max<std::uint64_t>(runs, 1); ++i) {
+    seeds.push_back(base + i);
+  }
+  return seeds;
 }
 
-/// Honors --json=FILE: writes the report and returns true, or does nothing
-/// when the flag is absent. Exits(2) if the file cannot be created — a
-/// requested report that silently vanishes poisons committed baselines.
-inline bool maybe_write_json(const Flags& flags, const JsonReport& r) {
+/// Honors --json=FILE for a set of per-seed reports: one seed writes the
+/// schema-1 single-run report, several write the schema-2 cross-seed
+/// summary. Exits(2) if the file cannot be created — a requested report
+/// that silently vanishes poisons committed baselines.
+inline bool maybe_write_json(const Flags& flags, const std::vector<JsonReport>& runs,
+                             const std::vector<std::uint64_t>& seeds) {
   const std::string path = flags.get_string("json", "");
-  if (path.empty()) return false;
+  if (path.empty() || runs.empty()) return false;
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "error: --json=%s: cannot open for writing\n", path.c_str());
     std::exit(2);
   }
-  write_json_report(f, r);
+  if (runs.size() == 1) {
+    write_json_report(f, runs.front());
+  } else {
+    write_multi_run_json(f, aggregate_runs(runs, seeds));
+  }
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path.c_str());
   return true;
+}
+
+/// Single-report convenience overload (benches that drive their own seeds).
+inline bool maybe_write_json(const Flags& flags, const JsonReport& r) {
+  return maybe_write_json(flags, std::vector<JsonReport>{r}, seed_list(flags));
+}
+
+/// Multi-seed driver: runs `one_run(seed)` once per seed (announcing
+/// repeats on stdout so tables stay attributable), aggregates the per-seed
+/// JsonReports, and honors --json. Returns the process exit code: 1 if any
+/// run cleared JsonReport::ok, else 0.
+inline int run_seeded(const Flags& flags,
+                      const std::function<JsonReport(std::uint64_t seed)>& one_run) {
+  const auto seeds = seed_list(flags);
+  std::vector<JsonReport> runs;
+  bool ok = true;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    if (seeds.size() > 1) {
+      std::printf("\n##### run %zu/%zu (seed %llu) #####\n", i + 1, seeds.size(),
+                  static_cast<unsigned long long>(seeds[i]));
+      std::fprintf(stderr, "-- run %zu/%zu (seed %llu)\n", i + 1, seeds.size(),
+                   static_cast<unsigned long long>(seeds[i]));
+    }
+    runs.push_back(one_run(seeds[i]));
+    ok = ok && runs.back().ok;
+  }
+  maybe_write_json(flags, runs, seeds);
+  return ok ? 0 : 1;
 }
 
 /// Fills the shared parts of a simulation-backed report: config (players,

@@ -5,6 +5,7 @@
 //
 //   e10_bounds_sweep [--players=60] [--thetas=0,100,250,500,1000,2500]
 //                    [--deltas_x10=5,40,320] [--duration=35]
+//                    [--runs=N | --seeds=a,b,c] [--json=FILE]
 #include "bench_util.h"
 
 using namespace dyconits;
@@ -21,11 +22,19 @@ int main(int argc, char** argv) {
               "stale p99", "coalesced %", "tick p95 ms", "pos err");
   print_rule();
 
+  const int rc = run_seeded(flags, [&](std::uint64_t seed) {
+  JsonReport report;
+  report.bench = "e10_bounds_sweep";
+  report.config = {
+      {"players", json_num(static_cast<double>(flags.get_int("players", 60)))},
+      {"seed", json_num(static_cast<double>(seed))},
+  };
   double baseline_rate = 0.0;
   for (const auto theta : thetas) {
     for (const auto dx10 : deltas_x10) {
       const double delta = static_cast<double>(dx10) / 10.0;
       auto cfg = base_config(flags);
+      cfg.seed = seed;
       cfg.players = static_cast<std::size_t>(flags.get_int("players", 60));
       cfg.duration = SimDuration::seconds(flags.get_int("duration", 35));
       cfg.policy =
@@ -34,6 +43,12 @@ int main(int argc, char** argv) {
       const auto r = run(cfg);
       const double rate = static_cast<double>(update_bytes(r)) / r.measured_seconds;
       if (theta == thetas.front() && dx10 == deltas_x10.front()) baseline_rate = rate;
+      report.metrics.push_back({"update_kbps.t" + std::to_string(theta) + ".d" +
+                                    std::to_string(dx10),
+                                rate / 1000.0});
+      report.metrics.push_back({"staleness_p99_ms.t" + std::to_string(theta) + ".d" +
+                                    std::to_string(dx10),
+                                r.staleness_ms.percentile(0.99)});
       const auto& s = r.dyconit_stats;
       const double coalesce_pct =
           s.enqueued > 0 ? 100.0 * static_cast<double>(s.coalesced) /
@@ -48,6 +63,8 @@ int main(int argc, char** argv) {
   }
   std::printf("(first row is the tightest configuration: %0.1f KB/s of update traffic)\n",
               baseline_rate / 1000.0);
+  return report;
+  });
   finish_trace(flags);
-  return 0;
+  return rc;
 }

@@ -8,6 +8,7 @@
 //
 //   e11_chaos [--players=24] [--duration=45] [--loss=0,2,5,10,20]
 //             [--faults=FILE] [--fault-seed=N]
+//             [--runs=N | --seeds=a,b,c] [--json=FILE]
 #include <cstring>
 #include <sstream>
 
@@ -31,9 +32,13 @@ std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
 
 /// One chaos run: `loss` on every link, a partition of a quarter of the
 /// fleet at warmup+10s for 3s, and bot 0 crashing at warmup+17s for 3s.
-ChaosOutcome run_chaos(const Flags& flags, double loss) {
+ChaosOutcome run_chaos(const Flags& flags, std::uint64_t seed, double loss) {
   auto cfg = base_config(flags);
+  cfg.seed = seed;
   cfg.players = static_cast<std::size_t>(flags.get_int("players", 24));
+  // The replay check demands byte-identical reruns; the policy's load
+  // signal must therefore come from the modeled cost, not host wall clock.
+  cfg.deterministic_load = true;
   cfg.record_timelines = true;
   cfg.faults.link.loss = loss;
   const double part0 = cfg.warmup.as_seconds() + 10.0;
@@ -121,6 +126,15 @@ int main(int argc, char** argv) {
     while (std::getline(ss, tok, ',')) losses.push_back(std::stod(tok) / 100.0);
   }
 
+  const int rc = run_seeded(flags, [&](std::uint64_t seed) {
+  JsonReport report;
+  report.bench = "e11_chaos";
+  report.config = {
+      {"players", json_num(static_cast<double>(flags.get_int("players", 24)))},
+      {"seed", json_num(static_cast<double>(seed))},
+      {"losses", json_str(flags.get_string("loss", "0,2,5,10,20"))},
+  };
+  bool all_replay_ok = true;
   print_title("E11: graceful degradation vs per-frame loss rate");
   std::printf("(fixed schedule per run: 25%% partition for 3 s, then bot 0 "
               "crash/restart for 3 s)\n");
@@ -129,12 +143,21 @@ int main(int argc, char** argv) {
               "replay");
   print_rule(100);
   for (const double loss : losses) {
-    auto out = run_chaos(flags, loss);
+    auto out = run_chaos(flags, seed, loss);
     // Replay check: the identical config must reproduce the identical final
     // world and wire history, faults and all.
-    const auto again = run_chaos(flags, loss);
+    const auto again = run_chaos(flags, seed, loss);
     const bool replay_ok = again.fingerprint == out.fingerprint;
+    all_replay_ok = all_replay_ok && replay_ok;
     const auto& r = out.result;
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), ".loss%g", loss * 100.0);
+    report.metrics.push_back({std::string("gaps") + suffix,
+                              static_cast<double>(r.gaps_detected)});
+    report.metrics.push_back({std::string("resyncs_served") + suffix,
+                              static_cast<double>(r.resyncs_served)});
+    report.metrics.push_back({std::string("bound_violations") + suffix,
+                              static_cast<double>(out.bound_violations)});
     std::printf("%6.1f %8llu %8llu %8llu %8llu %8llu %8llu %10llu %10.1f %8s\n",
                 loss * 100.0, static_cast<unsigned long long>(r.frames_dropped),
                 static_cast<unsigned long long>(r.gaps_detected),
@@ -149,6 +172,10 @@ int main(int argc, char** argv) {
       "(violate: post-recovery subscriber queues still over their bounds after the\n"
       " policy flushed — must be 0; recover_s: seconds from last heal until client\n"
       " positional error returned to its pre-fault baseline)\n");
+  report.metrics.push_back({"replay_ok", all_replay_ok ? 1.0 : 0.0});
+  report.ok = all_replay_ok;
+  return report;
+  });
   finish_trace(flags);
-  return 0;
+  return rc;
 }

@@ -10,6 +10,7 @@
 // determinism check plus a measurement of the sharding overhead.
 //
 //   e12_parallel [--threads-list=1,2,4,8] [--players=500] [--duration=45]
+//                [--runs=N | --seeds=a,b,c] [--json=FILE]
 #include <sstream>
 #include <vector>
 
@@ -48,9 +49,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  const int rc = run_seeded(flags, [&](std::uint64_t seed) {
   std::vector<Row> rows;
   for (const std::size_t threads : thread_counts) {
     auto cfg = base_config(flags);
+    cfg.seed = seed;
     cfg.players = static_cast<std::size_t>(flags.get_int("players", 500));
     cfg.policy = "director";
     cfg.mobs = 50;
@@ -91,6 +94,14 @@ int main(int argc, char** argv) {
   double base_ms = 0.0;
   std::uint64_t oracle_hash = 0;
   bool all_match = true;
+  JsonReport report;
+  report.bench = "e12_parallel";
+  report.config = {
+      {"players", json_num(static_cast<double>(flags.get_int("players", 500)))},
+      {"seed", json_num(static_cast<double>(seed))},
+      {"duration_s", json_num(static_cast<double>(flags.get_int("duration", 45)))},
+      {"threads_list", json_str(flags.get_string("threads-list", "1,2,4,8"))},
+  };
   for (const Row& row : rows) {
     const auto& ph = row.result.phases;
     const double dispatch = phase_mean(ph, "server.dispatch");
@@ -102,6 +113,11 @@ int main(int argc, char** argv) {
     }
     const bool match = row.wire_hash == oracle_hash;
     all_match = all_match && match;
+    const std::string t = ".t" + std::to_string(row.threads);
+    report.metrics.push_back({"tick_mean_ms" + t, row.result.tick_ms.mean()});
+    report.metrics.push_back({"flush_ms" + t, flush});
+    report.metrics.push_back({"dispatch_ms" + t, dispatch});
+    report.metrics.push_back({"speedup" + t, work > 0 ? base_ms / work : 0.0});
     std::printf("%8zu %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f %7.2fx   %016llx %5s\n",
                 row.threads, row.result.tick_ms.mean(),
                 row.result.tick_ms.percentile(0.99), dispatch, flush,
@@ -113,7 +129,11 @@ int main(int argc, char** argv) {
   print_rule(108);
   std::printf("wire streams %s across thread counts\n",
               all_match ? "byte-identical" : "DIVERGED — determinism bug");
+  report.metrics.push_back({"wire_match", all_match ? 1.0 : 0.0});
+  report.ok = all_match;
+  return report;
+  });
 
   finish_trace(flags);
-  return all_match ? 0 : 1;
+  return rc;
 }

@@ -8,6 +8,7 @@
 // every load point.
 //
 //   e13_overload [--players=30] [--duration=45] [--load=1,2,4,8]
+//                [--runs=N | --seeds=a,b,c] [--json=FILE]
 //                [--overload=FILE]   # replaces the built-in scenario
 #include <algorithm>
 #include <sstream>
@@ -25,8 +26,10 @@ struct OverloadOutcome {
   std::uint64_t cap_violations = 0;   // ticks where any queue exceeded the cap
 };
 
-OverloadOutcome run_overload(const Flags& flags, double load, bool enabled) {
+OverloadOutcome run_overload(const Flags& flags, std::uint64_t seed, double load,
+                             bool enabled) {
   auto cfg = base_config(flags);
+  cfg.seed = seed;
   cfg.players = static_cast<std::size_t>(flags.get_int("players", 30));
   cfg.deterministic_load = true;
   cfg.record_timelines = true;
@@ -91,6 +94,15 @@ int main(int argc, char** argv) {
     while (std::getline(ss, tok, ',')) loads.push_back(std::stod(tok));
   }
 
+  const int rc = run_seeded(flags, [&](std::uint64_t seed) {
+  JsonReport report;
+  report.bench = "e13_overload";
+  report.config = {
+      {"players", json_num(static_cast<double>(flags.get_int("players", 30)))},
+      {"seed", json_num(static_cast<double>(seed))},
+      {"duration_s", json_num(static_cast<double>(flags.get_int("duration", 45)))},
+      {"loads", json_str(flags.get_string("load", "1,2,4,8"))},
+  };
   print_title("E13: degradation ladder vs offered load");
   std::printf("(scenario per run: one frozen client, spam burst at LOADx, flash crowd\n"
               " of 25%% mid-run; constrained 256 KB/s uplink; off = overload control\n"
@@ -100,9 +112,25 @@ int main(int argc, char** argv) {
               "refuse", "kick", "capXs", "peakQ_KB", "lat_p95");
   print_rule(112);
   for (const double load : loads) {
-    const auto off = run_overload(flags, load, false);
-    const auto on = run_overload(flags, load, true);
+    const auto off = run_overload(flags, seed, load, false);
+    const auto on = run_overload(flags, seed, load, true);
     const auto& r = on.result;
+    char suffix[16];
+    std::snprintf(suffix, sizeof(suffix), ".x%g", load);
+    report.metrics.push_back({std::string("tick_off_p95_ms") + suffix,
+                              off.result.tick_ms.percentile(0.95)});
+    report.metrics.push_back({std::string("tick_on_p95_ms") + suffix,
+                              r.tick_ms.percentile(0.95)});
+    report.metrics.push_back({std::string("egress_shed") + suffix,
+                              static_cast<double>(r.egress_shed)});
+    report.metrics.push_back({std::string("chunks_deferred") + suffix,
+                              static_cast<double>(r.chunks_deferred)});
+    report.metrics.push_back({std::string("cap_violations") + suffix,
+                              static_cast<double>(on.cap_violations)});
+    report.metrics.push_back({std::string("peak_queue_kb") + suffix,
+                              static_cast<double>(on.max_queue_bytes) / 1024.0});
+    report.metrics.push_back({std::string("update_lat_p95_ms") + suffix,
+                              r.update_latency_ms.percentile(0.95)});
     std::printf("%5.1f %9.2f %9.2f %4d %6llu %9llu %9llu %8llu %8llu %7llu %7llu %8.1f %9.1f\n",
                 load, off.result.tick_ms.percentile(0.95), r.tick_ms.percentile(0.95),
                 r.final_rung, static_cast<unsigned long long>(r.ladder_transitions),
@@ -120,6 +148,8 @@ int main(int argc, char** argv) {
       " shed: moves evicted/dropped at the queue cap; capXs: ticks with any\n"
       " per-subscriber queue over the cap — must be 0; peakQ_KB: largest\n"
       " per-subscriber egress queue observed)\n");
+  return report;
+  });
   finish_trace(flags);
-  return 0;
+  return rc;
 }

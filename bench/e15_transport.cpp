@@ -6,7 +6,11 @@
 // real I/O, not simulation).
 //
 //   e15_transport [--iters=N] [--batch=FRAMES] [--payload=BYTES]
-//                 [--json=FILE]
+//                 [--runs=N | --seeds=a,b,c] [--json=FILE]
+//
+// Timings are wall-clock, so the seeds only label the repeats: --runs=N
+// measures the same configuration N times and the schema-2 JSON records
+// the run-to-run spread (the honest noise band for this real-I/O bench).
 #include <chrono>
 #include <cstring>
 
@@ -46,16 +50,18 @@ JsonReport::Phase phase_of(const std::string& name, const Samples& s) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  flags.assert_known({"iters", "batch", "payload", "json", "help"});
+  flags.assert_known({"iters", "batch", "payload", "json", "seed", "seeds", "runs",
+                      "help"});
   if (flags.has("help")) {
     std::printf("usage: e15_transport [--iters=N] [--batch=FRAMES] [--payload=BYTES] "
-                "[--json=FILE]\n");
+                "[--runs=N | --seeds=a,b,c] [--json=FILE]\n");
     return 0;
   }
   const auto iters = static_cast<std::size_t>(flags.get_int("iters", 200));
   const auto batch = static_cast<std::size_t>(flags.get_int("batch", 256));
   const auto payload = static_cast<std::size_t>(flags.get_int("payload", 96));
 
+  return run_seeded(flags, [&](std::uint64_t) {
   JsonReport report;
   report.bench = "e15_transport";
   report.config = {{"iters", json_num(static_cast<double>(iters))},
@@ -80,7 +86,7 @@ int main(int argc, char** argv) {
     std::vector<net::Frame> out;
     if (!net::udpwire::parse_frames(body.data(), body.size(), out) || out.size() != batch) {
       std::fprintf(stderr, "FAIL: framing round-trip broken\n");
-      return 1;
+      std::exit(1);
     }
     const double t2 = now_ms();
     encode_ms.add(t1 - t0);
@@ -104,7 +110,7 @@ int main(int argc, char** argv) {
     const double t1 = now_ms();
     if (!got || got->payload != big.payload) {
       std::fprintf(stderr, "FAIL: fragment round-trip broken\n");
-      return 1;
+      std::exit(1);
     }
     frag_ms.add(t1 - t0);
     net::BufferPool::instance().release(std::move(got->payload));
@@ -204,6 +210,6 @@ int main(int argc, char** argv) {
   print_rule(50);
   for (const auto& [k, v] : report.metrics) std::printf("%-34s %14.2f\n", k.c_str(), v);
 
-  maybe_write_json(flags, report);
-  return 0;
+  return report;
+  });
 }

@@ -11,6 +11,7 @@
 //
 //   e1_bandwidth [--players=25,50,100,150] [--policies=vanilla,zero,...]
 //                [--duration=45] [--workload=village]
+//                [--runs=N | --seeds=a,b,c] [--json=FILE]
 #include <cstdlib>
 #include <sstream>
 
@@ -31,37 +32,60 @@ int main(int argc, char** argv) {
     while (std::getline(ss, tok, ',')) policies.push_back(tok);
   }
 
-  print_title("E1: server egress bandwidth vs players (workload: " +
-              std::string(bots::workload_name(
-                  bots::parse_workload(flags.get_string("workload", "village")))) +
-              ")");
-  std::printf("%-16s %8s %14s %14s %12s %12s\n", "policy", "players", "total KB/s",
-              "update KB/s", "vs vanilla", "frames/s");
-  print_rule();
-
-  for (const auto players : player_counts) {
-    double vanilla_update_rate = 0.0;
-    for (const auto& policy : policies) {
-      auto cfg = base_config(flags);
-      cfg.players = static_cast<std::size_t>(players);
-      cfg.policy = policy;
-      // "name!B": run `name` with a B Mbit/s bandwidth budget.
-      if (const auto bang = policy.find('!'); bang != std::string::npos) {
-        cfg.policy = policy.substr(0, bang);
-        cfg.bandwidth_budget_bps = std::atof(policy.c_str() + bang + 1) * 1e6;
-      }
-      const auto r = run(cfg);
-      const double update_rate =
-          static_cast<double>(update_bytes(r)) / r.measured_seconds;
-      if (policy == "vanilla") vanilla_update_rate = update_rate;
-      std::printf("%-16s %8zu %14.1f %14.1f %11.1f%% %12.0f\n", policy.c_str(),
-                  r.players, r.egress_bytes_per_sec / 1000.0, update_rate / 1000.0,
-                  pct_change(vanilla_update_rate, update_rate), r.egress_frames_per_sec);
-    }
+  const int rc = run_seeded(flags, [&](std::uint64_t seed) {
+    JsonReport report;
+    report.bench = "e1_bandwidth";
+    report.config = {
+        {"players_max", json_num(static_cast<double>(player_counts.back()))},
+        {"seed", json_num(static_cast<double>(seed))},
+        {"workload", json_str(flags.get_string("workload", "village"))},
+        {"policies", json_str(flags.get_string(
+            "policies", "vanilla,zero,static:250:4,aoi,director,director!2,infinite"))},
+    };
+    print_title("E1: server egress bandwidth vs players (workload: " +
+                std::string(bots::workload_name(
+                    bots::parse_workload(flags.get_string("workload", "village")))) +
+                ")");
+    std::printf("%-16s %8s %14s %14s %12s %12s\n", "policy", "players", "total KB/s",
+                "update KB/s", "vs vanilla", "frames/s");
     print_rule();
-  }
-  std::printf("(update KB/s = entity-move + block-change families; 'vs vanilla' is the\n"
-              " update-traffic change relative to the unmodified direct-send server)\n");
+
+    for (const auto players : player_counts) {
+      double vanilla_update_rate = 0.0;
+      for (const auto& policy : policies) {
+        auto cfg = base_config(flags);
+        cfg.seed = seed;
+        cfg.players = static_cast<std::size_t>(players);
+        cfg.policy = policy;
+        // "name!B": run `name` with a B Mbit/s bandwidth budget.
+        if (const auto bang = policy.find('!'); bang != std::string::npos) {
+          cfg.policy = policy.substr(0, bang);
+          cfg.bandwidth_budget_bps = std::atof(policy.c_str() + bang + 1) * 1e6;
+        }
+        const auto r = run(cfg);
+        const double update_rate =
+            static_cast<double>(update_bytes(r)) / r.measured_seconds;
+        if (policy == "vanilla") vanilla_update_rate = update_rate;
+        // Headline JSON metrics come from the largest player count, where
+        // the paper's bandwidth claim is made.
+        if (players == player_counts.back()) {
+          report.metrics.push_back({"update_kbps." + policy, update_rate / 1000.0});
+          report.metrics.push_back(
+              {"total_kbps." + policy, r.egress_bytes_per_sec / 1000.0});
+          report.metrics.push_back(
+              {"frames_per_sec." + policy, r.egress_frames_per_sec});
+        }
+        std::printf("%-16s %8zu %14.1f %14.1f %11.1f%% %12.0f\n", policy.c_str(),
+                    r.players, r.egress_bytes_per_sec / 1000.0, update_rate / 1000.0,
+                    pct_change(vanilla_update_rate, update_rate),
+                    r.egress_frames_per_sec);
+      }
+      print_rule();
+    }
+    std::printf("(update KB/s = entity-move + block-change families; 'vs vanilla' is the\n"
+                " update-traffic change relative to the unmodified direct-send server)\n");
+    return report;
+  });
   finish_trace(flags);
-  return 0;
+  return rc;
 }

@@ -6,6 +6,7 @@
 //
 //   e2_scalability [--players=50,75,100,125,150,175,200] [--policies=vanilla,director]
 //                  [--slo_ms=25] [--duration=40]
+//                  [--runs=N | --seeds=a,b,c] [--json=FILE]
 #include <map>
 #include <sstream>
 
@@ -26,6 +27,15 @@ int main(int argc, char** argv) {
     while (std::getline(ss, tok, ',')) policies.push_back(tok);
   }
 
+  const int rc = run_seeded(flags, [&](std::uint64_t seed) {
+  JsonReport report;
+  report.bench = "e2_scalability";
+  report.config = {
+      {"players_max", json_num(static_cast<double>(player_counts.back()))},
+      {"seed", json_num(static_cast<double>(seed))},
+      {"slo_ms", json_num(slo_ms)},
+      {"policies", json_str(flags.get_string("policies", "vanilla,aoi,director"))},
+  };
   print_title("E2: server tick duration vs players");
   std::printf("%-12s %8s %12s %12s %12s %10s\n", "policy", "players", "tick mean ms",
               "tick p95 ms", "tick p99 ms", "SLO ok");
@@ -36,6 +46,7 @@ int main(int argc, char** argv) {
   for (const auto& policy : policies) {
     for (const auto players : player_counts) {
       auto cfg = base_config(flags);
+      cfg.seed = seed;
       cfg.duration = SimDuration::seconds(flags.get_int("duration", 40));
       cfg.players = static_cast<std::size_t>(players);
       cfg.policy = policy;
@@ -43,10 +54,17 @@ int main(int argc, char** argv) {
       const double p95 = r.tick_ms.percentile(0.95);
       const bool ok = p95 <= slo_ms;
       if (ok && players > capacity[policy]) capacity[policy] = players;
+      if (players == player_counts.back()) {
+        report.metrics.push_back({"tick_p95_ms." + policy, p95});
+      }
       std::printf("%-12s %8zu %12.2f %12.2f %12.2f %10s\n", policy.c_str(), r.players,
                   r.tick_ms.mean(), p95, r.tick_ms.percentile(0.99), ok ? "yes" : "NO");
     }
     print_rule();
+  }
+  for (const auto& [policy, cap] : capacity) {
+    report.metrics.push_back({"capacity_players." + policy,
+                              static_cast<double>(cap)});
   }
 
   print_title("E2 summary: capacity at tick p95 <= " + std::to_string(slo_ms) + " ms");
@@ -62,6 +80,8 @@ int main(int argc, char** argv) {
   }
   std::printf("(capacities are resolved at the sweep's granularity; pass a denser\n"
               " --players list for a finer crossover)\n");
+  return report;
+  });
   finish_trace(flags);
-  return 0;
+  return rc;
 }

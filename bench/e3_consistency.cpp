@@ -4,6 +4,7 @@
 // introduce *bounded* (not unbounded) inconsistency.
 //
 //   e3_consistency [--players=50] [--duration=45]
+//                  [--runs=N | --seeds=a,b,c] [--json=FILE]
 #include <sstream>
 
 #include "bench_util.h"
@@ -22,6 +23,15 @@ int main(int argc, char** argv) {
     while (std::getline(ss, tok, ',')) policies.push_back(tok);
   }
 
+  const int rc = run_seeded(flags, [&](std::uint64_t seed) {
+  JsonReport report;
+  report.bench = "e3_consistency";
+  report.config = {
+      {"players", json_num(static_cast<double>(flags.get_int("players", 50)))},
+      {"seed", json_num(static_cast<double>(seed))},
+      {"policies", json_str(flags.get_string(
+          "policies", "zero,static:250:4,aoi,director,infinite"))},
+  };
   print_title("E3a: update staleness at flush (ms)");
   std::printf("%-16s %10s %8s %8s %8s %8s %8s\n", "policy", "updates", "p50", "p90",
               "p95", "p99", "max");
@@ -29,10 +39,14 @@ int main(int argc, char** argv) {
   std::vector<bots::SimulationResult> results;
   for (const auto& policy : policies) {
     auto cfg = base_config(flags);
+    cfg.seed = seed;
     cfg.policy = policy;
     cfg.record_staleness = true;
     results.push_back(run(cfg));
     const auto& st = results.back().staleness_ms;
+    report.metrics.push_back({"staleness_p99_ms." + policy, st.percentile(0.99)});
+    report.metrics.push_back(
+        {"pos_err_mean." + policy, results.back().pos_error_mean.mean()});
     std::printf("%-16s %10zu %8.0f %8.0f %8.0f %8.0f %8.0f\n", policy.c_str(),
                 st.count(), st.percentile(0.5), st.percentile(0.9), st.percentile(0.95),
                 st.percentile(0.99), st.max());
@@ -64,6 +78,8 @@ int main(int argc, char** argv) {
   }
   std::printf("(zero bounds: everything flushes on its creation tick — staleness 0;\n"
               " infinite bounds: unbounded drift — the failure mode dyconits prevent)\n");
+  return report;
+  });
   finish_trace(flags);
-  return 0;
+  return rc;
 }

@@ -6,6 +6,7 @@
 // savings.
 //
 //   e4_latency [--players=75] [--uplink_mbps=8] [--duration=45]
+//              [--runs=N | --seeds=a,b,c] [--json=FILE]
 #include <sstream>
 
 #include "bench_util.h"
@@ -24,8 +25,18 @@ int main(int argc, char** argv) {
     while (std::getline(ss, tok, ',')) policies.push_back(tok);
   }
 
+  const int rc = run_seeded(flags, [&](std::uint64_t seed) {
+  JsonReport report;
+  report.bench = "e4_latency";
+  report.config = {
+      {"players", json_num(static_cast<double>(flags.get_int("players", 75)))},
+      {"seed", json_num(static_cast<double>(seed))},
+      {"uplink_mbps", json_num(uplink_mbps)},
+      {"policies", json_str(flags.get_string("policies", "vanilla,aoi,director"))},
+  };
   const auto run_with_uplink = [&](const std::string& policy, bool constrained) {
     auto cfg = base_config(flags);
+    cfg.seed = seed;
     cfg.players = static_cast<std::size_t>(flags.get_int("players", 75));
     cfg.policy = policy;
     if (constrained) {
@@ -47,6 +58,8 @@ int main(int argc, char** argv) {
       const auto r = run_with_uplink(policy, constrained);
       const auto& near = r.near_update_latency_ms;
       const auto& all = r.update_latency_ms;
+      const std::string key = constrained ? "near_p99_constrained_ms." : "near_p99_ms.";
+      report.metrics.push_back({key + policy, near.percentile(0.99)});
       std::printf("%-12s %8.1f %8.1f %10.1f %8.1f %8.1f %10.1f\n", policy.c_str(),
                   near.percentile(0.5), near.percentile(0.95), near.percentile(0.99),
                   all.percentile(0.5), all.percentile(0.95), all.percentile(0.99));
@@ -55,6 +68,8 @@ int main(int argc, char** argv) {
   std::printf("\n(nearby = updates within 32 blocks of the observing player; far updates\n"
               " are deliberately delayed within bounds — that is the mechanism, not a\n"
               " regression. The claim under test: nearby latency matches vanilla.)\n");
+  return report;
+  });
   finish_trace(flags);
-  return 0;
+  return rc;
 }

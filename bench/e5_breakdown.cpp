@@ -3,6 +3,7 @@
 // fewer, batched frames; chunk streaming and session chatter are untouched.
 //
 //   e5_breakdown [--players=100] [--duration=45]
+//                [--runs=N | --seeds=a,b,c] [--json=FILE]
 #include <map>
 #include <sstream>
 
@@ -21,13 +22,26 @@ int main(int argc, char** argv) {
     while (std::getline(ss, tok, ',')) policies.push_back(tok);
   }
 
+  const int rc = run_seeded(flags, [&](std::uint64_t seed) {
+  JsonReport report;
+  report.bench = "e5_breakdown";
+  report.config = {
+      {"players", json_num(static_cast<double>(flags.get_int("players", 100)))},
+      {"seed", json_num(static_cast<double>(seed))},
+      {"policies", json_str(flags.get_string("policies", "vanilla,director"))},
+  };
   std::vector<bots::SimulationResult> results;
   for (const auto& policy : policies) {
     auto cfg = base_config(flags);
+    cfg.seed = seed;
     cfg.players = static_cast<std::size_t>(flags.get_int("players", 100));
     cfg.policy = policy;
     cfg.profile_phases = true;  // E5b prints the per-phase breakdown
     results.push_back(run(cfg));
+    report.metrics.push_back(
+        {"total_kbps." + policy, results.back().egress_bytes_per_sec / 1000.0});
+    report.metrics.push_back(
+        {"frames_per_sec." + policy, results.back().egress_frames_per_sec});
   }
 
   print_title("E5: egress KB/s by message family");
@@ -64,6 +78,8 @@ int main(int argc, char** argv) {
   // breakdown for each policy, from the tick profiler.
   print_title("E5b: measured tick-phase breakdown (ms per tick)");
   for (const auto& r : results) print_phase_breakdown(r);
+  return report;
+  });
   finish_trace(flags);
-  return 0;
+  return rc;
 }

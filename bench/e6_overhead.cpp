@@ -9,6 +9,9 @@
 //
 //   e6_overhead [--benchmark_filter=...] [--measured] [--players=60]
 //               [--duration=20] [--trace=FILE]
+//               [--runs=N | --seeds=a,b,c] [--json=FILE]
+// The JSON report covers the --measured simulations (the microbenchmark
+// numbers already have google-benchmark's own --benchmark_format=json).
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
@@ -196,19 +199,34 @@ int main(int argc, char** argv) {
   // End-to-end: measured per-phase cost of a real tick, for the vanilla
   // baseline and the director. This is the denominator the microbenchmark
   // numbers should be read against.
-  if (flags.get_bool("measured", false)) {
-    print_title("E6b: measured tick-phase breakdown (ms per tick)");
-    for (const std::string policy : {"vanilla", "director"}) {
-      auto cfg = base_config(flags);
-      cfg.players = static_cast<std::size_t>(flags.get_int("players", 60));
-      cfg.duration = dyconits::SimDuration::seconds(flags.get_int("duration", 20));
-      cfg.warmup = dyconits::SimDuration::seconds(flags.get_int("warmup", 8));
-      cfg.policy = policy;
-      cfg.profile_phases = true;
-      print_phase_breakdown(run(cfg));
+  const int rc = run_seeded(flags, [&](std::uint64_t seed) {
+    JsonReport report;
+    report.bench = "e6_overhead";
+    report.config = {
+        {"players", json_num(static_cast<double>(flags.get_int("players", 60)))},
+        {"seed", json_num(static_cast<double>(seed))},
+        {"measured", json_num(flags.get_bool("measured", false) ? 1.0 : 0.0)},
+    };
+    if (flags.get_bool("measured", false)) {
+      print_title("E6b: measured tick-phase breakdown (ms per tick)");
+      for (const std::string policy : {"vanilla", "director"}) {
+        auto cfg = base_config(flags);
+        cfg.seed = seed;
+        cfg.players = static_cast<std::size_t>(flags.get_int("players", 60));
+        cfg.duration = dyconits::SimDuration::seconds(flags.get_int("duration", 20));
+        cfg.warmup = dyconits::SimDuration::seconds(flags.get_int("warmup", 8));
+        cfg.policy = policy;
+        cfg.profile_phases = true;
+        const auto r = run(cfg);
+        report.metrics.push_back({"tick_mean_ms." + policy, r.tick_ms.mean()});
+        report.metrics.push_back(
+            {"total_kbps." + policy, r.egress_bytes_per_sec / 1000.0});
+        print_phase_breakdown(r);
+      }
     }
-  }
+    return report;
+  });
   finish_trace(flags);
   benchmark::Shutdown();
-  return 0;
+  return rc;
 }

@@ -11,6 +11,7 @@
 //
 //   e7_adaptation [--players=120] [--spike_at=40] [--relax_at=120]
 //                 [--duration=180] [--budget_mbps=4]
+//                 [--runs=N | --seeds=a,b,c] [--json=FILE]
 #include <sstream>
 
 #include "bench_util.h"
@@ -31,8 +32,20 @@ int main(int argc, char** argv) {
     while (std::getline(ss, tok, ',')) policies.push_back(tok);
   }
 
+  const int rc = run_seeded(flags, [&](std::uint64_t seed) {
+  JsonReport report;
+  report.bench = "e7_adaptation";
+  report.config = {
+      {"players", json_num(static_cast<double>(flags.get_int("players", 120)))},
+      {"seed", json_num(static_cast<double>(seed))},
+      {"spike_at", json_num(static_cast<double>(spike_at))},
+      {"relax_at", json_num(static_cast<double>(relax_at))},
+      {"budget_mbps", json_num(flags.get_double("budget_mbps", 4.0))},
+      {"policies", json_str(flags.get_string("policies", "aoi,director"))},
+  };
   for (const auto& policy : policies) {
     auto cfg = base_config(flags);
+    cfg.seed = seed;
     cfg.players = static_cast<std::size_t>(flags.get_int("players", 120));
     cfg.duration = SimDuration::seconds(flags.get_int("duration", 180));
     cfg.warmup = SimDuration::seconds(10);
@@ -90,7 +103,12 @@ int main(int argc, char** argv) {
     }
     std::printf("post-warmup tick p95: %.2f ms | egress mean: %.1f KB/s\n",
                 r.tick_ms.percentile(0.95), r.egress_bytes_per_sec / 1000.0);
+    report.metrics.push_back({"tick_p95_ms." + policy, r.tick_ms.percentile(0.95)});
+    report.metrics.push_back(
+        {"egress_kbps." + policy, r.egress_bytes_per_sec / 1000.0});
   }
+  return report;
+  });
   finish_trace(flags);
-  return 0;
+  return rc;
 }

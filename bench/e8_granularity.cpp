@@ -5,6 +5,7 @@
 // on the exact chunk they look at, so inconsistency rises.
 //
 //   e8_granularity [--players=80] [--duration=45]
+//                  [--runs=N | --seeds=a,b,c] [--json=FILE]
 #include "bench_util.h"
 
 using namespace dyconits;
@@ -16,15 +17,27 @@ int main(int argc, char** argv) {
   const std::vector<std::string> policies = {"director@chunk", "director@region",
                                              "director@global", "adaptive", "zero"};
 
+  const int rc = run_seeded(flags, [&](std::uint64_t seed) {
+  JsonReport report;
+  report.bench = "e8_granularity";
+  report.config = {
+      {"players", json_num(static_cast<double>(flags.get_int("players", 80)))},
+      {"seed", json_num(static_cast<double>(seed))},
+  };
   print_title("E8: unit granularity ablation (director policy)");
   std::printf("%-18s %12s %12s %12s %12s %14s\n", "granularity", "total KB/s",
               "update KB/s", "tick p95 ms", "coalesced %", "pos err mean");
   print_rule();
   for (const auto& policy : policies) {
     auto cfg = base_config(flags);
+    cfg.seed = seed;
     cfg.players = static_cast<std::size_t>(flags.get_int("players", 80));
     cfg.policy = policy;
     const auto r = run(cfg);
+    report.metrics.push_back(
+        {"update_kbps." + policy,
+         static_cast<double>(update_bytes(r)) / r.measured_seconds / 1000.0});
+    report.metrics.push_back({"pos_err_mean." + policy, r.pos_error_mean.mean()});
     const auto& s = r.dyconit_stats;
     const double coalesce_pct =
         s.enqueued > 0
@@ -37,6 +50,8 @@ int main(int argc, char** argv) {
   }
   std::printf("(zero = per-chunk units with zero bounds, the consistency reference;\n"
               " adaptive = director that re-partitions chunk<->region at runtime)\n");
+  return report;
+  });
   finish_trace(flags);
-  return 0;
+  return rc;
 }

@@ -11,7 +11,7 @@
 // (multiplier + capped near bounds).
 //
 //   e9_density [--players=100] [--radii=120,60,30,15] [--duration=40]
-//              [--budget_mbps=4]
+//              [--budget_mbps=4] [--runs=N | --seeds=a,b,c] [--json=FILE]
 #include "bench_util.h"
 
 using namespace dyconits;
@@ -22,6 +22,14 @@ int main(int argc, char** argv) {
   check_flags(flags, {"radii", "budget_mbps"});
   const auto radii = flags.get_int_list("radii", {120, 60, 30, 15});
 
+  const int rc = run_seeded(flags, [&](std::uint64_t seed) {
+  JsonReport report;
+  report.bench = "e9_density";
+  report.config = {
+      {"players", json_num(static_cast<double>(flags.get_int("players", 100)))},
+      {"seed", json_num(static_cast<double>(seed))},
+      {"budget_mbps", json_num(flags.get_double("budget_mbps", 4.0))},
+  };
   print_title("E9: density sweep (fixed players, shrinking village radius)");
   std::printf("%-10s %-12s %12s %12s %12s %12s\n", "radius", "policy", "update KB/s",
               "tick p95 ms", "frames/s", "pos err");
@@ -30,6 +38,7 @@ int main(int argc, char** argv) {
     double vanilla_rate = 0.0;
     for (const std::string policy : {"vanilla", "director"}) {
       auto cfg = base_config(flags);
+      cfg.seed = seed;
       cfg.players = static_cast<std::size_t>(flags.get_int("players", 100));
       cfg.duration = SimDuration::seconds(flags.get_int("duration", 40));
       cfg.policy = policy;
@@ -42,6 +51,8 @@ int main(int argc, char** argv) {
       const auto r = run(cfg);
       const double rate = static_cast<double>(update_bytes(r)) / r.measured_seconds;
       if (policy == "vanilla") vanilla_rate = rate;
+      report.metrics.push_back({"update_kbps." + policy + ".r" + std::to_string(radius),
+                                rate / 1000.0});
       std::printf("%-10lld %-12s %12.1f %12.2f %12.0f %12.3f",
                   static_cast<long long>(radius), policy.c_str(), rate / 1000.0,
                   r.tick_ms.percentile(0.95), r.egress_frames_per_sec,
@@ -53,6 +64,8 @@ int main(int argc, char** argv) {
     }
     print_rule();
   }
+  return report;
+  });
   finish_trace(flags);
-  return 0;
+  return rc;
 }

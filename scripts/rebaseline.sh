@@ -1,13 +1,30 @@
 #!/usr/bin/env bash
-# Regenerates the golden serial wire baseline (tests/golden/serial_wire.txt)
-# from the single-threaded oracle. Run this after any *intended* change to
-# the update/wire path, and commit the new baseline together with the change
-# so the diff is reviewable (see GoldenRun.SerialWireBaselineUnchanged in
-# tests/determinism_test.cpp).
+# Regenerates committed baselines after an *intended* change, so the diff is
+# reviewable alongside the code that caused it.
 #
-#   scripts/rebaseline.sh [build-dir]   # default: build
+#   scripts/rebaseline.sh [build-dir]           # golden serial wire baseline
+#   scripts/rebaseline.sh --bench [build-dir]   # multi-seed perf snapshot
+#
+# Default mode rewrites tests/golden/serial_wire.txt from the
+# single-threaded oracle (see GoldenRun.SerialWireBaselineUnchanged in
+# tests/determinism_test.cpp). --bench re-runs the canonical perf tier
+# (scripts/bench_snapshot.sh, DYCONITS_BENCH_RUNS seeds, default 5) and
+# rewrites the latest BENCH_<pr>.json — the baseline `scripts/verify.sh
+# bench-gate` diffs against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--bench" ]; then
+  shift
+  build="${1:-build}"
+  # Overwrite the newest committed snapshot; first-ever use starts BENCH_7.
+  out="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
+  [ -n "$out" ] || out="BENCH_7.json"
+  scripts/bench_snapshot.sh "$build" "$out"
+  echo "rebaseline: wrote $out"
+  git --no-pager diff --stat -- "$out" || true
+  exit 0
+fi
 
 build="${1:-build}"
 jobs="$(nproc 2>/dev/null || echo 4)"

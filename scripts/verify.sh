@@ -9,15 +9,38 @@
 # loopback must produce the exact wire hashes the in-process sim oracle
 # predicts (DESIGN.md §12), including a clean-shutdown pass under ASan.
 #
-#   scripts/verify.sh [build-dir-prefix] [stage ...]
+#   scripts/verify.sh [build-dir-prefix] [stage ...] [--self-test]
 #
-# Stages: tier1 perf-smoke chaos asan tsan notrace e2e-udp (default: all, in
-# that order). Named stages assume their build tree exists when they reuse
-# one from an earlier stage (e2e-udp configures/builds what it needs).
+# Stages: tier1 perf-smoke chaos asan tsan notrace e2e-udp bench-gate
+# (default: all, in that order). Named stages assume their build tree exists
+# when they reuse one from an earlier stage (e2e-udp and bench-gate
+# configure/build what they need). The bench-gate stage re-runs the
+# canonical perf tier across DYCONITS_BENCH_RUNS seeds (default 5) and
+# fails if any gated metric regresses beyond its recorded noise band;
+# `bench-gate --self-test` instead proves the gate trips on a synthetic 20%
+# regression without re-running the benches.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-all_stages="tier1 perf-smoke chaos asan tsan notrace e2e-udp"
+all_stages="tier1 perf-smoke chaos asan tsan notrace e2e-udp bench-gate"
+
+usage() {
+  echo "usage: scripts/verify.sh [build-dir-prefix] [stage ...] [--self-test]"
+  echo "stages: $all_stages (default: all, in that order)"
+  echo "knobs:  DYCONITS_BENCH_RUNS=N   seeds per bench in the bench-gate stage (default 5)"
+}
+
+self_test=0
+args=()
+for a in "$@"; do
+  case "$a" in
+    --self-test) self_test=1 ;;
+    --help|-h) usage; exit 0 ;;
+    *) args+=("$a") ;;
+  esac
+done
+set -- ${args[@]+"${args[@]}"}
+
 prefix="build"
 if [ "$#" -gt 0 ]; then
   case " $all_stages " in
@@ -29,7 +52,7 @@ stages="${*:-$all_stages}"
 for s in $stages; do
   case " $all_stages " in
     *" $s "*) ;;
-    *) echo "unknown stage '$s' (known: $all_stages)" >&2; exit 2 ;;
+    *) echo "unknown stage '$s'" >&2; usage >&2; exit 2 ;;
   esac
 done
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -173,6 +196,36 @@ if want e2e-udp; then
   diff -u "$e2e_dir/oracle.txt" "$e2e_dir/udp-asan.txt"
   echo "-- ASan run: clean shutdown, hashes still match"
   rm -rf "$e2e_dir"
+fi
+
+if want bench-gate; then
+  echo "== bench-gate: multi-seed perf tier vs committed snapshot =="
+  # Meterstick discipline (PAPERS.md): performance claims are only trusted
+  # across seeds with their variability reported, and only defended by a
+  # committed baseline. The canonical tier (scripts/bench_snapshot.sh:
+  # e12-e15) re-runs across DYCONITS_BENCH_RUNS seeds; bench_gate fails the
+  # stage when a gated metric moves beyond max(recorded noise band, 5%) in
+  # its bad direction. Intended perf changes rebaseline with
+  # `scripts/rebaseline.sh --bench` and commit the new BENCH_<pr>.json.
+  baseline="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
+  if [ -z "$baseline" ]; then
+    echo "bench-gate: no committed BENCH_*.json baseline found." >&2
+    echo "  Generate one: scripts/rebaseline.sh --bench" >&2
+    exit 1
+  fi
+  cmake -B "$prefix" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$prefix" -j "$jobs" --target bench_gate >/dev/null
+  if [ "$self_test" = 1 ]; then
+    # Prove the gate can fail before trusting that it passed: an identical
+    # candidate must pass and a synthetic 20% regression must trip.
+    "$prefix/bench/bench_gate" --self-test --baseline="$baseline"
+  else
+    bench_tmp="$(mktemp -d)"
+    scripts/bench_snapshot.sh "$prefix" "$bench_tmp/candidate.json"
+    "$prefix/bench/bench_gate" --baseline="$baseline" \
+      --candidate="$bench_tmp/candidate.json"
+    rm -rf "$bench_tmp"
+  fi
 fi
 
 echo "verify: selected stages passed ($stages)"

@@ -1,0 +1,231 @@
+// Schema tests for the bench report JSON (bench/bench_stats.h): emitters
+// must produce parseable documents with the required keys and only finite
+// numbers; the strict parser must reject anything the gate cannot trust
+// (NaN/Inf tokens, duplicate keys, trailing garbage); and schema-2 reports
+// must survive a full write -> parse -> rehydrate round trip.
+#include "bench/bench_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace dyconits::bench {
+namespace {
+
+/// Renders via the same FILE* path the benches use, into memory.
+template <typename WriteFn>
+std::string render(WriteFn&& write) {
+  char* buf = nullptr;
+  std::size_t len = 0;
+  std::FILE* f = open_memstream(&buf, &len);
+  EXPECT_NE(f, nullptr);
+  write(f);
+  std::fclose(f);
+  std::string out(buf, len);
+  std::free(buf);
+  return out;
+}
+
+JsonReport sample_report() {
+  JsonReport r;
+  r.bench = "e_test";
+  r.config = {{"players", json_num(100)}, {"policy", json_str("director")}};
+  r.metrics = {{"tick_mean_ms", 1.25}, {"egress_bytes_per_sec", 1.5e6}};
+  r.phases = {{"server.flush", 0.5, 0.4, 0.9, 1.1, true}};
+  return r;
+}
+
+// ----------------------------------------------------------- json_num/str
+
+TEST(JsonNum, ClampsNonFiniteToValidJson) {
+  // NaN/Inf have no JSON representation; emitting them would poison every
+  // committed snapshot. They clamp instead.
+  EXPECT_EQ(json_num(std::nan("")), "0");
+  EXPECT_EQ(json_num(INFINITY), "1e+308");
+  EXPECT_EQ(json_num(-INFINITY), "-1e+308");
+  EXPECT_EQ(json_num(2.5), "2.5");
+}
+
+TEST(JsonStr, EscapesQuotesAndControlChars) {
+  EXPECT_EQ(json_str("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_str("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_str("a\nb"), "\"a\\nb\"");
+}
+
+// ------------------------------------------------------------- the parser
+
+TEST(Parser, AcceptsBasicDocument) {
+  std::string err;
+  const auto v = json_parse(R"({"a": 1, "b": [true, null, "x"], "c": -2.5e3})", &err);
+  ASSERT_TRUE(v.has_value()) << err;
+  ASSERT_EQ(v->kind, JsonValue::Kind::Obj);
+  EXPECT_DOUBLE_EQ(v->find("a")->num, 1.0);
+  EXPECT_DOUBLE_EQ(v->find("c")->num, -2500.0);
+  EXPECT_EQ(v->find("b")->arr.size(), 3u);
+}
+
+TEST(Parser, RejectsNanAndInfTokens) {
+  std::string err;
+  EXPECT_FALSE(json_parse(R"({"a": nan})", &err).has_value());
+  EXPECT_FALSE(json_parse(R"({"a": NaN})", &err).has_value());
+  EXPECT_FALSE(json_parse(R"({"a": inf})", &err).has_value());
+  EXPECT_FALSE(json_parse(R"({"a": Infinity})", &err).has_value());
+  EXPECT_FALSE(json_parse(R"({"a": -inf})", &err).has_value());
+}
+
+TEST(Parser, RejectsOverflowToInfinity) {
+  std::string err;
+  EXPECT_FALSE(json_parse(R"({"a": 1e999})", &err).has_value());
+  EXPECT_NE(err.find("non-finite"), std::string::npos);
+}
+
+TEST(Parser, RejectsTrailingGarbage) {
+  std::string err;
+  EXPECT_FALSE(json_parse(R"({"a": 1} extra)", &err).has_value());
+  EXPECT_FALSE(json_parse(R"({"a": 1}{"b": 2})", &err).has_value());
+}
+
+TEST(Parser, RejectsDuplicateKeys) {
+  std::string err;
+  EXPECT_FALSE(json_parse(R"({"a": 1, "a": 2})", &err).has_value());
+  EXPECT_NE(err.find("duplicate"), std::string::npos);
+}
+
+TEST(Parser, RejectsMalformedNumbers) {
+  std::string err;
+  EXPECT_FALSE(json_parse(R"({"a": 1.})", &err).has_value());
+  EXPECT_FALSE(json_parse(R"({"a": .5})", &err).has_value());
+  EXPECT_FALSE(json_parse(R"({"a": 1e})", &err).has_value());
+  EXPECT_FALSE(json_parse(R"({"a": 0x10})", &err).has_value());
+}
+
+TEST(Parser, HandlesStringEscapes) {
+  std::string err;
+  const auto v = json_parse(R"(["a\"b", "tab\there", "A"])", &err);
+  ASSERT_TRUE(v.has_value()) << err;
+  EXPECT_EQ(v->arr[0].str, "a\"b");
+  EXPECT_EQ(v->arr[1].str, "tab\there");
+  EXPECT_EQ(v->arr[2].str, "A");
+}
+
+// ---------------------------------------------------- schema 1 (one run)
+
+TEST(Schema1, EmittedReportHasRequiredKeysAndNumericMetrics) {
+  const auto text = render([&](std::FILE* f) { write_json_report(f, sample_report()); });
+  std::string err;
+  const auto v = json_parse(text, &err);
+  ASSERT_TRUE(v.has_value()) << err << "\n" << text;
+  EXPECT_DOUBLE_EQ(v->find("schema")->num, 1.0);
+  EXPECT_EQ(v->find("bench")->str, "e_test");
+  ASSERT_NE(v->find("config"), nullptr);
+  const auto* metrics = v->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->kind, JsonValue::Kind::Obj);
+  for (const auto& [name, m] : metrics->obj) {
+    EXPECT_EQ(m.kind, JsonValue::Kind::Num) << name;
+  }
+  const auto* phases = v->find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_EQ(phases->arr.size(), 1u);
+  EXPECT_EQ(phases->arr[0].find("name")->str, "server.flush");
+}
+
+TEST(Schema1, NonFiniteMetricValuesStillEmitValidJson) {
+  auto r = sample_report();
+  r.metrics.push_back({"poisoned", std::nan("")});
+  r.metrics.push_back({"hot", INFINITY});
+  const auto text = render([&](std::FILE* f) { write_json_report(f, r); });
+  std::string err;
+  const auto v = json_parse(text, &err);
+  ASSERT_TRUE(v.has_value()) << err << "\n" << text;
+  EXPECT_DOUBLE_EQ(v->find("metrics")->find("poisoned")->num, 0.0);
+  EXPECT_DOUBLE_EQ(v->find("metrics")->find("hot")->num, 1e308);
+}
+
+// ------------------------------------------- schema 2 (cross-seed) round trip
+
+std::vector<JsonReport> five_runs() {
+  std::vector<JsonReport> runs;
+  for (int i = 0; i < 5; ++i) {
+    auto r = sample_report();
+    r.config.push_back({"seed", json_num(42 + i)});
+    r.metrics[0].second = 1.25 + 0.01 * i;  // tick_mean_ms drifts per seed
+    runs.push_back(r);
+  }
+  return runs;
+}
+
+TEST(Schema2, RoundTripPreservesSummaries) {
+  const auto agg = aggregate_runs(five_runs(), {42, 43, 44, 45, 46});
+  const auto text = render([&](std::FILE* f) { write_multi_run_json(f, agg); });
+  std::string err;
+  const auto doc = json_parse(text, &err);
+  ASSERT_TRUE(doc.has_value()) << err << "\n" << text;
+  EXPECT_DOUBLE_EQ(doc->find("schema")->num, 2.0);
+  const auto back = multi_run_from_json(*doc, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->bench, agg.bench);
+  ASSERT_EQ(back->seeds.size(), 5u);
+  const auto* orig = agg.find_metric("tick_mean_ms");
+  const auto* trip = back->find_metric("tick_mean_ms");
+  ASSERT_NE(orig, nullptr);
+  ASSERT_NE(trip, nullptr);
+  EXPECT_NEAR(trip->mean, orig->mean, 1e-6);
+  EXPECT_NEAR(trip->band_pct, orig->band_pct, 1e-6);
+  ASSERT_EQ(trip->values.size(), 5u);
+}
+
+TEST(Schema2, RehydrationRequiresSummaryKeys) {
+  std::string err;
+  // No band_pct on the metric: rejected, the gate cannot size a threshold.
+  const auto v = json_parse(
+      R"({"schema": 2, "bench": "x", "seeds": [1], "config": {},
+          "metrics": {"m": {"mean": 1.0, "cov_pct": 0.1}}})",
+      &err);
+  ASSERT_TRUE(v.has_value()) << err;
+  EXPECT_FALSE(multi_run_from_json(*v, &err).has_value());
+  EXPECT_NE(err.find("band_pct"), std::string::npos);
+}
+
+TEST(Schema2, RehydrationRejectsWrongSchema) {
+  std::string err;
+  const auto v = json_parse(R"({"schema": 3, "bench": "x"})", &err);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FALSE(multi_run_from_json(*v, &err).has_value());
+}
+
+TEST(Schema2, SeedsExcludedFromCrossRunConfig) {
+  const auto agg = aggregate_runs(five_runs(), {42, 43, 44, 45, 46});
+  const auto text = render([&](std::FILE* f) { write_multi_run_json(f, agg); });
+  std::string err;
+  const auto doc = json_parse(text, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->find("config")->find("seed"), nullptr);
+  ASSERT_NE(doc->find("seeds"), nullptr);
+  EXPECT_EQ(doc->find("seeds")->arr.size(), 5u);
+}
+
+// A snapshot array (BENCH_<pr>.json) of schema-2 objects parses whole.
+TEST(Schema2, SnapshotArrayRoundTrip) {
+  const auto agg = aggregate_runs(five_runs(), {42, 43, 44, 45, 46});
+  const auto text = render([&](std::FILE* f) {
+    std::fputs("[\n", f);
+    write_multi_run_json(f, agg);
+    std::fputs(",\n", f);
+    write_multi_run_json(f, agg);
+    std::fputs("]\n", f);
+  });
+  std::string err;
+  const auto doc = json_parse(text, &err);
+  ASSERT_TRUE(doc.has_value()) << err << "\n" << text;
+  ASSERT_EQ(doc->kind, JsonValue::Kind::Arr);
+  ASSERT_EQ(doc->arr.size(), 2u);
+  for (const auto& entry : doc->arr) {
+    EXPECT_TRUE(multi_run_from_json(entry, &err).has_value()) << err;
+  }
+}
+
+}  // namespace
+}  // namespace dyconits::bench
