@@ -11,7 +11,8 @@
 #
 #   scripts/verify.sh [build-dir-prefix] [stage ...] [--self-test]
 #
-# Stages: tier1 perf-smoke chaos asan tsan notrace e2e-udp bench-gate
+# Stages: tier1 perf-smoke chaos asan tsan notrace e2e-udp e2e-chaos-udp
+# bench-gate
 # (default: all, in that order). Named stages assume their build tree exists
 # when they reuse one from an earlier stage (e2e-udp and bench-gate
 # configure/build what they need). The bench-gate stage re-runs the
@@ -22,7 +23,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-all_stages="tier1 perf-smoke chaos asan tsan notrace e2e-udp bench-gate"
+all_stages="tier1 perf-smoke chaos asan tsan notrace e2e-udp e2e-chaos-udp bench-gate"
 
 usage() {
   echo "usage: scripts/verify.sh [build-dir-prefix] [stage ...] [--self-test]"
@@ -85,6 +86,66 @@ e2e_udp_run() {
   for p in "${cpids[@]}"; do wait "$p"; done
   wait "$spid"
   cat "$tmp/server.out" "$tmp"/client*.out | grep '^wire_hash' | sort >"$out"
+  rm -rf "$tmp"
+}
+
+# One chaos run (DESIGN.md §13): a free-running server plus $2 free-running
+# clients as separate OS processes over UDP loopback from the $1 build tree,
+# all injecting 10% seeded frame loss through FaultInjectingTransport, with
+# a mid-run server crash + same-port restart. Asserts from the
+# chaos_summary lines: exactly one crash, every pre-crash session resumed,
+# zero post-recovery bound violations, and every client (re)joined.
+e2e_chaos_run() {
+  local bdir="$1" clients="$2" ticks="$3"
+  local tmp spid port idx line val
+  tmp="$(mktemp -d)"
+  printf 'loss 0.10\n' >"$tmp/faults.txt"
+  "$bdir/src/apps/dyconits_server" --free-run --faults="$tmp/faults.txt" \
+    --fault-seed=7 --clients="$clients" --ticks="$ticks" \
+    --crash-at-tick=$((ticks / 3)) --restart --restart-delay=1s \
+    --state-file="$tmp/state.txt" --port-file="$tmp/port" >"$tmp/server.out" &
+  spid=$!
+  for _ in $(seq 1 200); do [ -s "$tmp/port" ] && break; sleep 0.05; done
+  if [ ! -s "$tmp/port" ]; then
+    echo "e2e-chaos-udp: server never wrote its port file" >&2
+    kill "$spid" 2>/dev/null || true
+    return 1
+  fi
+  port="$(cat "$tmp/port")"
+  local cpids=()
+  for idx in $(seq 0 $((clients - 1))); do
+    "$bdir/src/apps/dyconits_client" --free-run --faults="$tmp/faults.txt" \
+      --fault-seed=7 --connect="127.0.0.1:$port" --index="$idx" \
+      --ticks="$ticks" >"$tmp/client$idx.out" &
+    cpids+=("$!")
+  done
+  for p in "${cpids[@]}"; do wait "$p"; done
+  wait "$spid"
+  line="$(grep -m1 '^chaos_summary role=server' "$tmp/server.out" || true)"
+  if [ -z "$line" ]; then
+    echo "e2e-chaos-udp: server printed no chaos_summary" >&2
+    cat "$tmp/server.out" >&2
+    return 1
+  fi
+  echo "-- $line"
+  for want_field in "crashes=1" "pre_crash_sessions=$clients" "bound_violations=0"; do
+    case " $line " in
+      *" $want_field "*) ;;
+      *) echo "e2e-chaos-udp: expected '$want_field' in: $line" >&2; return 1 ;;
+    esac
+  done
+  val="$(sed -n 's/.* resumed=\([0-9]*\).*/\1/p' <<<"$line")"
+  if [ "$val" != "$clients" ]; then
+    echo "e2e-chaos-udp: only $val of $clients sessions resumed: $line" >&2
+    return 1
+  fi
+  for idx in $(seq 0 $((clients - 1))); do
+    if ! grep -q '^chaos_summary role=client.* joined=1 ' "$tmp/client$idx.out"; then
+      echo "e2e-chaos-udp: client $idx never (re)joined" >&2
+      cat "$tmp/client$idx.out" >&2
+      return 1
+    fi
+  done
   rm -rf "$tmp"
 }
 
@@ -196,6 +257,33 @@ if want e2e-udp; then
   diff -u "$e2e_dir/oracle.txt" "$e2e_dir/udp-asan.txt"
   echo "-- ASan run: clean shutdown, hashes still match"
   rm -rf "$e2e_dir"
+fi
+
+if want e2e-chaos-udp; then
+  echo "== e2e-chaos-udp: fault injection + crash-restart over real sockets =="
+  # DESIGN.md §13, three gates. (1) Determinism: the fault layer's decision
+  # stream replays byte-identically from its seed — e16 --replay-check runs
+  # the same offered-frame schedule twice and compares decision hashes,
+  # then proves a different seed diverges. (2) The transport-chaos unit
+  # suite (FaultInjectingTransport ledgers + real-socket keepalive /
+  # reassembly under chaos). (3) The headline scenario: a free-running
+  # server over loopback UDP at 10% seeded loss crashes mid-run, restarts
+  # on the same port, and every client detects the outage and resumes its
+  # session with zero post-recovery bound violations — in the release tree
+  # and again under ASan+UBSan.
+  cmake -B "$prefix" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$prefix" -j "$jobs" \
+    --target dyconits_server dyconits_client e16_transport_chaos transport_test
+  "$prefix/bench/e16_transport_chaos" --replay-check
+  ctest --test-dir "$prefix" --output-on-failure -L transport-chaos
+  e2e_chaos_run "$prefix" 3 240
+  echo "-- release chaos run: crash recovered, all sessions resumed"
+  cmake -B "$prefix-sanitize" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDYCONITS_SANITIZE="address;undefined" >/dev/null
+  cmake --build "$prefix-sanitize" -j "$jobs" \
+    --target dyconits_server dyconits_client
+  e2e_chaos_run "$prefix-sanitize" 3 240
+  echo "-- ASan chaos run: clean shutdown, recovery invariants hold"
 fi
 
 if want bench-gate; then

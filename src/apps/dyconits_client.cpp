@@ -14,13 +14,17 @@ int main(int argc, char** argv) {
   using namespace dyconits;
 
   Flags flags(argc, argv);
-  flags.assert_known(
-      {"connect", "index", "ticks", "seed", "terrain-seed", "mobs", "net-timeout", "help"});
+  flags.assert_known({"connect", "index", "ticks", "seed", "terrain-seed", "mobs",
+                      "net-timeout", "free-run", "faults", "fault-seed", "help"});
   if (flags.has("help")) {
     std::printf(
         "usage: dyconits_client --connect=host:port [--index=N] [--ticks=N]\n"
         "                       [--seed=N] [--terrain-seed=N] [--mobs=N]\n"
-        "                       [--net-timeout=DUR]\n");
+        "                       [--net-timeout=DUR]\n"
+        "                       [--free-run] [--faults=FILE] [--fault-seed=N]\n"
+        "free-run mode drops the lockstep barriers: wall-paced ticks, seeded\n"
+        "fault injection on the bot's own sends, liveness-driven reconnect\n"
+        "(prints a chaos_summary line instead of a comparable wire hash).\n");
     return 0;
   }
 
@@ -37,5 +41,23 @@ int main(int argc, char** argv) {
   }
   const Endpoint server = flags.get_endpoint("connect", {});
   const auto index = static_cast<std::uint32_t>(flags.get_int("index", 0));
+
+  apps::ChaosConfig chaos;
+  chaos.free_run = flags.get_bool("free-run", false);
+  chaos.fault_seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 0));
+  if (flags.has("faults")) {
+    if (!chaos.free_run) {
+      std::fprintf(stderr, "error: --faults requires --free-run\n");
+      return 2;
+    }
+    std::string err;
+    if (!bots::load_fault_schedule(flags.get_string("faults", ""), &chaos.faults, &err)) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 2;
+    }
+  }
+  if (chaos.free_run) {
+    return apps::run_udp_client_free(cfg, chaos, server.host, server.port, index);
+  }
   return apps::run_udp_client(cfg, server.host, server.port, index);
 }

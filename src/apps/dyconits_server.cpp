@@ -18,13 +18,21 @@ int main(int argc, char** argv) {
 
   Flags flags(argc, argv);
   flags.assert_known({"transport", "listen", "ticks", "clients", "seed", "terrain-seed",
-                      "mobs", "net-timeout", "port-file", "help"});
+                      "mobs", "net-timeout", "port-file", "free-run", "faults",
+                      "fault-seed", "crash-at-tick", "restart", "restart-delay",
+                      "state-file", "help"});
   if (flags.has("help")) {
     std::printf(
         "usage: dyconits_server [--transport=sim|udp] [--listen=host:port]\n"
         "                       [--ticks=N] [--clients=N] [--seed=N]\n"
         "                       [--terrain-seed=N] [--mobs=N]\n"
-        "                       [--net-timeout=DUR] [--port-file=PATH]\n");
+        "                       [--net-timeout=DUR] [--port-file=PATH]\n"
+        "                       [--free-run] [--faults=FILE] [--fault-seed=N]\n"
+        "                       [--crash-at-tick=N] [--restart]\n"
+        "                       [--restart-delay=DUR] [--state-file=PATH]\n"
+        "free-run mode drops the lockstep gate: wall-paced ticks, seeded\n"
+        "fault injection on real frames, optional mid-run crash-restart\n"
+        "(prints a chaos_summary line instead of comparable wire hashes).\n");
     return 0;
   }
 
@@ -36,7 +44,36 @@ int main(int argc, char** argv) {
   cfg.mobs = static_cast<std::uint32_t>(flags.get_int("mobs", 4));
   cfg.net_timeout = flags.get_duration("net-timeout", SimDuration::seconds(10));
 
+  apps::ChaosConfig chaos;
+  chaos.free_run = flags.get_bool("free-run", false);
+  chaos.fault_seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 0));
+  chaos.crash_at_tick = static_cast<std::uint64_t>(flags.get_int("crash-at-tick", 0));
+  chaos.restart = flags.get_bool("restart", false);
+  chaos.restart_delay = flags.get_duration("restart-delay", SimDuration::millis(1000));
+  chaos.state_file = flags.get_string("state-file", "");
+  if (flags.has("faults")) {
+    // Faults break lockstep by design (lost barriers would deadlock the
+    // gate); require the mode that can absorb them.
+    if (!chaos.free_run) {
+      std::fprintf(stderr, "error: --faults requires --free-run\n");
+      return 2;
+    }
+    std::string err;
+    if (!bots::load_fault_schedule(flags.get_string("faults", ""), &chaos.faults, &err)) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 2;
+    }
+  }
+  if ((chaos.crash_at_tick > 0 || chaos.restart) && !chaos.free_run) {
+    std::fprintf(stderr, "error: --crash-at-tick/--restart require --free-run\n");
+    return 2;
+  }
+
   const std::string transport = flags.get_string("transport", "udp");
+  if (chaos.free_run && transport != "udp") {
+    std::fprintf(stderr, "error: --free-run requires --transport=udp\n");
+    return 2;
+  }
   if (transport == "sim") {
     for (const auto& line : apps::run_sim_oracle(cfg)) {
       std::printf("%s\n", apps::format_hash_line(line).c_str());
@@ -51,6 +88,9 @@ int main(int argc, char** argv) {
   // Omitting --listen binds an ephemeral port; pair with --port-file so the
   // launcher can discover it.
   const Endpoint listen = flags.get_endpoint("listen", {"127.0.0.1", 0});
-  return apps::run_udp_server(cfg, listen.host, listen.port,
-                              flags.get_string("port-file", ""));
+  const std::string port_file = flags.get_string("port-file", "");
+  if (chaos.free_run) {
+    return apps::run_udp_server_free(cfg, chaos, listen.host, listen.port, port_file);
+  }
+  return apps::run_udp_server(cfg, listen.host, listen.port, port_file);
 }

@@ -4,10 +4,15 @@
 #include <chrono>
 #include <cstdio>
 #include <deque>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <set>
+#include <sstream>
+#include <thread>
 
 #include "dyconit/policies/factory.h"
+#include "net/fault_transport.h"
 #include "net/sim_network.h"
 #include "net/udp_transport.h"
 #include "protocol/codec.h"
@@ -363,6 +368,311 @@ int run_udp_client(const ScriptedConfig& cfg, const std::string& host, std::uint
 
   std::printf("%s\n", format_hash_line(client_line(bot)).c_str());
   return 0;
+}
+
+// ------------------------------------------- free-run chaos (DESIGN.md §13)
+
+namespace {
+
+net::FaultPlan chaos_fault_plan(const ScriptedConfig& cfg, const ChaosConfig& chaos) {
+  net::FaultPlan plan;
+  plan.seed = chaos.fault_seed != 0 ? chaos.fault_seed : (cfg.seed ^ 0xC4A05ull);
+  plan.all_links = chaos.faults.link;
+  // Scheduled events are deliberately not translated: they name endpoint
+  // ids, which are process-local over UDP (see ChaosConfig::faults).
+  return plan;
+}
+
+/// Minimal session state that survives a server crash: the tick counter and
+/// the joined player names. Deliberately a plain text file — the point is
+/// the round trip, not the format.
+struct CrashState {
+  std::uint64_t tick = 0;
+  std::vector<std::string> players;
+};
+
+bool write_crash_state(const std::string& path, const CrashState& st) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "tick " << st.tick << "\n";
+  for (const auto& p : st.players) out << "player " << p << "\n";
+  return static_cast<bool>(out);
+}
+
+bool read_crash_state(const std::string& path, CrashState* st) {
+  std::ifstream in(path);
+  if (!in) return false;
+  CrashState got;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream tokens(line);
+    std::string key;
+    if (!(tokens >> key)) continue;
+    if (key == "tick") {
+      if (!(tokens >> got.tick)) return false;
+    } else if (key == "player") {
+      std::string name;
+      if (!(tokens >> name)) return false;
+      got.players.push_back(std::move(name));
+    }
+  }
+  *st = std::move(got);
+  return true;
+}
+
+void sleep_wall(SimDuration d) {
+  std::this_thread::sleep_for(std::chrono::microseconds(d.count_micros()));
+}
+
+}  // namespace
+
+int run_udp_server_free(const ScriptedConfig& cfg, const ChaosConfig& chaos,
+                        const std::string& host, std::uint16_t port,
+                        const std::string& port_file) {
+  SimClock clock;
+  // The world is the "disk save": it survives a crash. Everything else —
+  // transport, sessions, dyconit state — dies with the incarnation.
+  world::World world(std::make_unique<world::TerrainGenerator>(cfg.terrain_seed));
+
+  server::ServerConfig scfg = scripted_server_config(cfg);
+  // Free-run liveness is real: tighten the keepalive cadence to 500 ms so
+  // idle links still carry evidence of life at outage-detection timescales.
+  scfg.keepalive_interval_ticks = 10;
+
+  const std::int64_t tick_us = scfg.tick_interval.count_micros();
+  const net::FaultPlan plan = chaos_fault_plan(cfg, chaos);
+
+  std::uint64_t tick = 0;
+  std::uint16_t bound_port = port;
+  bool crashed_once = false;
+  CrashState saved;
+  std::uint64_t crashes = 0;
+  std::uint64_t post_recovery_violations = 0;
+  std::uint64_t send_failures = 0, resyncs_served = 0, revivals = 0;
+  net::FaultStats injected;
+  std::uint64_t decision_hash = 0, decisions = 0;
+  std::size_t sessions_at_end = 0, resumed = 0;
+  // Post-recovery means: the restarted incarnation is up AND clients had
+  // time to notice the outage and replay the resync handshake. Grace =
+  // client liveness window (2 s) + one backoff round, in ticks.
+  const std::uint64_t recovery_grace_ticks = 60;
+
+  for (;;) {  // one iteration per server incarnation
+    net::UdpConfig ucfg;
+    ucfg.bind_host = host;
+    ucfg.bind_port = bound_port;
+    ucfg.idle_timeout = SimDuration(0);  // bot-level liveness owns teardown
+    net::UdpTransport udp(clock, ucfg);
+    if (!udp.valid()) {
+      std::fprintf(stderr, "chaos server: %s\n", udp.error().c_str());
+      return 1;
+    }
+    bound_port = udp.local_port();  // restart rebinds the same port
+    if (!crashed_once && !port_file.empty()) {
+      std::FILE* f = std::fopen(port_file.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "chaos server: cannot write port file %s\n", port_file.c_str());
+        return 1;
+      }
+      std::fprintf(f, "%u\n", udp.local_port());
+      std::fclose(f);
+    }
+    net::FaultInjectingTransport faultnet(udp, clock);
+    faultnet.set_fault_plan(plan);
+    server::GameServer server(clock, faultnet, world, dyconit::make_policy("zero"), scfg);
+    std::fprintf(stderr, "chaos server: incarnation %llu up on %s:%u at tick %llu\n",
+                 static_cast<unsigned long long>(crashes),
+                 host.c_str(), bound_port, static_cast<unsigned long long>(tick));
+
+    const std::int64_t t0 = wall_micros();
+    std::uint64_t local_tick = 0;
+    bool crash_now = false;
+    while (tick < cfg.ticks) {
+      const std::int64_t deadline = t0 + static_cast<std::int64_t>(local_tick + 1) * tick_us;
+      while (wall_micros() < deadline) udp.pump(/*timeout_ms=*/1);
+      server.tick();
+      faultnet.flush_egress();
+      clock.advance(scfg.tick_interval);
+      ++tick;
+      ++local_tick;
+      if (crashed_once && tick > saved.tick + recovery_grace_ticks) {
+        // The recovered regime must hold the paper's invariant: with the
+        // zero policy every queue flushes every tick, so nothing may still
+        // violate its bounds after the tick ran.
+        const SimTime now = clock.now();
+        server.dyconits().for_each([&](dyconit::Dyconit& d) {
+          d.for_each_subscriber([&](dyconit::SubscriberId, dyconit::Bounds& b,
+                                    const dyconit::SubscriberQueue& q) {
+            if (q.violates(b, now)) ++post_recovery_violations;
+          });
+        });
+      }
+      if (!crashed_once && chaos.crash_at_tick > 0 && tick >= chaos.crash_at_tick) {
+        crash_now = true;
+        break;
+      }
+    }
+
+    // Roll this incarnation's ledgers up before it dies.
+    send_failures += udp.stats().send_failures;
+    revivals += udp.stats().peer_revivals;
+    resyncs_served += server.resyncs_served();
+    {
+      const net::FaultStats fs = faultnet.injected_totals();
+      injected.dropped.frames += fs.dropped.frames;
+      injected.corrupted += fs.corrupted;
+      injected.duplicated += fs.duplicated;
+      injected.reordered += fs.reordered;
+      injected.refused += fs.refused;
+    }
+    decision_hash = faultnet.decision_hash();
+    decisions += faultnet.frames_offered();
+
+    if (crash_now) {
+      ++crashes;
+      saved.tick = tick;
+      saved.players.clear();
+      for (const auto& h : server.session_stream_hashes()) saved.players.push_back(h.name);
+      if (!chaos.state_file.empty() && !write_crash_state(chaos.state_file, saved)) {
+        std::fprintf(stderr, "chaos server: cannot write state file %s\n",
+                     chaos.state_file.c_str());
+        return 1;
+      }
+      udp.close_abruptly();  // no Byes, no flush: a SIGKILL's wire signature
+      crashed_once = true;
+      std::fprintf(stderr,
+                   "chaos server: crashed at tick %llu with %zu sessions%s\n",
+                   static_cast<unsigned long long>(tick), saved.players.size(),
+                   chaos.restart ? ", restarting" : "");
+      if (!chaos.restart) break;
+      sleep_wall(chaos.restart_delay);
+      if (!chaos.state_file.empty()) {
+        CrashState reloaded;
+        if (!read_crash_state(chaos.state_file, &reloaded)) {
+          std::fprintf(stderr, "chaos server: cannot reload state file %s\n",
+                       chaos.state_file.c_str());
+          return 1;
+        }
+        tick = reloaded.tick;  // resume the schedule where the crash cut it
+        saved = std::move(reloaded);
+      }
+      continue;
+    }
+
+    sessions_at_end = server.session_stream_hashes().size();
+    {
+      std::set<std::string> now_joined;
+      for (const auto& h : server.session_stream_hashes()) now_joined.insert(h.name);
+      for (const auto& p : saved.players) resumed += now_joined.count(p);
+    }
+    break;
+  }
+
+  std::printf(
+      "chaos_summary role=server ticks=%llu crashes=%llu sessions=%zu "
+      "pre_crash_sessions=%zu resumed=%zu bound_violations=%llu "
+      "send_failures=%llu resyncs_served=%llu peer_revivals=%llu "
+      "injected_drops=%llu injected_dups=%llu injected_corrupt=%llu "
+      "injected_reorder=%llu decisions=%llu decision_hash=%016llx\n",
+      static_cast<unsigned long long>(tick), static_cast<unsigned long long>(crashes),
+      sessions_at_end, saved.players.size(), resumed,
+      static_cast<unsigned long long>(post_recovery_violations),
+      static_cast<unsigned long long>(send_failures),
+      static_cast<unsigned long long>(resyncs_served),
+      static_cast<unsigned long long>(revivals),
+      static_cast<unsigned long long>(injected.dropped.frames),
+      static_cast<unsigned long long>(injected.duplicated),
+      static_cast<unsigned long long>(injected.corrupted),
+      static_cast<unsigned long long>(injected.reordered),
+      static_cast<unsigned long long>(decisions),
+      static_cast<unsigned long long>(decision_hash));
+  std::fflush(stdout);
+  return 0;
+}
+
+int run_udp_client_free(const ScriptedConfig& cfg, const ChaosConfig& chaos,
+                        const std::string& host, std::uint16_t port, std::uint32_t index) {
+  SimClock clock;
+  // Start one tick in: the bot treats join_sent_at_ == SimTime::zero() as
+  // "never sent", so a connect() at exactly t=0 would disable join retries.
+  clock.advance(SimDuration::millis(50));
+  net::UdpConfig ucfg;
+  ucfg.bind_host = "127.0.0.1";
+  ucfg.bind_port = 0;
+  ucfg.idle_timeout = SimDuration(0);
+  net::UdpTransport udp(clock, ucfg);
+  if (!udp.valid()) {
+    std::fprintf(stderr, "chaos client: %s\n", udp.error().c_str());
+    return 1;
+  }
+  net::FaultInjectingTransport faultnet(udp, clock);
+  {
+    net::FaultPlan plan = chaos_fault_plan(cfg, chaos);
+    plan.seed ^= 0xC11E57ull + index;  // per-process decision stream
+    faultnet.set_fault_plan(plan);
+  }
+  const net::EndpointId server_ep = udp.add_peer(host, port, "server");
+  if (server_ep == net::kInvalidEndpoint) {
+    std::fprintf(stderr, "chaos client: bad server address %s:%u\n", host.c_str(), port);
+    return 1;
+  }
+
+  world::World world(std::make_unique<world::TerrainGenerator>(cfg.terrain_seed));
+  bots::BotConfig bc = scripted_bot_config(cfg, index);
+  // Free-run recovery knobs: detect a gone-silent server fast, retry joins
+  // with jittered exponential backoff so a reconnecting fleet spreads out.
+  bc.join_retry = SimDuration::millis(500);
+  bc.join_retry_backoff = 2.0;
+  bc.join_retry_max = SimDuration::seconds(3);
+  bc.liveness_timeout = SimDuration::seconds(2);
+  bots::BotClient bot(clock, faultnet, world, server_ep, scripted_bot_name(index),
+                      scripted_bot_seed(cfg.seed, index), bc);
+
+  const std::int64_t tick_us = SimDuration::millis(50).count_micros();
+  const std::int64_t t0 = wall_micros();
+  // Outage evidence: the longest wall-clock stretch without a single frame
+  // from the server. In a healthy run frames arrive every tick; across a
+  // crash this is (restart delay + detection + rejoin) — the blackout the
+  // acceptance bound is about.
+  std::int64_t last_rx_wall = t0;
+  std::int64_t max_rx_gap_us = 0;
+  std::uint64_t frames_seen = 0;
+
+  for (std::uint64_t k = 0; k < cfg.ticks; ++k) {
+    const std::int64_t deadline = t0 + static_cast<std::int64_t>(k + 1) * tick_us;
+    for (;;) {
+      const std::int64_t now = wall_micros();
+      if (now >= deadline) break;
+      udp.pump(/*timeout_ms=*/1);
+      bot.poll_inbound();
+      const std::uint64_t frames = bot.ingress_hash().frames();
+      if (frames != frames_seen) {
+        frames_seen = frames;
+        last_rx_wall = now;
+      } else {
+        max_rx_gap_us = std::max(max_rx_gap_us, now - last_rx_wall);
+      }
+    }
+    if (k == 0) bot.connect();
+    bot.tick();
+    faultnet.flush_egress();
+    clock.advance(SimDuration::millis(50));
+  }
+
+  std::printf(
+      "chaos_summary role=client name=%s joined=%d liveness_resets=%llu "
+      "gaps=%llu resyncs=%llu dup_or_old=%llu max_rx_gap_ms=%lld "
+      "decisions=%llu decision_hash=%016llx\n",
+      bot.name().c_str(), bot.joined() ? 1 : 0,
+      static_cast<unsigned long long>(bot.liveness_resets()),
+      static_cast<unsigned long long>(bot.gaps_detected()),
+      static_cast<unsigned long long>(bot.resyncs_requested()),
+      static_cast<unsigned long long>(bot.dup_or_old_frames()),
+      static_cast<long long>(max_rx_gap_us / 1000),
+      static_cast<unsigned long long>(faultnet.frames_offered()),
+      static_cast<unsigned long long>(faultnet.decision_hash()));
+  std::fflush(stdout);
+  return bot.joined() ? 0 : 1;
 }
 
 }  // namespace dyconits::apps

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bots/bot.h"
+#include "bots/faults.h"
 #include "server/config.h"
 #include "util/flags.h"
 #include "util/sim_time.h"
@@ -82,5 +83,49 @@ int run_udp_server(const ScriptedConfig& cfg, const std::string& host, std::uint
 /// prints its client-role hash line to stdout. Exit code as above.
 int run_udp_client(const ScriptedConfig& cfg, const std::string& host, std::uint16_t port,
                    std::uint32_t index);
+
+// -- free-running chaos mode (DESIGN.md §13, scripts/verify.sh e2e-chaos-udp) --
+
+/// Free-run configuration: drops the lockstep gate, paces ticks on the wall
+/// clock, wraps the socket in a FaultInjectingTransport, and optionally
+/// kills the server mid-run. Under faults the streams legitimately diverge,
+/// so free runs print `chaos_summary` lines (recovery evidence) instead of
+/// comparable wire hashes.
+struct ChaosConfig {
+  bool free_run = false;
+  /// Probabilistic link faults (loss/duplicate/corrupt/reorder/sendfail)
+  /// injected on this process's own sends. Scheduled flap/partition/crash
+  /// directives are ignored in free-run — endpoint ids aren't knowable
+  /// across processes; a real crash is process-level via crash_at_tick.
+  bots::FaultScheduleConfig faults;
+  /// Seed for the fault-decision RNG; 0 derives one from ScriptedConfig::seed.
+  std::uint64_t fault_seed = 0;
+  /// Server only: die abruptly (no Byes, no flush) after this many ticks.
+  /// 0 = never.
+  std::uint64_t crash_at_tick = 0;
+  /// Server only: come back restart_delay after the crash, rebind the same
+  /// port, reload session state from state_file, and finish the run.
+  bool restart = false;
+  SimDuration restart_delay = SimDuration::millis(1000);
+  /// Minimal session state persisted across the crash (tick number +
+  /// joined player names); the restarted incarnation reports how many of
+  /// those players resumed.
+  std::string state_file;
+};
+
+/// Free-running server: no barriers, wall-paced ticks, faults injected on
+/// its sends, optional mid-run crash-restart. Prints a `chaos_summary`
+/// line; exit 0 iff the run completed (post-recovery bound violations are
+/// reported in the summary, judged by the caller).
+int run_udp_server_free(const ScriptedConfig& cfg, const ChaosConfig& chaos,
+                        const std::string& host, std::uint16_t port,
+                        const std::string& port_file);
+
+/// Free-running client: walks its schedule against the wall clock, detects
+/// a server outage via gone-silent liveness and rejoins with jittered
+/// exponential backoff. Prints a `chaos_summary` line; exit 0 iff joined at
+/// the end of the run.
+int run_udp_client_free(const ScriptedConfig& cfg, const ChaosConfig& chaos,
+                        const std::string& host, std::uint16_t port, std::uint32_t index);
 
 }  // namespace dyconits::apps

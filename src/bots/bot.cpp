@@ -1,5 +1,6 @@
 #include "bots/bot.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "entity/movement.h"
@@ -34,6 +35,7 @@ BotClient::BotClient(SimClock& clock, net::Transport& net, world::World& truth,
       name_(std::move(name)),
       rng_(seed),
       cfg_(cfg) {
+  current_join_retry_ = cfg_.join_retry;
   if (cfg_.keep_chunk_replica) replica_world_ = std::make_unique<world::World>();
 }
 
@@ -55,6 +57,7 @@ void BotClient::reset_session() {
   pending_resync_ = false;
   next_resync_ok_ = SimTime::zero();
   join_sent_at_ = SimTime::zero();
+  current_join_retry_ = cfg_.join_retry;
   last_rx_ = SimTime::zero();
   replica_entities_.clear();
   inventory_.clear();
@@ -153,8 +156,18 @@ void BotClient::poll_inbound() {
     next_resync_ok_ = now + kResyncInterval;
   }
   if (!joined_ && join_sent_at_ != SimTime::zero() &&
-      cfg_.join_retry.count_micros() > 0 && now - join_sent_at_ >= cfg_.join_retry &&
+      cfg_.join_retry.count_micros() > 0 && now - join_sent_at_ >= current_join_retry_ &&
       now >= join_backoff_until_) {
+    if (cfg_.join_retry_backoff > 1.0) {
+      // Jittered exponential backoff for the NEXT retry: grow by the
+      // factor, cap, then spread ±10% from the bot's own seeded stream so
+      // a fleet reconnecting to a restarted server doesn't self-synchronize.
+      double next = static_cast<double>(current_join_retry_.count_micros()) *
+                    cfg_.join_retry_backoff;
+      next = std::min(next, static_cast<double>(cfg_.join_retry_max.count_micros()));
+      next *= 0.9 + 0.2 * rng_.next_double();
+      current_join_retry_ = SimDuration::micros(static_cast<std::int64_t>(next));
+    }
     connect();  // the JoinRequest or its ack was lost (or refused; backoff over)
   }
   if (joined_ && cfg_.liveness_timeout.count_micros() > 0 &&
@@ -203,6 +216,7 @@ void BotClient::apply(const AnyMessage& msg, const net::Delivery& d) {
     joined_ = true;
     self_ = ack->self_id;
     pos_ = ack->spawn;
+    current_join_retry_ = cfg_.join_retry;  // backoff ends with the outage
     // A (re)join starts a fresh server-side sequence: rebase the gap
     // detector so old-session numbering doesn't read as loss.
     rx_seq_ = d.frame.seq;

@@ -49,6 +49,14 @@ struct BotConfig {
   /// Re-send JoinRequest if no JoinAck arrived within this window (the
   /// request or its ack was lost). Zero disables retries.
   SimDuration join_retry = SimDuration::seconds(2);
+  /// Reconnect backoff: every unanswered JoinRequest multiplies the retry
+  /// interval by this factor with ±10% jitter from the bot's seeded RNG,
+  /// capped at join_retry_max — a restarting server isn't met by N clients
+  /// hammering in lockstep. Exactly 1.0 keeps the legacy fixed interval
+  /// and draws NOTHING from the RNG, so deterministic suites replay
+  /// unchanged. Reset on JoinAck and reset_session().
+  double join_retry_backoff = 1.0;
+  SimDuration join_retry_max = SimDuration::seconds(8);
   /// Dead-server detector: if a joined bot hears nothing at all for this
   /// long (keep-alives come every ~5 s), assume the session is gone and
   /// rejoin from scratch. Zero disables.
@@ -191,6 +199,9 @@ class BotClient {
   /// JoinRequests the server refused under overload (DESIGN.md §10). The
   /// bot backs off for the server-suggested interval before retrying.
   std::uint64_t join_refusals() const { return join_refusals_; }
+  /// The retry interval the next unanswered JoinRequest waits for (grows
+  /// under join_retry_backoff; tests watch it escalate and reset).
+  SimDuration current_join_retry() const { return current_join_retry_; }
 
  private:
   void apply(const protocol::AnyMessage& msg, const net::Delivery& d);
@@ -255,6 +266,9 @@ class BotClient {
   SimTime next_resync_ok_;
   SimTime join_sent_at_;
   SimTime join_backoff_until_;  ///< no JoinRequest before this (JoinRefused)
+  /// Current retry interval under join_retry_backoff (== cfg_.join_retry
+  /// while backoff is 1.0 or after a successful join).
+  SimDuration current_join_retry_;
   SimTime last_rx_;
   std::uint64_t gaps_detected_ = 0;
   std::uint64_t resyncs_requested_ = 0;

@@ -68,13 +68,14 @@ bool parse_fault_schedule(const std::string& text, FaultScheduleConfig* out,
     std::vector<std::string> args;
     for (std::string tok; tokens >> tok;) args.push_back(tok);
 
-    if (cmd == "loss" || cmd == "duplicate" || cmd == "corrupt") {
+    if (cmd == "loss" || cmd == "duplicate" || cmd == "corrupt" || cmd == "sendfail") {
       double p = 0.0;
       if (args.size() != 1 || !parse_prob(args[0], &p)) {
         return fail(error, line_no, cmd + " expects one probability in [0,1]");
       }
       if (cmd == "loss") cfg.link.loss = p;
       else if (cmd == "duplicate") cfg.link.duplicate = p;
+      else if (cmd == "sendfail") cfg.link.send_fail = p;
       else cfg.link.corrupt = p;
     } else if (cmd == "reorder") {
       double p = 0.0, extra_ms = 0.0;

@@ -11,6 +11,8 @@
 //   duplicate P       # per-frame duplication probability
 //   corrupt P         # per-frame payload-corruption probability
 //   reorder P [MS]    # reorder probability [+ extra delay ceiling, ms]
+//   sendfail P        # sender-edge send-failure probability (a modeled
+//                     # EAGAIN; only FaultInjectingTransport draws it)
 //   flap T0 T1 BOT    # link of bot BOT down from T0 to T1 (seconds)
 //   partition T0 T1 F # leading fraction F of bots cut off from T0 to T1
 //   crash T0 T1 BOT   # bot BOT crashes at T0, restarts+rejoins at T1
@@ -41,7 +43,7 @@ struct FaultScheduleConfig {
   net::LinkFaults link;
   std::vector<ScheduledFault> events;
 
-  bool any() const { return link.any() || !events.empty(); }
+  bool any() const { return link.any() || link.send_fail > 0.0 || !events.empty(); }
 };
 
 /// Parses the directive text format above. Returns false and sets *error

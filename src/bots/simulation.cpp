@@ -66,6 +66,7 @@ Simulation::Simulation(SimulationConfig cfg)
     BotConfig bc = p.config;
     bc.keep_chunk_replica = cfg_.keep_chunk_replica;
     bc.survival = cfg_.survival;
+    if (cfg_.tweak_bot) cfg_.tweak_bot(bc);
     auto bot = std::make_unique<BotClient>(clock_, net_, *world_, server_->endpoint(),
                                            p.name, bot_seeds.next_u64(), bc);
     net_.connect(bot->endpoint(), server_->endpoint(),
@@ -451,6 +452,15 @@ void Simulation::finalize() {
     const net::FaultStats& fs = net_.fault_stats(server_->endpoint());
     result_.frames_corrupted += fs.corrupted;
     result_.frames_duplicated += fs.duplicated;
+  }
+  {
+    // Send-pressure ledger as the server's transport saw it (all-zero on
+    // the sim wire; real counters over UDP or a send-fault plan).
+    const net::SendPressure sp = server_->transport_pressure();
+    result_.send_failures = sp.send_failures;
+    result_.send_retries = sp.send_retries;
+    result_.send_drops = sp.dropped_datagrams;
+    result_.congested_bytes = sp.congested_bytes;
   }
 
   {

@@ -105,6 +105,11 @@ struct SimulationConfig {
   /// server is constructed (e.g. disabling keep-alive teardown so a test
   /// isolates what bounds memory for a stalled client).
   std::function<void(server::ServerConfig&)> tweak_server;
+
+  /// Test hook: last-chance edit of each bot's derived BotConfig before the
+  /// bot is constructed (e.g. arming liveness detection and jittered join
+  /// backoff for a server-outage scenario). Applied after workload defaults.
+  std::function<void(BotConfig&)> tweak_bot;
 };
 
 struct SimulationResult {
@@ -170,6 +175,16 @@ struct SimulationResult {
   std::uint64_t frames_dropped = 0;  ///< on-wire frames never delivered
   std::uint64_t frames_corrupted = 0;
   std::uint64_t frames_duplicated = 0;
+
+  // Server-side transport send pressure (DESIGN.md §13): datagram-level
+  // failures, in-call retries, and the decaying congested-byte estimate at
+  // finalize. All zero on the sim wire, which never refuses a send; over
+  // UDP (or a send-fault plan) these are the counters the overload ladder
+  // listens to.
+  std::uint64_t send_failures = 0;
+  std::uint64_t send_retries = 0;
+  std::uint64_t send_drops = 0;        ///< datagrams given up on after retries
+  std::uint64_t congested_bytes = 0;   ///< estimate still pending at finalize
 
   // Frame-buffer pool (net::BufferPool, DESIGN.md §11) over the measurement
   // window. Misses are exactly the frame-buffer heap allocations the egress

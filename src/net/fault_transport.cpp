@@ -1,0 +1,399 @@
+#include "net/fault_transport.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/buffer_pool.h"
+#include "trace/trace.h"
+
+namespace dyconits::net {
+
+namespace {
+// Decision bits mixed into the determinism digest, one per fault kind.
+constexpr std::uint8_t kBitLost = 1u << 0;
+constexpr std::uint8_t kBitDuplicated = 1u << 1;
+constexpr std::uint8_t kBitCorrupted = 1u << 2;
+constexpr std::uint8_t kBitReordered = 1u << 3;
+constexpr std::uint8_t kBitSendFailed = 1u << 4;
+constexpr std::uint8_t kBitRefused = 1u << 5;
+}  // namespace
+
+FaultInjectingTransport::FaultInjectingTransport(Transport& inner, SimClock& clock)
+    : inner_(inner), clock_(clock), fault_rng_(plan_.seed) {}
+
+FaultInjectingTransport::~FaultInjectingTransport() {
+  for (auto& h : holdback_) BufferPool::instance().release(std::move(h.frame.payload));
+}
+
+void FaultInjectingTransport::set_fault_plan(FaultPlan plan) {
+  plan_ = std::move(plan);
+  std::stable_sort(plan_.events.begin(), plan_.events.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) { return x.at < y.at; });
+  next_event_ = 0;
+  fault_rng_ = Rng(plan_.seed);
+}
+
+EndpointId FaultInjectingTransport::create_endpoint(std::string name) {
+  return inner_.create_endpoint(std::move(name));
+}
+
+const std::string& FaultInjectingTransport::endpoint_name(EndpointId id) const {
+  return inner_.endpoint_name(id);
+}
+
+void FaultInjectingTransport::advance_events() {
+  while (next_event_ < plan_.events.size() && plan_.events[next_event_].at <= clock_.now()) {
+    apply_event(plan_.events[next_event_++]);
+  }
+}
+
+void FaultInjectingTransport::apply_event(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultEvent::Kind::LinkDown:
+      if (e.b == kInvalidEndpoint) {
+        // Single-named link event: the whole endpoint is unreachable.
+        downed_endpoints_.insert(e.a);
+        drop_held(e.a, /*crash=*/false);
+      } else {
+        downed_pairs_.insert(pair_key(e.a, e.b));
+        downed_pairs_.insert(pair_key(e.b, e.a));
+        for (auto& h : holdback_) {
+          if (h.to == kInvalidEndpoint) continue;
+          if (pair_key(h.from, h.to) != pair_key(e.a, e.b) &&
+              pair_key(h.from, h.to) != pair_key(e.b, e.a))
+            continue;
+          account_drop(stats_[h.to], h.frame, DropCause::Disconnect);
+          BufferPool::instance().release(std::move(h.frame.payload));
+          h.to = kInvalidEndpoint;  // tombstone; swept below
+        }
+        holdback_.erase(std::remove_if(holdback_.begin(), holdback_.end(),
+                                       [](const HeldFrame& h) {
+                                         return h.to == kInvalidEndpoint;
+                                       }),
+                        holdback_.end());
+      }
+      TRACE_INSTANT("net.fault_transport.link_down");
+      break;
+    case FaultEvent::Kind::LinkUp:
+      if (e.b == kInvalidEndpoint) {
+        downed_endpoints_.erase(e.a);
+      } else {
+        downed_pairs_.erase(pair_key(e.a, e.b));
+        downed_pairs_.erase(pair_key(e.b, e.a));
+      }
+      TRACE_INSTANT("net.fault_transport.link_up");
+      break;
+    case FaultEvent::Kind::Crash:
+      // Models the REMOTE peer dying: sends into the window are refused and
+      // anything held for it is wiped, mirroring the sim's crashed-endpoint
+      // semantics from this side of the wire.
+      downed_endpoints_.insert(e.a);
+      drop_held(e.a, /*crash=*/true);
+      TRACE_INSTANT("net.fault_transport.crash");
+      break;
+    case FaultEvent::Kind::Restart:
+      downed_endpoints_.erase(e.a);
+      TRACE_INSTANT("net.fault_transport.restart");
+      break;
+  }
+}
+
+bool FaultInjectingTransport::endpoint_down(EndpointId id) const {
+  return downed_endpoints_.count(id) != 0;
+}
+
+bool FaultInjectingTransport::link_down(EndpointId a, EndpointId b) const {
+  return downed_pairs_.count(pair_key(a, b)) != 0;
+}
+
+void FaultInjectingTransport::drop_held(EndpointId id, bool crash) {
+  const DropCause cause = crash ? DropCause::Crash : DropCause::Disconnect;
+  holdback_.erase(std::remove_if(holdback_.begin(), holdback_.end(),
+                                 [&](HeldFrame& h) {
+                                   if (h.to != id && h.from != id) return false;
+                                   account_drop(stats_[h.to], h.frame, cause);
+                                   BufferPool::instance().release(std::move(h.frame.payload));
+                                   return true;
+                                 }),
+                  holdback_.end());
+}
+
+void FaultInjectingTransport::account_drop(FaultStats& st, const Frame& f, DropCause cause) {
+  const std::size_t size = f.wire_size();
+  st.dropped.frames += 1;
+  st.dropped.bytes += size;
+  switch (cause) {
+    case DropCause::Loss:
+      st.dropped.loss += 1;
+      st.dropped.loss_bytes += size;
+      break;
+    case DropCause::Disconnect:
+      st.dropped.disconnect += 1;
+      st.dropped.disconnect_bytes += size;
+      break;
+    case DropCause::Crash:
+      st.dropped.crash += 1;
+      st.dropped.crash_bytes += size;
+      break;
+  }
+}
+
+void FaultInjectingTransport::corrupt_frame(Frame& frame) {
+  // Bit-for-bit the sim's algorithm (SimNetwork::corrupt_frame), so the
+  // fault RNG stream stays interchangeable between backends.
+  if (frame.payload.empty()) {
+    frame.tag = static_cast<std::uint8_t>(kMaxTags - 1);
+    return;
+  }
+  const std::uint64_t flips = 1 + fault_rng_.next_below(8);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const std::uint64_t pos = fault_rng_.next_below(frame.payload.size());
+    const auto bit = static_cast<std::uint8_t>(1u << fault_rng_.next_below(8));
+    frame.payload[pos] ^= bit;
+  }
+}
+
+void FaultInjectingTransport::mix_decision(EndpointId to, const Frame& f, std::uint8_t bits) {
+  constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+  std::uint64_t h = decision_hash_;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ (v & 0xffu)) * kFnvPrime;
+      v >>= 8;
+    }
+  };
+  mix(to);
+  mix(f.tag);
+  mix(f.seq);
+  mix(f.wire_size());
+  mix(bits);
+  decision_hash_ = h;
+  ++frames_offered_;
+}
+
+bool FaultInjectingTransport::send(EndpointId from, EndpointId to, Frame frame) {
+  TRACE_SCOPE("net.fault_transport.send");
+  advance_events();
+
+  // Scheduled windows refuse the send outright (the sim's crashed/no-link
+  // behavior). The caller sees false, exactly as it would from the sim.
+  if (endpoint_down(from) || endpoint_down(to) || link_down(from, to)) {
+    FaultStats& st = stats_[to];
+    st.refused += 1;
+    mix_decision(to, frame, kBitRefused);
+    BufferPool::instance().release(std::move(frame.payload));
+    return false;
+  }
+
+  // Fault draws in the sim's fixed per-frame order (loss, duplicate,
+  // corrupt, reorder), then the wrapper-only send_fail draw. Probabilities
+  // at zero still consume draws within their group, so the stream is a pure
+  // function of the plan and the offer sequence.
+  bool lost = false, duplicated = false, corrupted = false, reordered = false;
+  bool send_failed = false;
+  if (plan_.all_links.any()) {
+    lost = fault_rng_.chance(plan_.all_links.loss);
+    duplicated = fault_rng_.chance(plan_.all_links.duplicate);
+    corrupted = fault_rng_.chance(plan_.all_links.corrupt);
+    reordered = fault_rng_.chance(plan_.all_links.reorder);
+  }
+  if (plan_.all_links.send_fail > 0.0) {
+    send_failed = fault_rng_.chance(plan_.all_links.send_fail);
+  }
+
+  std::uint8_t bits = 0;
+  if (lost) bits |= kBitLost;
+  if (duplicated) bits |= kBitDuplicated;
+  if (corrupted) bits |= kBitCorrupted;
+  if (reordered) bits |= kBitReordered;
+  if (send_failed) bits |= kBitSendFailed;
+  mix_decision(to, frame, bits);
+
+  FaultStats& st = stats_[to];
+
+  if (send_failed) {
+    // A modeled sender-edge EAGAIN: the datagram never leaves, the send
+    // call still "succeeds" (real socket failures surface at flush time),
+    // and only the pressure counters know — which is the point.
+    ++injected_send_failures_;
+    congested_bytes_[to] += frame.wire_size();
+    ++congested_frames_[to];
+    BufferPool::instance().release(std::move(frame.payload));
+    TRACE_INSTANT("net.fault_transport.send_fail");
+    return true;
+  }
+
+  if (lost) {
+    account_drop(st, frame, DropCause::Loss);
+    BufferPool::instance().release(std::move(frame.payload));
+    TRACE_INSTANT("net.fault_transport.loss");
+    return true;
+  }
+
+  if (corrupted) {
+    corrupt_frame(frame);
+    st.corrupted += 1;
+    TRACE_INSTANT("net.fault_transport.corrupt");
+  }
+
+  if (duplicated) {
+    // A second copy right behind the original — a real wire can't schedule
+    // a later delivery, and back-to-back duplicate datagrams are the common
+    // case anyway.
+    Frame dup;
+    dup.tag = frame.tag;
+    dup.seq = frame.seq;
+    dup.trace_origin = frame.trace_origin;
+    dup.payload = BufferPool::instance().acquire();
+    dup.payload.assign(frame.payload.begin(), frame.payload.end());
+    st.duplicated += 1;
+    TRACE_INSTANT("net.fault_transport.duplicate");
+    if (reordered) {
+      // The original takes the detour; the copy goes straight through.
+      const auto extra_us =
+          static_cast<std::uint64_t>(plan_.all_links.reorder_extra.count_micros());
+      SimTime due = clock_.now();
+      if (extra_us > 0) {
+        due = due + SimDuration::micros(
+                        static_cast<std::int64_t>(fault_rng_.next_below(extra_us + 1)));
+      }
+      st.reordered += 1;
+      inner_.send(from, to, std::move(dup));
+      holdback_.push_back(HeldFrame{due, next_hold_seq_++, from, to, std::move(frame)});
+      TRACE_INSTANT("net.fault_transport.reorder");
+      return true;
+    }
+    const bool ok = inner_.send(from, to, std::move(frame));
+    inner_.send(from, to, std::move(dup));
+    return ok;
+  }
+
+  if (reordered) {
+    const auto extra_us =
+        static_cast<std::uint64_t>(plan_.all_links.reorder_extra.count_micros());
+    SimTime due = clock_.now();
+    if (extra_us > 0) {
+      due = due + SimDuration::micros(
+                      static_cast<std::int64_t>(fault_rng_.next_below(extra_us + 1)));
+    }
+    st.reordered += 1;
+    holdback_.push_back(HeldFrame{due, next_hold_seq_++, from, to, std::move(frame)});
+    TRACE_INSTANT("net.fault_transport.reorder");
+    return true;
+  }
+
+  return inner_.send(from, to, std::move(frame));
+}
+
+std::vector<Delivery> FaultInjectingTransport::poll(EndpointId to) {
+  advance_events();
+  return inner_.poll(to);
+}
+
+void FaultInjectingTransport::disconnect(EndpointId a, EndpointId b) {
+  inner_.disconnect(a, b);
+}
+
+bool FaultInjectingTransport::connected(EndpointId a, EndpointId b) const {
+  return inner_.connected(a, b);
+}
+
+std::uint64_t FaultInjectingTransport::egress_bytes(EndpointId id) const {
+  return inner_.egress_bytes(id);
+}
+std::uint64_t FaultInjectingTransport::ingress_bytes(EndpointId id) const {
+  return inner_.ingress_bytes(id);
+}
+std::uint64_t FaultInjectingTransport::egress_frames(EndpointId id) const {
+  return inner_.egress_frames(id);
+}
+std::uint64_t FaultInjectingTransport::ingress_frames(EndpointId id) const {
+  return inner_.ingress_frames(id);
+}
+
+bool FaultInjectingTransport::has_backlog_signal() const {
+  return inner_.has_backlog_signal() || plan_.all_links.send_fail > 0.0;
+}
+
+std::uint64_t FaultInjectingTransport::pending_bytes(EndpointId to) const {
+  std::uint64_t injected = 0;
+  if (const auto it = congested_bytes_.find(to); it != congested_bytes_.end())
+    injected = it->second;
+  return inner_.pending_bytes(to) + injected;
+}
+
+const FaultStats* FaultInjectingTransport::fault_stats_if_any(EndpointId id) const {
+  return &stats_[id];  // mutable map: creates a zero entry on first query
+}
+
+void FaultInjectingTransport::flush_egress() {
+  advance_events();
+
+  if (!holdback_.empty()) {
+    // Release every held frame whose detour has elapsed, oldest decision
+    // first so same-destination reordered frames keep their relative order.
+    const SimTime now = clock_.now();
+    std::stable_sort(holdback_.begin(), holdback_.end(),
+                     [](const HeldFrame& x, const HeldFrame& y) {
+                       return x.due != y.due ? x.due < y.due : x.seq < y.seq;
+                     });
+    std::size_t released = 0;
+    for (auto& h : holdback_) {
+      if (h.due > now) break;
+      if (endpoint_down(h.from) || endpoint_down(h.to) || link_down(h.from, h.to)) {
+        account_drop(stats_[h.to], h.frame, DropCause::Disconnect);
+        BufferPool::instance().release(std::move(h.frame.payload));
+      } else {
+        inner_.send(h.from, h.to, std::move(h.frame));
+      }
+      ++released;
+    }
+    holdback_.erase(holdback_.begin(),
+                    holdback_.begin() + static_cast<std::ptrdiff_t>(released));
+  }
+
+  // The injected-congestion estimate drains as flushes go by, mirroring
+  // UdpTransport's own decay: a burst of send faults fades, a sustained
+  // window holds the signal (and the overload ladder's attention).
+  for (auto& [to, bytes] : congested_bytes_) bytes -= bytes / 4;
+  for (auto& [to, frames] : congested_frames_) frames -= frames / 4;
+
+  inner_.flush_egress();
+}
+
+SendPressure FaultInjectingTransport::send_pressure(EndpointId to) const {
+  SendPressure p = inner_.send_pressure(to);
+  if (to == kInvalidEndpoint) {
+    p.send_failures += injected_send_failures_;
+    p.dropped_datagrams += injected_send_failures_;
+    for (const auto& [id, bytes] : congested_bytes_) p.congested_bytes += bytes;
+    for (const auto& [id, frames] : congested_frames_) p.congested_frames += frames;
+  } else {
+    if (const auto it = congested_bytes_.find(to); it != congested_bytes_.end())
+      p.congested_bytes += it->second;
+    if (const auto it = congested_frames_.find(to); it != congested_frames_.end())
+      p.congested_frames += it->second;
+  }
+  return p;
+}
+
+FaultStats FaultInjectingTransport::injected_totals() const {
+  FaultStats total;
+  for (const auto& [id, st] : stats_) {
+    total.dropped.frames += st.dropped.frames;
+    total.dropped.bytes += st.dropped.bytes;
+    total.dropped.loss += st.dropped.loss;
+    total.dropped.disconnect += st.dropped.disconnect;
+    total.dropped.crash += st.dropped.crash;
+    total.dropped.loss_bytes += st.dropped.loss_bytes;
+    total.dropped.disconnect_bytes += st.dropped.disconnect_bytes;
+    total.dropped.crash_bytes += st.dropped.crash_bytes;
+    total.corrupted += st.corrupted;
+    total.duplicated += st.duplicated;
+    total.reordered += st.reordered;
+    total.refused += st.refused;
+  }
+  return total;
+}
+
+}  // namespace dyconits::net

@@ -35,6 +35,12 @@ struct LinkFaults {
   double reorder = 0.0;    ///< frame exempted from FIFO and delayed extra
   /// Extra delay ceiling for a reordered frame: uniform in [0, reorder_extra].
   SimDuration reorder_extra = SimDuration::millis(120);
+  /// Probability the *send itself* fails (a modeled EAGAIN: the datagram
+  /// never reaches the wire and the sender knows). Drawn only by
+  /// FaultInjectingTransport — the sim wire cannot refuse a send, so this
+  /// is deliberately excluded from any() and the sim's per-frame draw
+  /// stream is unchanged by it.
+  double send_fail = 0.0;
 
   bool any() const {
     return loss > 0.0 || duplicate > 0.0 || corrupt > 0.0 || reorder > 0.0;

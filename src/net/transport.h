@@ -55,6 +55,24 @@ struct Delivery {
   SimTime arrival;  // when the frame became visible to the receiver
 };
 
+/// Send-side congestion counters (see Transport::send_pressure). A backend
+/// that can fail to put bytes on the wire — a real socket hitting EAGAIN,
+/// or an injected send fault — reports how often and how many bytes are
+/// currently believed stuck. `congested_bytes` is a decaying estimate, not
+/// a queue length: failed-datagram bytes accumulate and drain as later
+/// flushes succeed, so a transient stall fades and a saturated socket holds
+/// the signal high.
+/// `congested_frames` decays the same way and counts refused send units, so
+/// a frame-dominated cost model (net_cost_per_frame >> per-byte cost) still
+/// sees backpressure that small frames would hide in the byte estimate.
+struct SendPressure {
+  std::uint64_t send_failures = 0;     ///< datagrams that failed outright
+  std::uint64_t send_retries = 0;      ///< in-call retries after EAGAIN/ENOBUFS
+  std::uint64_t dropped_datagrams = 0; ///< gave up after bounded retries
+  std::uint64_t congested_bytes = 0;   ///< decaying estimate of stuck bytes
+  std::uint64_t congested_frames = 0;  ///< decaying estimate of stuck sends
+};
+
 /// Abstract frame transport. Implementations: SimNetwork (in-process,
 /// simulated latency/faults, deterministic), UdpTransport (real sockets).
 ///
@@ -99,9 +117,13 @@ class Transport {
   // falls back to its local egress-queue signal, fault introspection
   // reports nothing.
 
-  /// True iff pending_bytes() is a real backpressure signal. UDP cannot see
-  /// the remote socket buffer, so it reports false and the server's backlog
-  /// detection uses only its own staged egress bytes.
+  /// True iff pending_bytes() is a real backpressure signal. The sim owns
+  /// both ends of the wire and reports the remote inbox; UdpTransport cannot
+  /// see the remote socket buffer but reports a *local* congestion signal
+  /// (staged bytes plus a decaying estimate of bytes that failed to send),
+  /// which feeds the same overload machinery. Backends with neither report
+  /// false and the server's backlog detection uses only its own staged
+  /// egress bytes.
   virtual bool has_backlog_signal() const { return false; }
   /// Wire bytes enqueued for `to` but not yet polled; 0 when the backend
   /// has no visibility (see has_backlog_signal()).
@@ -120,6 +142,21 @@ class Transport {
   /// synchronously, so the default is a no-op; UdpTransport batches frames
   /// into MTU-sized datagrams and flushes here (call once per tick).
   virtual void flush_egress() {}
+
+  /// True iff send_pressure() reports real numbers: the backend can fail to
+  /// put bytes on the wire (EAGAIN, full socket buffer, injected send
+  /// faults) and counts those failures. The sim wire never refuses a send,
+  /// so it reports false; UdpTransport and FaultInjectingTransport report
+  /// true. GameServer folds the congested-byte estimate into its modeled
+  /// tick cost so real socket saturation climbs the degradation ladder.
+  virtual bool has_send_pressure() const { return false; }
+  /// Per-destination send-failure counters (see SendPressure); all-zero on
+  /// backends without send visibility. Pass kInvalidEndpoint for the
+  /// transport-wide totals.
+  virtual SendPressure send_pressure(EndpointId to) const {
+    (void)to;
+    return {};
+  }
 };
 
 /// Order-sensitive FNV-1a digest over (tag, payload-length, payload) of

@@ -10,6 +10,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/epoll.h>
+#include <time.h>
 #include <sys/socket.h>
 #include <unistd.h>
 #endif
@@ -223,15 +224,38 @@ void UdpTransport::raw_send(Peer& p, const std::uint8_t* data, std::size_t n) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = p.addr_ip;
   addr.sin_port = p.addr_port;
-  const ssize_t sent =
-      ::sendto(fd_, data, n, 0, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
-  if (sent < 0) {
-    ++stats_.send_failures;
-    return;
+
+  // Transient failures (a momentarily full socket buffer) get a bounded
+  // retry with an escalating microsleep; anything else — and anything still
+  // failing past the limit — drops the datagram and charges the peer's
+  // pressure ledger. The application never blocks on a dead wire.
+  for (int attempt = 0;; ++attempt) {
+    const ssize_t sent =
+        ::sendto(fd_, data, n, 0, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (sent >= 0) {
+      ++stats_.datagrams_sent;
+      stats_.datagram_bytes_sent += n;
+      p.last_sent = wall_now();
+      return;
+    }
+    const bool transient = errno == EAGAIN || errno == EWOULDBLOCK ||
+                           errno == ENOBUFS || errno == EINTR;
+    if (!transient || attempt >= cfg_.send_retry_limit) break;
+    ++stats_.send_retries;
+    ++p.send_retries;
+    if (cfg_.send_retry_backoff_us > 0) {
+      timespec ts{};
+      const std::int64_t us = cfg_.send_retry_backoff_us * (attempt + 1);
+      ts.tv_sec = us / 1000000;
+      ts.tv_nsec = (us % 1000000) * 1000;
+      ::nanosleep(&ts, nullptr);
+    }
   }
-  ++stats_.datagrams_sent;
-  stats_.datagram_bytes_sent += n;
-  p.last_sent = wall_now();
+  ++stats_.send_failures;
+  ++p.send_failures;
+  ++p.dropped_datagrams;
+  p.congested_bytes += n;
+  ++p.congested_frames;
 #else
   (void)p;
   (void)data;
@@ -242,7 +266,23 @@ void UdpTransport::raw_send(Peer& p, const std::uint8_t* data, std::size_t n) {
 void UdpTransport::flush_egress() {
   for (auto& [id, p] : peers_) {
     if (p.alive && p.addr_port != 0) flush_peer(id, p);
+    // Congestion decays as flushes go by: a transient stall fades in a few
+    // ticks, a saturated socket keeps re-charging the estimate faster than
+    // it drains — which is exactly when the overload ladder should see it.
+    p.congested_bytes -= p.congested_bytes / 4;
+    p.congested_frames -= p.congested_frames / 4;
   }
+}
+
+void UdpTransport::close_abruptly() {
+#if defined(__linux__)
+  // No flush, no Byes: the wire just goes silent, like a SIGKILL would
+  // leave it. Peers discover the death through missed keepalives.
+  if (fd_ >= 0) ::close(fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  fd_ = -1;
+  epoll_fd_ = -1;
+#endif
 }
 
 void UdpTransport::pump(int timeout_ms) {
@@ -266,6 +306,14 @@ void UdpTransport::pump(int timeout_ms) {
     if (n == 0) {
       ++stats_.malformed_datagrams;
       continue;
+    }
+    if (!p.alive && buf[0] != kBye && p.addr_port != 0) {
+      // A peer we wrote off (Bye, idle timeout) is talking again — most
+      // likely a restarted process on the same address. Revive it so the
+      // resync handshake can run; the application decides what the session
+      // means now.
+      p.alive = true;
+      ++stats_.peer_revivals;
     }
     handle_datagram(from, p, buf, static_cast<std::size_t>(n));
   }
@@ -401,6 +449,40 @@ std::uint64_t UdpTransport::ingress_frames(EndpointId id) const {
   }
   const Peer* p = peer_of(id);
   return p ? p->egress_frames : 0;
+}
+
+std::uint64_t UdpTransport::pending_bytes(EndpointId to) const {
+  // The local view of "backed up toward this peer": bytes staged but not
+  // yet flushed, plus the decaying estimate of bytes whose datagrams the
+  // socket refused. Not the remote inbox (unknowable over UDP), but it
+  // rises exactly when the send path stops keeping up, which is the
+  // property the overload controller needs.
+  const Peer* p = peer_of(to);
+  if (!p) return 0;
+  const std::uint64_t staged = p->staging.size() > 1 ? p->staging.size() - 1 : 0;
+  return staged + p->congested_bytes;
+}
+
+SendPressure UdpTransport::send_pressure(EndpointId to) const {
+  SendPressure out;
+  if (to == kInvalidEndpoint || to == local_) {
+    out.send_failures = stats_.send_failures;
+    out.send_retries = stats_.send_retries;
+    for (const auto& [pid, p] : peers_) {
+      out.dropped_datagrams += p.dropped_datagrams;
+      out.congested_bytes += p.congested_bytes;
+      out.congested_frames += p.congested_frames;
+    }
+    return out;
+  }
+  const Peer* p = peer_of(to);
+  if (!p) return out;
+  out.send_failures = p->send_failures;
+  out.send_retries = p->send_retries;
+  out.dropped_datagrams = p->dropped_datagrams;
+  out.congested_bytes = p->congested_bytes;
+  out.congested_frames = p->congested_frames;
+  return out;
 }
 
 }  // namespace dyconits::net

@@ -48,6 +48,13 @@ struct UdpConfig {
   SimDuration idle_timeout = SimDuration::seconds(10);
   int rcvbuf_bytes = 1 << 20;
   int sndbuf_bytes = 1 << 20;
+  /// Transient sendto failures (EAGAIN/ENOBUFS/EINTR) are retried in-call
+  /// up to this many times with a short escalating pause — a full socket
+  /// buffer usually drains in microseconds. Past the limit the datagram is
+  /// dropped and the per-peer pressure counters record it.
+  int send_retry_limit = 3;
+  /// Pause before retry k is k * this (kept tiny: it runs inside the tick).
+  std::int64_t send_retry_backoff_us = 50;
 };
 
 /// Datagram-level counters (frame-level accounting lives in Transport).
@@ -61,8 +68,13 @@ struct UdpStats {
   std::uint64_t keepalives_sent = 0;
   std::uint64_t keepalives_received = 0;
   std::uint64_t malformed_datagrams = 0;
-  std::uint64_t send_failures = 0;  ///< sendto errors (incl. EAGAIN drops)
+  std::uint64_t send_failures = 0;  ///< datagrams dropped after retries
+  std::uint64_t send_retries = 0;   ///< in-call retries after EAGAIN/ENOBUFS
   std::uint64_t idle_disconnects = 0;
+  /// Dead peers brought back by a datagram from their address — the
+  /// receiving half of crash-restart recovery (a restarted remote keeps
+  /// its address; its traffic must not be blackholed by a stale Bye).
+  std::uint64_t peer_revivals = 0;
 };
 
 class UdpTransport final : public Transport {
@@ -91,6 +103,11 @@ class UdpTransport final : public Transport {
   /// between ticks; poll() then hands the frames to the application.
   void pump(int timeout_ms);
 
+  /// Closes the socket WITHOUT flushing staged data or sending Bye
+  /// datagrams — the crash half of crash-restart testing. Peers find out
+  /// the hard way (missed keepalives), exactly like a real process death.
+  void close_abruptly();
+
   const UdpStats& stats() const { return stats_; }
 
   // -- Transport --
@@ -105,6 +122,15 @@ class UdpTransport final : public Transport {
   std::uint64_t egress_frames(EndpointId id) const override;
   std::uint64_t ingress_frames(EndpointId id) const override;
   void flush_egress() override;
+  /// UDP cannot see the remote socket buffer, but it CAN see its own send
+  /// path congesting: pending_bytes(to) is the peer's staged bytes plus a
+  /// decaying estimate of bytes whose datagrams failed to send. That local
+  /// signal feeds GameServer's backlog detection the same way the sim's
+  /// remote-inbox signal does (DESIGN.md §13).
+  bool has_backlog_signal() const override { return true; }
+  std::uint64_t pending_bytes(EndpointId to) const override;
+  bool has_send_pressure() const override { return true; }
+  SendPressure send_pressure(EndpointId to) const override;
 
  private:
   struct Peer {
@@ -122,6 +148,15 @@ class UdpTransport final : public Transport {
     std::uint64_t ingress_bytes = 0;
     std::uint64_t egress_frames = 0;
     std::uint64_t ingress_frames = 0;
+    // Send-pressure ledger (see Transport::send_pressure).
+    std::uint64_t send_failures = 0;
+    std::uint64_t send_retries = 0;
+    std::uint64_t dropped_datagrams = 0;
+    std::uint64_t congested_bytes = 0;  ///< decays 25% per flush_egress()
+    /// Refused send units, same decay. One per dropped datagram — a lower
+    /// bound when frames were coalesced, but the refused work the frame-cost
+    /// model needs to see (Transport::SendPressure::congested_frames).
+    std::uint64_t congested_frames = 0;
   };
 
   SimTime wall_now() const;

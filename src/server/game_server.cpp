@@ -1035,10 +1035,10 @@ void GameServer::tick_overload() {
   ids.reserve(sessions_.size());
   for (auto& [id, s] : sessions_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
-  // Remote-inbox backpressure is a sim-only capability (DESIGN.md §12): a
-  // real transport cannot see the peer's receive buffer, so on backends
-  // without the signal the backlog decision degrades to the staged egress
-  // bytes the server does own.
+  // Backpressure visibility is a capability (DESIGN.md §12): the sim
+  // reports the remote inbox, UDP reports its own staged + congested bytes
+  // toward the peer (DESIGN.md §13). Backends with neither degrade to the
+  // staged egress bytes the server owns.
   const bool inbox_visible = net_.has_backlog_signal();
   for (const SubscriberId id : ids) {
     Session& s = sessions_.at(id);
@@ -1053,13 +1053,35 @@ void GameServer::tick_overload() {
 
 void GameServer::overload_watchdog() {
   if (!cfg_.overload.enabled) return;
+  // A saturated real socket is overload the CPU clock never sees: bytes the
+  // transport failed to put on the wire. Charge them at the modeled
+  // per-byte rate so send pressure climbs the ladder exactly like an
+  // expensive tick would (DESIGN.md §13). Zero on the sim (sends never
+  // fail) and in steady state (the estimate decays), so existing ladder
+  // behavior is untouched.
+  SimDuration ladder_cost = last_tick_cpu_;
+  if (net_.has_send_pressure()) {
+    const net::SendPressure p = net_.send_pressure(net::kInvalidEndpoint);
+    if (p.congested_bytes > 0) {
+      ladder_cost += SimDuration::micros(static_cast<std::int64_t>(
+          static_cast<double>(p.congested_bytes) * cfg_.net_cost_per_byte_ns / 1000.0));
+    }
+    // Refused sends are charged at the per-frame rate too: with small
+    // frames the per-frame cost dominates the model, and pricing stuck
+    // bytes alone would hide a saturated socket behind ordinary load noise.
+    if (p.congested_frames > 0) {
+      ladder_cost += SimDuration::micros(
+          static_cast<std::int64_t>(p.congested_frames) *
+          cfg_.net_cost_per_frame.count_micros());
+    }
+  }
   const int before = ladder_.rung();
-  if (ladder_.on_tick(last_tick_cpu_, cfg_.tick_interval, cfg_.overload)) {
+  if (ladder_.on_tick(ladder_cost, cfg_.tick_interval, cfg_.overload)) {
     ++overload_stats_.ladder_transitions;
     TRACE_INSTANT("server.overload.rung");
     Log::info("server: overload ladder %s -> %s (tick cost %lld us)",
               ladder_rung_name(before), ladder_rung_name(ladder_.rung()),
-              static_cast<long long>(last_tick_cpu_.count_micros()));
+              static_cast<long long>(ladder_cost.count_micros()));
   }
   const int rung = ladder_.rung();
 

@@ -147,6 +147,13 @@ class GameServer final : public dyconit::FlushSink, public dyconit::ParallelFlus
 
   // -- overload introspection (DESIGN.md §10) --
   const OverloadStats& overload_stats() const { return overload_stats_; }
+  /// Transport-wide send-pressure counters (all-zero on backends without
+  /// send visibility, i.e. the sim). Surfaces the EAGAIN/retry/congestion
+  /// ledger the UDP path keeps per peer (DESIGN.md §13).
+  net::SendPressure transport_pressure() const {
+    return net_.has_send_pressure() ? net_.send_pressure(net::kInvalidEndpoint)
+                                    : net::SendPressure{};
+  }
   /// Current degradation-ladder rung (0 = Normal).
   int overload_rung() const { return ladder_.rung(); }
   /// Bytes / frames currently staged in one subscriber's egress queue

@@ -305,6 +305,60 @@ TEST(ChaosTest, SameSeedAndPlanReplayByteIdentical) {
   EXPECT_GT(dropped[0], 0u);  // the plan actually did something
 }
 
+// ----------------------------------------- server crash-restart (§13)
+
+// The serving endpoint itself dies mid-run and restarts (DESIGN.md §13) —
+// the sim-side mirror of `dyconits_server --crash-at-tick --restart`. Every
+// client must notice the dead server through its liveness timer, re-enter
+// the join handshake under jittered exponential backoff, and resume its
+// session once the server is back; the entire outage, including every
+// backoff jitter draw, must replay byte-identically from the seed.
+TEST(ChaosTest, ServerCrashRestartSessionsResumeByteIdentical) {
+  struct Outcome {
+    std::uint64_t hash = 0;
+    std::uint64_t liveness_resets = 0;
+    std::uint64_t reconnects = 0;
+    bool all_joined = false;
+  };
+  auto run = [] {
+    auto cfg = chaos_config(3);
+    // Arm outage detection: tight liveness, fast first retry, escalating
+    // jittered backoff (the defaults sit out 30 s — too slow for this run).
+    cfg.tweak_bot = [](BotConfig& bc) {
+      bc.liveness_timeout = SimDuration::seconds(2);
+      bc.join_retry = SimDuration::millis(500);
+      bc.join_retry_backoff = 2.0;
+      bc.join_retry_max = SimDuration::seconds(3);
+    };
+    Simulation sim(cfg);
+    Outcome out;
+    for (int i = 0; i < 200; ++i) sim.step_tick();  // 10 s: fleet settled
+    sim.network().crash(sim.server().endpoint());
+    for (int i = 0; i < 60; ++i) sim.step_tick();   // 3 s blackout
+    sim.network().restart(sim.server().endpoint());
+    for (int i = 0; i < 300; ++i) sim.step_tick();  // 15 s to resume
+    out.hash = world_hash(sim);
+    out.reconnects = sim.server().reconnects();
+    out.all_joined = true;
+    for (const auto& bot : sim.bots()) {
+      out.all_joined = out.all_joined && bot->joined();
+      out.liveness_resets += bot->liveness_resets();
+    }
+    return out;
+  };
+
+  const Outcome a = run();
+  EXPECT_TRUE(a.all_joined) << "a client never resumed after the restart";
+  // Every client went through outage detection and a fresh join handshake.
+  EXPECT_GE(a.liveness_resets, 3u);
+  EXPECT_GE(a.reconnects, 3u);
+
+  const Outcome b = run();
+  EXPECT_EQ(a.hash, b.hash) << "server outage did not replay byte-identically";
+  EXPECT_EQ(a.liveness_resets, b.liveness_resets);
+  EXPECT_EQ(a.reconnects, b.reconnects);
+}
+
 // ---------------------------------------------------- long acceptance run
 
 // The ISSUE acceptance scenario: a fixed-seed 10k-tick run at 10% loss with

@@ -4,10 +4,12 @@
 // UdpTransport (skipped where sockets are unavailable).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "bots/bot.h"
 #include "net/buffer_pool.h"
+#include "net/fault_transport.h"
 #include "net/sim_network.h"
 #include "net/udp_framing.h"
 #include "net/udp_transport.h"
@@ -269,6 +271,342 @@ TEST(UdpTransportTest, IdleTimeoutDisconnects) {
   EXPECT_EQ(lo.a->stats().idle_disconnects, 1u);
 
   for (auto& d : got) net::BufferPool::instance().release(std::move(d.frame.payload));
+}
+
+// -- FaultInjectingTransport (DESIGN.md §13): the seeded fault decorator --
+// Deterministic checks run over a SimNetwork inner (no sockets needed);
+// the layering checks at the bottom wrap real loopback sockets.
+
+/// Two wrapper endpoints over a latency-0 sim link.
+struct FaultRig {
+  SimClock clock;
+  net::SimNetwork inner{clock, 1};
+  net::FaultInjectingTransport fi{inner, clock};
+  net::EndpointId a = net::kInvalidEndpoint;
+  net::EndpointId b = net::kInvalidEndpoint;
+
+  FaultRig() {
+    a = fi.create_endpoint("a");
+    b = fi.create_endpoint("b");
+    inner.connect(a, b, {SimDuration(0), 0.0, true});
+  }
+
+  std::size_t drain_b() {
+    std::size_t n = 0;
+    for (auto& d : fi.poll(b)) {
+      ++n;
+      net::BufferPool::instance().release(std::move(d.frame.payload));
+    }
+    return n;
+  }
+};
+
+TEST(FaultTransportTest, LossLedgerCloses) {
+  FaultRig rig;
+  net::FaultPlan plan;
+  plan.seed = 9;
+  plan.all_links.loss = 0.5;
+  rig.fi.set_fault_plan(plan);
+
+  const std::size_t offered = 400;
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < offered; ++i) {
+    EXPECT_TRUE(rig.fi.send(rig.a, rig.b, make_frame(7, static_cast<std::uint32_t>(i + 1), 32)));
+    if ((i + 1) % 10 == 0) {
+      rig.fi.flush_egress();
+      delivered += rig.drain_b();
+    }
+  }
+  rig.fi.flush_egress();
+  delivered += rig.drain_b();
+
+  const net::FaultStats* fs = rig.fi.fault_stats_if_any(rig.b);
+  ASSERT_NE(fs, nullptr);
+  EXPECT_GT(fs->dropped.frames, 0u);
+  EXPECT_EQ(fs->dropped.loss, fs->dropped.frames);  // only loss configured
+  // Conservation: every offered frame is delivered or accounted dropped,
+  // and the inner transport never saw the dropped ones.
+  EXPECT_EQ(delivered + fs->dropped.frames, offered);
+  EXPECT_EQ(rig.fi.frames_offered(), offered);
+  EXPECT_EQ(rig.fi.frames_held(), 0u);
+  EXPECT_EQ(rig.inner.egress_frames(rig.a), delivered);
+}
+
+TEST(FaultTransportTest, ReorderHoldbackReleasesOnFlush) {
+  FaultRig rig;
+  net::FaultPlan plan;
+  plan.seed = 3;
+  plan.all_links.reorder = 1.0;
+  plan.all_links.reorder_extra = SimDuration::millis(100);
+  rig.fi.set_fault_plan(plan);
+
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    EXPECT_TRUE(rig.fi.send(rig.a, rig.b, make_frame(7, i, 16)));
+  }
+  rig.fi.flush_egress();
+  const std::size_t early = rig.drain_b();  // only holdbacks that drew 0 extra
+  EXPECT_EQ(early + rig.fi.frames_held(), 3u);
+
+  // Nothing more is released while the frames' detours are still pending...
+  const std::size_t held_before = rig.fi.frames_held();
+  rig.fi.poll(rig.b);
+  EXPECT_EQ(rig.fi.frames_held(), held_before);
+
+  // ...but every holdback is due once the clock passes the extra-delay cap.
+  rig.clock.advance(SimDuration::millis(101));
+  rig.fi.flush_egress();
+  EXPECT_EQ(early + rig.drain_b(), 3u);
+  EXPECT_EQ(rig.fi.frames_held(), 0u);
+  EXPECT_EQ(rig.fi.fault_stats_if_any(rig.b)->reordered, 3u);
+}
+
+TEST(FaultTransportTest, DuplicatesReachTheInnerWireTwice) {
+  FaultRig rig;
+  net::FaultPlan plan;
+  plan.seed = 5;
+  plan.all_links.duplicate = 1.0;
+  rig.fi.set_fault_plan(plan);
+
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    EXPECT_TRUE(rig.fi.send(rig.a, rig.b, make_frame(4, i, 24)));
+  }
+  rig.fi.flush_egress();
+  EXPECT_EQ(rig.drain_b(), 20u);
+  EXPECT_EQ(rig.fi.fault_stats_if_any(rig.b)->duplicated, 10u);
+  EXPECT_EQ(rig.inner.egress_frames(rig.a), 20u);
+}
+
+TEST(FaultTransportTest, SendFailuresAreSilentButMeasured) {
+  FaultRig rig;
+  net::FaultPlan plan;
+  plan.seed = 11;
+  plan.all_links.send_fail = 1.0;
+  rig.fi.set_fault_plan(plan);
+
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    // A sender-edge EAGAIN: send() reports success (real socket failures
+    // surface at flush time, not send time) and the frame simply vanishes.
+    EXPECT_TRUE(rig.fi.send(rig.a, rig.b, make_frame(2, i, 64)));
+  }
+  rig.fi.flush_egress();
+  EXPECT_EQ(rig.drain_b(), 0u);
+  EXPECT_EQ(rig.inner.egress_frames(rig.a), 0u);
+
+  const net::SendPressure sp = rig.fi.send_pressure(net::kInvalidEndpoint);
+  EXPECT_EQ(sp.send_failures, 5u);
+  EXPECT_GT(sp.congested_bytes, 0u);
+  EXPECT_GT(sp.congested_frames, 0u);
+  // The congestion estimate decays as flushes pass without new failures.
+  const std::uint64_t before = sp.congested_bytes;
+  rig.fi.flush_egress();
+  EXPECT_LT(rig.fi.send_pressure(net::kInvalidEndpoint).congested_bytes, before);
+  // Backlog capability: the wrapper surfaces its own pressure even though
+  // the sim inner reports pending bytes too.
+  EXPECT_TRUE(rig.fi.has_backlog_signal());
+  EXPECT_GE(rig.fi.pending_bytes(rig.b), rig.fi.send_pressure(rig.b).congested_bytes);
+}
+
+TEST(FaultTransportTest, CrashWindowRefusesSendsUntilRestart) {
+  FaultRig rig;
+  net::FaultPlan plan;
+  plan.seed = 1;
+  plan.events.push_back({SimTime::zero() + SimDuration::millis(100),
+                         net::FaultEvent::Kind::Crash, rig.b, net::kInvalidEndpoint});
+  plan.events.push_back({SimTime::zero() + SimDuration::millis(200),
+                         net::FaultEvent::Kind::Restart, rig.b, net::kInvalidEndpoint});
+  rig.fi.set_fault_plan(plan);
+
+  rig.clock.advance(SimDuration::millis(50));
+  EXPECT_TRUE(rig.fi.send(rig.a, rig.b, make_frame(7, 1, 16)));  // before the window
+  rig.clock.advance(SimDuration::millis(100));                   // t=150: b is down
+  EXPECT_FALSE(rig.fi.send(rig.a, rig.b, make_frame(7, 2, 16)));
+  rig.clock.advance(SimDuration::millis(100));                   // t=250: restarted
+  EXPECT_TRUE(rig.fi.send(rig.a, rig.b, make_frame(7, 3, 16)));
+  rig.fi.flush_egress();
+
+  EXPECT_EQ(rig.drain_b(), 2u);
+  EXPECT_EQ(rig.fi.fault_stats_if_any(rig.b)->refused, 1u);
+}
+
+TEST(FaultTransportTest, SameSeedSameDecisionsDifferentSeedDiverges) {
+  net::FaultPlan plan;
+  plan.seed = 42;
+  plan.all_links.loss = 0.2;
+  plan.all_links.duplicate = 0.1;
+  plan.all_links.corrupt = 0.1;
+  plan.all_links.reorder = 0.2;
+  plan.all_links.send_fail = 0.1;
+
+  const auto run = [&](std::uint64_t seed) {
+    FaultRig rig;
+    net::FaultPlan p = plan;
+    p.seed = seed;
+    rig.fi.set_fault_plan(p);
+    for (std::uint32_t i = 1; i <= 300; ++i) {
+      rig.fi.send(rig.a, rig.b, make_frame(static_cast<std::uint8_t>(1 + i % 20), i, 32));
+      if (i % 16 == 0) {
+        rig.fi.flush_egress();
+        rig.clock.advance(SimDuration::millis(5));
+        rig.drain_b();
+      }
+    }
+    rig.clock.advance(SimDuration::seconds(1));
+    rig.fi.flush_egress();
+    rig.drain_b();
+    return rig.fi.decision_hash();
+  };
+
+  const std::uint64_t h1 = run(42), h2 = run(42), h3 = run(43);
+  EXPECT_EQ(h1, h2) << "same plan seed must replay identical fault decisions";
+  EXPECT_NE(h1, h3) << "a different plan seed must diverge";
+}
+
+// -- wrapper over real sockets (skipped where the environment forbids) --
+
+TEST(FaultTransportTest, LoopbackChaosLedgerCloses) {
+  Loopback lo;
+  if (!lo.ok()) GTEST_SKIP() << "no usable UDP sockets: " << lo.a->error();
+
+  net::FaultInjectingTransport fb(*lo.b, lo.clock);
+  net::FaultPlan plan;
+  plan.seed = 17;
+  plan.all_links.loss = 0.3;
+  plan.all_links.duplicate = 0.1;
+  plan.all_links.reorder = 0.2;
+  plan.all_links.reorder_extra = SimDuration::millis(20);
+  fb.set_fault_plan(plan);
+
+  const std::size_t offered = 300;
+  std::size_t received = 0;
+  for (std::size_t i = 0; i < offered; ++i) {
+    ASSERT_TRUE(fb.send(lo.b_local, lo.b_to_a, make_frame(5, static_cast<std::uint32_t>(i + 1), 32)));
+    if ((i + 1) % 20 == 0) {
+      fb.flush_egress();
+      lo.clock.advance(SimDuration::millis(25));
+      lo.a->pump(/*timeout_ms=*/2);
+      for (auto& d : lo.a->poll(lo.a_local)) {
+        ++received;
+        net::BufferPool::instance().release(std::move(d.frame.payload));
+      }
+    }
+  }
+  lo.clock.advance(SimDuration::seconds(1));  // every holdback comes due
+  fb.flush_egress();
+  for (int spins = 0; spins < 1000; ++spins) {
+    lo.a->pump(/*timeout_ms=*/2);
+    bool got = false;
+    for (auto& d : lo.a->poll(lo.a_local)) {
+      ++received;
+      got = true;
+      net::BufferPool::instance().release(std::move(d.frame.payload));
+    }
+    const net::FaultStats* fs = fb.fault_stats_if_any(lo.b_to_a);
+    if (!got && received == offered - fs->dropped.frames + fs->duplicated) break;
+  }
+
+  const net::FaultStats* fs = fb.fault_stats_if_any(lo.b_to_a);
+  EXPECT_GT(fs->dropped.frames, 0u);
+  EXPECT_GT(fs->duplicated, 0u);
+  EXPECT_EQ(fb.frames_held(), 0u);
+  // Ledger across the real wire: everything offered either arrived, was
+  // dropped by the wrapper, or was duplicated into an extra arrival.
+  EXPECT_EQ(received, offered - fs->dropped.frames + fs->duplicated);
+  // The inner socket never saw wrapper-dropped frames.
+  EXPECT_EQ(lo.b->egress_frames(lo.b_local),
+            offered - fs->dropped.frames + fs->duplicated);
+}
+
+TEST(FaultTransportTest, KeepalivesOutliveTotalAppLoss) {
+  net::UdpConfig cfg;
+  cfg.idle_timeout = SimDuration::millis(400);
+  cfg.keepalive_interval = SimDuration::millis(50);
+  Loopback lo(cfg);
+  if (!lo.ok()) GTEST_SKIP() << "no usable UDP sockets: " << lo.a->error();
+
+  net::FaultInjectingTransport fb(*lo.b, lo.clock);
+  ASSERT_TRUE(fb.send(lo.b_local, lo.b_to_a, make_frame(5, 1, 16)));
+  fb.flush_egress();
+  std::vector<net::Delivery> got;
+  for (int spins = 0; spins < 2000 && got.empty(); ++spins) {
+    lo.a->pump(/*timeout_ms=*/5);
+    got = lo.a->poll(lo.a_local);
+  }
+  ASSERT_EQ(got.size(), 1u);
+  const net::EndpointId b_peer = got[0].from;
+  for (auto& d : got) net::BufferPool::instance().release(std::move(d.frame.payload));
+
+  // From here on the wrapper eats EVERY application frame — but keepalives
+  // are the inner transport's own machinery, beneath the fault layer, so
+  // the session must stay alive through the blackout.
+  net::FaultPlan plan;
+  plan.seed = 1;
+  plan.all_links.loss = 1.0;
+  fb.set_fault_plan(plan);
+
+  const std::uint64_t frames_before = lo.a->ingress_frames(lo.a_local);
+  const auto start = std::chrono::steady_clock::now();
+  std::uint32_t seq = 2;
+  // Run well past the idle timeout: without keepalives this silence would
+  // disconnect the peer (cf. IdleTimeoutDisconnects above).
+  while (std::chrono::steady_clock::now() - start < std::chrono::milliseconds(700)) {
+    fb.send(lo.b_local, lo.b_to_a, make_frame(6, seq++, 16));
+    fb.flush_egress();
+    lo.b->pump(/*timeout_ms=*/2);
+    lo.a->pump(/*timeout_ms=*/3);
+    lo.a->poll(lo.a_local);
+  }
+  EXPECT_TRUE(lo.a->connected(lo.a_local, b_peer))
+      << "idle timeout fired despite keepalives under total app-frame loss";
+  EXPECT_EQ(lo.a->stats().idle_disconnects, 0u);
+  EXPECT_EQ(lo.a->ingress_frames(lo.a_local), frames_before);
+  EXPECT_GT(lo.a->stats().keepalives_received, 0u);
+}
+
+TEST(FaultTransportTest, ReassemblySurvivesWrapperChaos) {
+  Loopback lo;
+  if (!lo.ok()) GTEST_SKIP() << "no usable UDP sockets: " << lo.a->error();
+
+  net::FaultInjectingTransport fb(*lo.b, lo.clock);
+  net::FaultPlan plan;
+  plan.seed = 23;
+  plan.all_links.loss = 0.2;
+  plan.all_links.reorder = 0.5;
+  plan.all_links.reorder_extra = SimDuration::millis(10);
+  fb.set_fault_plan(plan);
+
+  // Every frame is over-MTU: each surviving one must fragment and reassemble
+  // cleanly even though whole frames around it vanish or arrive late.
+  const std::size_t offered = 40;
+  const std::size_t payload = 3000;
+  std::size_t received = 0, intact = 0;
+  const auto collect = [&] {
+    for (auto& d : lo.a->poll(lo.a_local)) {
+      ++received;
+      const Frame want = make_frame(9, d.frame.seq, payload);
+      if (d.frame.payload == want.payload) ++intact;
+      net::BufferPool::instance().release(std::move(d.frame.payload));
+    }
+  };
+  for (std::size_t i = 0; i < offered; ++i) {
+    ASSERT_TRUE(fb.send(lo.b_local, lo.b_to_a, make_frame(9, static_cast<std::uint32_t>(i + 1), payload)));
+    if ((i + 1) % 5 == 0) {
+      fb.flush_egress();
+      lo.clock.advance(SimDuration::millis(12));
+      lo.a->pump(/*timeout_ms=*/2);
+      collect();
+    }
+  }
+  lo.clock.advance(SimDuration::seconds(1));
+  fb.flush_egress();
+  const net::FaultStats* fs = fb.fault_stats_if_any(lo.b_to_a);
+  for (int spins = 0; spins < 2000 && received < offered - fs->dropped.frames; ++spins) {
+    lo.a->pump(/*timeout_ms=*/5);
+    collect();
+  }
+
+  EXPECT_EQ(received, offered - fs->dropped.frames);
+  EXPECT_EQ(intact, received) << "a reassembled frame came back corrupted";
+  EXPECT_GE(lo.a->stats().frames_reassembled, received);
 }
 
 }  // namespace
